@@ -1,0 +1,111 @@
+//! Lightweight query catalog for the frequency-ordered baselines.
+//!
+//! RTA and SortQuer do not keep ID-ordered postings, so they cannot reuse
+//! `ctk_index::QueryIndex`; they still need each query's term vector for
+//! exact re-scoring. The catalog stores exactly that (and nothing else).
+
+use ctk_common::{FxHashMap, QueryId, SparseVector, TermId};
+
+/// One stored query: its (normalized) term pairs.
+#[derive(Debug, Clone)]
+pub struct StoredQuery {
+    pub terms: Vec<(TermId, f32)>,
+}
+
+/// Dense query catalog with monotone id allocation.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    queries: Vec<Option<StoredQuery>>,
+    live: usize,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, vector: &SparseVector) -> QueryId {
+        let qid = QueryId(self.queries.len() as u32);
+        self.queries.push(Some(StoredQuery { terms: vector.iter().collect() }));
+        self.live += 1;
+        qid
+    }
+
+    pub fn remove(&mut self, qid: QueryId) -> Option<StoredQuery> {
+        let q = self.queries.get_mut(qid.index())?.take();
+        if q.is_some() {
+            self.live -= 1;
+        }
+        q
+    }
+
+    #[inline]
+    pub fn get(&self, qid: QueryId) -> Option<&StoredQuery> {
+        self.queries.get(qid.index()).and_then(|q| q.as_ref())
+    }
+
+    #[inline]
+    pub fn num_live(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Ids of live queries, ascending.
+    pub fn live_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.queries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.as_ref().map(|_| QueryId(i as u32)))
+    }
+
+    /// Exact raw dot product of a stored query with a document given as a
+    /// term→weight map.
+    pub fn dot(&self, qid: QueryId, doc_weights: &FxHashMap<TermId, f64>) -> f64 {
+        let Some(q) = self.get(qid) else { return 0.0 };
+        q.terms
+            .iter()
+            .filter_map(|&(t, w)| doc_weights.get(&t).map(|&f| f * w as f64))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector(pairs: &[(u32, f32)]) -> SparseVector {
+        let mut v =
+            SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)).collect());
+        v.normalize();
+        v
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut c = Catalog::new();
+        let a = c.insert(&vector(&[(1, 1.0)]));
+        let b = c.insert(&vector(&[(2, 1.0)]));
+        assert_eq!((a, b), (QueryId(0), QueryId(1)));
+        assert_eq!(c.num_live(), 2);
+        assert!(c.remove(a).is_some());
+        assert!(c.remove(a).is_none());
+        assert_eq!(c.num_live(), 1);
+        assert!(c.get(a).is_none());
+        assert_eq!(c.live_ids().collect::<Vec<_>>(), vec![b]);
+    }
+
+    #[test]
+    fn dot_against_doc_map() {
+        let mut c = Catalog::new();
+        let q = c.insert(&vector(&[(1, 3.0), (2, 4.0)])); // normalized 0.6/0.8
+        let mut dw = FxHashMap::default();
+        dw.insert(TermId(2), 0.5);
+        dw.insert(TermId(9), 1.0);
+        assert!((c.dot(q, &dw) - 0.8 * 0.5).abs() < 1e-6);
+        assert_eq!(c.dot(QueryId(99), &dw), 0.0);
+    }
+}

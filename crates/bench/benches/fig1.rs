@@ -1,0 +1,39 @@
+//! Criterion harness for the paper's Figure 1 at smoke scale: per-event
+//! response time of all five methods on both workloads. The full-scale
+//! regeneration lives in the `fig1` binary (`--bin fig1 -- --scale laptop`);
+//! this bench keeps `cargo bench` fast while still exercising the exact
+//! measurement path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctk_bench::{make_engine, prepare, ExperimentConfig, Scale, PAPER_ALGOS};
+use ctk_stream::QueryWorkload;
+
+fn bench_fig1(c: &mut Criterion) {
+    for workload in [QueryWorkload::Uniform, QueryWorkload::Connected] {
+        let cfg = ExperimentConfig::fig1(workload, 4_000, Scale::Smoke);
+        let wl = prepare(&cfg);
+        let mut group = c.benchmark_group(format!("fig1/{}", workload.name()));
+        group.sample_size(10);
+        for algo in PAPER_ALGOS {
+            group.bench_function(BenchmarkId::from_parameter(algo), |b| {
+                // Setup (registration + seeding + warmup) outside the timer;
+                // the measured closure processes the measured stream once.
+                let mut engine = make_engine(algo, cfg.lambda);
+                wl.install(engine.as_mut());
+                for doc in &wl.warmup {
+                    engine.process(doc);
+                }
+                let mut idx = 0usize;
+                b.iter(|| {
+                    let doc = &wl.measured[idx % wl.measured.len()];
+                    idx += 1;
+                    engine.process(doc)
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Work-counter inspection for one engine × workload cell (debug tool).
+//!
+//! ```text
+//! cargo run -p ctk-bench --release --bin inspect -- MRIO 25000 connected
+//! ```
+
+use ctk_bench::{make_engine, prepare, run_engine, ExperimentConfig, Scale};
+use ctk_stream::QueryWorkload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let algo = args.get(1).map(String::as_str).unwrap_or("MRIO");
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(25_000);
+    let workload = match args.get(3).map(String::as_str) {
+        Some("uniform") => QueryWorkload::Uniform,
+        _ => QueryWorkload::Connected,
+    };
+    let cfg = ExperimentConfig::fig1(workload, n, Scale::Laptop);
+    let wl = prepare(&cfg);
+    let mut engine = make_engine(algo, cfg.lambda);
+    let r = run_engine(engine.as_mut(), &wl);
+    let e = r.stats.events as f64;
+    println!("algo={algo} |Q|={n} workload={:?}", workload);
+    println!("avg_ms            {:>12.4}", r.avg_ms);
+    println!("setup_ms          {:>12.1}", r.setup_ms);
+    println!("events            {:>12}", r.stats.events);
+    println!("evals/event       {:>12.1}", r.stats.full_evaluations as f64 / e);
+    println!("iters/event       {:>12.1}", r.stats.iterations as f64 / e);
+    println!("postings/event    {:>12.1}", r.stats.postings_accessed as f64 / e);
+    println!("bounds/event      {:>12.1}", r.stats.bound_computations as f64 / e);
+    println!("updates/event     {:>12.2}", r.stats.updates as f64 / e);
+    println!("matched/event     {:>12.1}", r.stats.matched_lists as f64 / e);
+    println!("ns/iter           {:>12.1}", r.avg_ms * 1e6 / (r.stats.iterations as f64 / e));
+}

@@ -1,0 +1,47 @@
+//! Engine factory: construct any algorithm by its report name.
+
+use ctk_baselines::{Rta, SortQuer, Tps};
+use ctk_core::{ContinuousTopK, MrioBlock, MrioSeg, MrioSuffix, Naive, Rio};
+
+/// The five methods of the paper's Figure 1, in its legend order.
+pub const PAPER_ALGOS: [&str; 5] = ["RTA", "RIO", "MRIO", "SortQuer", "TPS"];
+
+/// All known engine names.
+pub const ALL_ALGOS: [&str; 8] =
+    ["RTA", "RIO", "MRIO", "MRIO-block", "MRIO-suffix", "SortQuer", "TPS", "Naive"];
+
+/// Construct an engine by name. Panics on unknown names (callers pass
+/// compile-time constants).
+pub fn make_engine(name: &str, lambda: f64) -> Box<dyn ContinuousTopK> {
+    match name {
+        "RTA" => Box::new(Rta::new(lambda)),
+        "RIO" => Box::new(Rio::new(lambda)),
+        "MRIO" => Box::new(MrioSeg::new(lambda)),
+        "MRIO-block" => Box::new(MrioBlock::new(lambda)),
+        "MRIO-suffix" => Box::new(MrioSuffix::new(lambda)),
+        "SortQuer" => Box::new(SortQuer::new(lambda)),
+        "TPS" => Box::new(Tps::new(lambda)),
+        "Naive" => Box::new(Naive::new(lambda)),
+        other => panic!("unknown engine name: {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_names_round_trip() {
+        for name in ALL_ALGOS {
+            let e = make_engine(name, 0.001);
+            assert_eq!(e.name(), name);
+            assert_eq!(e.lambda(), 0.001);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_name_panics() {
+        let _ = make_engine("WAND2000", 0.0);
+    }
+}

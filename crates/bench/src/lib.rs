@@ -1,0 +1,28 @@
+//! # ctk-bench
+//!
+//! The benchmark harness that regenerates the paper's evaluation (Fig. 1a,
+//! Fig. 1b, the speedup claims) and the ablations listed in DESIGN.md §5.
+//!
+//! Structure:
+//! * [`config`] — experiment descriptions (corpus, workload, sweep points);
+//! * [`workload`] — materializes a reproducible `(queries, warmup stream,
+//!   measured stream)` triple;
+//! * [`engines`] — a factory constructing any algorithm by name;
+//! * [`runner`] — registers, warms up, then times `process` per event;
+//! * [`report`] — markdown / CSV / JSON emission into `results/`.
+//!
+//! Binaries (`src/bin/*.rs`): `fig1`, `optimality`, `ablation_zonemax`,
+//! `sweep_k`, `sweep_lambda`, `sweep_doclen`, `scaling_threads`. Criterion
+//! micro-benches live in `benches/`.
+
+pub mod config;
+pub mod engines;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use config::{ExperimentConfig, Scale};
+pub use engines::{make_engine, PAPER_ALGOS};
+pub use report::{write_csv, write_json, Table};
+pub use runner::{run_engine, RunResult};
+pub use workload::{prepare, PreparedWorkload};

@@ -1,0 +1,146 @@
+//! Result tables and file emission.
+//!
+//! Every binary prints a markdown table mirroring the paper's figure series
+//! and drops machine-readable CSV/JSON next to it under `results/`.
+
+use crate::runner::RunResult;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-oriented table: one row per sweep point, one column per
+/// algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub title: String,
+    pub row_label: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<(String, Vec<f64>)>,
+    pub unit: String,
+}
+
+impl Table {
+    pub fn new(title: &str, row_label: &str, columns: &[&str], unit: &str) -> Self {
+        Table {
+            title: title.to_string(),
+            row_label: row_label.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            unit: unit.to_string(),
+        }
+    }
+
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len());
+        self.rows.push((label.into(), values));
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} ({})\n", self.title, self.unit);
+        let _ = write!(out, "| {} |", self.row_label);
+        for c in &self.columns {
+            let _ = write!(out, " {c} |");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.columns {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "| {label} |");
+            for v in vals {
+                let _ = write!(out, " {} |", format_sig(*v));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.row_label);
+        for c in &self.columns {
+            let _ = write!(out, ",{c}");
+        }
+        let _ = writeln!(out);
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "{label}");
+            for v in vals {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Format with ~4 significant digits, keeping small values readable.
+pub fn format_sig(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.1 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+/// Write CSV to `results/<name>.csv` (directory created if needed).
+pub fn write_csv(name: &str, table: &Table) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, table.to_csv())?;
+    Ok(path)
+}
+
+/// Write full run results as JSON to `results/<name>.json`.
+pub fn write_json(name: &str, results: &[RunResult]) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(results)?)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_shapes() {
+        let mut t = Table::new("Fig 1(a)", "queries", &["RTA", "MRIO"], "ms");
+        t.push_row("25000", vec![1.5, 0.1]);
+        t.push_row("50000", vec![3.2, 0.22]);
+        let md = t.to_markdown();
+        assert!(md.contains("| queries | RTA | MRIO |"));
+        assert!(md.contains("| 25000 |"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("queries,RTA,MRIO\n"));
+        assert!(csv.contains("50000,3.2,0.22"));
+    }
+
+    #[test]
+    fn sig_formatting() {
+        assert_eq!(format_sig(1234.5), "1234"); // round-half-even
+        assert_eq!(format_sig(12.34), "12.3");
+        assert_eq!(format_sig(0.5), "0.500");
+        assert_eq!(format_sig(0.01234), "0.01234");
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_arity_checked() {
+        let mut t = Table::new("x", "r", &["a", "b"], "ms");
+        t.push_row("1", vec![1.0]);
+    }
+}

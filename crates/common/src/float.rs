@@ -1,0 +1,114 @@
+//! A total-order wrapper for `f64` scores.
+//!
+//! Scores in this system are produced by sums and products of finite
+//! non-negative numbers plus the sentinel `+inf` (unfilled-query bound), so
+//! NaN can only arise from a bug. `OrdF64` asserts that invariant at
+//! construction (debug builds) and provides `Ord`, making scores usable as
+//! heap/map keys without pulling in an external crate.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// An `f64` with a total order. Construction from NaN panics in debug builds
+/// and is clamped to `-inf` in release builds (so a bug degrades to "worst
+/// score" instead of UB-like comparison behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct OrdF64(f64);
+
+impl OrdF64 {
+    /// Wrap a score. `v` must not be NaN.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        debug_assert!(!v.is_nan(), "OrdF64 constructed from NaN");
+        if v.is_nan() {
+            OrdF64(f64::NEG_INFINITY)
+        } else {
+            OrdF64(v)
+        }
+    }
+
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN excluded at construction.
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl From<f64> for OrdF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        OrdF64::new(v)
+    }
+}
+
+impl From<OrdF64> for f64 {
+    #[inline]
+    fn from(v: OrdF64) -> Self {
+        v.0
+    }
+}
+
+impl std::fmt::Display for OrdF64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order() {
+        let mut v = vec![
+            OrdF64::new(3.0),
+            OrdF64::new(f64::INFINITY),
+            OrdF64::new(-1.0),
+            OrdF64::new(0.0),
+        ];
+        v.sort();
+        let raw: Vec<f64> = v.into_iter().map(f64::from).collect();
+        assert_eq!(raw, vec![-1.0, 0.0, 3.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn equality_and_conversion() {
+        assert_eq!(OrdF64::new(2.5), OrdF64::from(2.5));
+        assert_eq!(f64::from(OrdF64::new(2.5)), 2.5);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn nan_panics_in_debug() {
+        let _ = OrdF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn usable_in_heap() {
+        use std::collections::BinaryHeap;
+        let mut h = BinaryHeap::new();
+        h.push(OrdF64::new(1.0));
+        h.push(OrdF64::new(5.0));
+        h.push(OrdF64::new(3.0));
+        assert_eq!(h.pop().unwrap().get(), 5.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! A fast non-cryptographic hasher for hot-path integer keys.
+//!
+//! The performance guide for this workspace recommends replacing SipHash with
+//! an Fx-style multiply-rotate hash for integer-keyed tables (score
+//! accumulators keyed by `QueryId`, vocabulary lookups, ...). The external
+//! `rustc-hash` crate is not in the offline allow-list, so the (tiny, public
+//! domain) algorithm is reimplemented here.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by the Firefox/rustc "Fx" hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: one u64, mixed with multiply + rotate per word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, w: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Word-at-a-time over the buffer; tail bytes folded individually.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        for &b in chunks.remainder() {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the fast hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::QueryId;
+
+    #[test]
+    fn map_basic_ops() {
+        let mut m: FxHashMap<QueryId, f64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(QueryId(i), i as f64 * 0.5);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&QueryId(10)], 5.0);
+        assert!(m.remove(&QueryId(10)).is_some());
+        assert!(!m.contains_key(&QueryId(10)));
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let h = |n: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(n);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn byte_writes_cover_tail() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distribution_smoke() {
+        // Consecutive integer keys should not collide in the low bits a
+        // hash table actually uses.
+        let mut buckets = [0u32; 64];
+        for i in 0..6400u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            buckets[(h.finish() % 64) as usize] += 1;
+        }
+        // Perfectly uniform would be 100 per bucket; allow wide slack.
+        assert!(buckets.iter().all(|&c| c > 20 && c < 400), "{buckets:?}");
+    }
+}

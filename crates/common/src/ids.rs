@@ -1,0 +1,94 @@
+//! Identifier newtypes.
+//!
+//! The system manipulates three id spaces that must never be confused:
+//! terms (dictionary entries), queries (registered CTQDs) and documents
+//! (stream events). All three are plain integers at runtime; the newtypes
+//! exist purely for type safety and cost nothing.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a dictionary term. Dense, assigned by the vocabulary (or the
+/// synthetic generator) starting from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct TermId(pub u32);
+
+/// Identifier of a registered continuous query (CTQD).
+///
+/// Query ids are assigned **monotonically increasing** by the query index;
+/// this is what makes ID-ordered postings lists append-only under
+/// registration (see `ctk-index`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct QueryId(pub u32);
+
+/// Identifier of a stream document. 64-bit: streams are unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
+pub struct DocId(pub u64);
+
+impl TermId {
+    /// The raw index, for use as a dense array offset.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl QueryId {
+    /// The raw index, for use as a dense array offset.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TermId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl std::fmt::Display for DocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(QueryId(3) < QueryId(10));
+        assert!(TermId(0) < TermId(1));
+        assert!(DocId(7) > DocId(6));
+    }
+
+    #[test]
+    fn ids_are_transparent_u32() {
+        assert_eq!(std::mem::size_of::<TermId>(), 4);
+        assert_eq!(std::mem::size_of::<QueryId>(), 4);
+        assert_eq!(std::mem::size_of::<DocId>(), 8);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TermId(5).to_string(), "t5");
+        assert_eq!(QueryId(5).to_string(), "q5");
+        assert_eq!(DocId(5).to_string(), "d5");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(TermId(42).index(), 42);
+        assert_eq!(QueryId(42).index(), 42);
+    }
+}

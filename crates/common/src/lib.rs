@@ -1,0 +1,18 @@
+//! # ctk-common
+//!
+//! Shared primitive types for the `continuous-topk` workspace: identifier
+//! newtypes, sparse document/query vectors, a total-order `f64` wrapper and a
+//! fast non-cryptographic hasher used on hot paths.
+//!
+//! Every other crate in the workspace depends on this one; it depends only on
+//! `serde` (for snapshot persistence of the core types).
+
+pub mod float;
+pub mod hash;
+pub mod ids;
+pub mod types;
+
+pub use float::OrdF64;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use ids::{DocId, QueryId, TermId};
+pub use types::{Document, Query, QuerySpec, ScoredDoc, SparseVector, Timestamp};

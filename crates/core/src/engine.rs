@@ -1,0 +1,354 @@
+//! Shared machinery for all algorithm implementations.
+//!
+//! [`EngineBase`] owns what every algorithm needs regardless of its index
+//! paradigm: the decay model (with landmark renormalization), the per-query
+//! [`TopKState`]s, result-change reporting and cumulative counters.
+//!
+//! [`CursorSet`] is the per-event working set of the ID-ordering family
+//! (RIO, MRIO, TPS): one cursor per matched postings list, re-sorted by the
+//! query id under the cursor at the start of every iteration — this ordering
+//! *is* the "processing order" of paper §III.
+
+use crate::score::DecayModel;
+use crate::stats::CumulativeStats;
+use crate::topk::{Offer, TopKState};
+use crate::traits::ResultChange;
+use ctk_common::{Document, QueryId, ScoredDoc, Timestamp};
+use ctk_index::QueryIndex;
+
+/// Decay + result-set state shared by every algorithm.
+#[derive(Debug)]
+pub struct EngineBase {
+    pub decay: DecayModel,
+    states: Vec<Option<TopKState>>,
+    pub changes: Vec<ResultChange>,
+    pub cum: CumulativeStats,
+}
+
+impl EngineBase {
+    pub fn new(lambda: f64) -> Self {
+        EngineBase {
+            decay: DecayModel::new(lambda),
+            states: Vec::new(),
+            changes: Vec::new(),
+            cum: CumulativeStats::default(),
+        }
+    }
+
+    /// Allocate the result state for a newly registered query.
+    pub fn push_state(&mut self, k: u32) {
+        self.states.push(Some(TopKState::new(k)));
+    }
+
+    /// Drop the state of an unregistered query.
+    pub fn drop_state(&mut self, qid: QueryId) -> bool {
+        match self.states.get_mut(qid.index()) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    #[inline]
+    pub fn state(&self, qid: QueryId) -> Option<&TopKState> {
+        self.states.get(qid.index()).and_then(|s| s.as_ref())
+    }
+
+    #[inline]
+    pub fn state_mut(&mut self, qid: QueryId) -> Option<&mut TopKState> {
+        self.states.get_mut(qid.index()).and_then(|s| s.as_mut())
+    }
+
+    /// `S_k` of a live query, `0.0` while unfilled.
+    #[inline]
+    pub fn threshold_of(&self, qid: QueryId) -> f64 {
+        self.state(qid).map(|s| s.threshold()).unwrap_or(0.0)
+    }
+
+    /// Current `(version, u = w/S_k)` of a live query; used both to push
+    /// fresh tracker entries and to validate stale ones.
+    #[inline]
+    pub fn normalized_of(&self, qid: QueryId, weight: f64) -> f64 {
+        self.state(qid).map(|s| s.normalized(weight)).unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// True when `(qid, version)` matches the live state — the validity
+    /// check for [`ctk_index::VersionedMaxTracker`] entries.
+    #[inline]
+    pub fn is_current(&self, qid: QueryId, version: u32) -> bool {
+        self.state(qid).is_some_and(|s| s.version() == version)
+    }
+
+    /// Per-event prologue: perform a landmark renormalization if due (all
+    /// result scores are rescaled here; index-side structures are the
+    /// caller's job via the returned factor) and compute the event target
+    /// `θ_d`. Returns `(theta, amplification, renorm_factor)`.
+    pub fn begin_event(&mut self, arrival: Timestamp) -> (f64, f64, Option<f64>) {
+        let mut renorm = None;
+        if self.decay.needs_renorm(arrival) {
+            let r = self.decay.renormalize(arrival);
+            for s in self.states.iter_mut().flatten() {
+                s.rescale(r);
+            }
+            self.cum.renormalizations += 1;
+            renorm = Some(r);
+        }
+        self.changes.clear();
+        (self.decay.theta(arrival), self.decay.amplification(arrival), renorm)
+    }
+
+    /// Offer a fully evaluated candidate to query `qid`. Records the result
+    /// change and returns `true` on insertion (callers then refresh their
+    /// bound structures for this query).
+    pub fn offer(&mut self, qid: QueryId, doc: &Document, raw_dot: f64, amp: f64) -> bool {
+        let cand = ScoredDoc::new(doc.id, raw_dot * amp);
+        let Some(state) = self.states.get_mut(qid.index()).and_then(|s| s.as_mut()) else {
+            return false;
+        };
+        match state.offer(cand) {
+            Offer::Rejected => false,
+            Offer::Inserted { evicted } => {
+                self.changes.push(ResultChange { query: qid, inserted: cand, evicted });
+                true
+            }
+        }
+    }
+
+    /// Results of a live query, best first.
+    pub fn results(&self, qid: QueryId) -> Option<Vec<ScoredDoc>> {
+        self.state(qid).map(|s| s.sorted_results())
+    }
+
+    /// Offer pre-scored history entries to `qid` (warm start). Returns true
+    /// when anything was inserted (callers then refresh bound structures).
+    pub fn seed(&mut self, qid: QueryId, seeds: &[ScoredDoc]) -> bool {
+        let Some(state) = self.states.get_mut(qid.index()).and_then(|s| s.as_mut()) else {
+            return false;
+        };
+        let mut inserted = false;
+        for sd in seeds {
+            if matches!(state.offer(*sd), Offer::Inserted { .. }) {
+                inserted = true;
+            }
+        }
+        inserted
+    }
+}
+
+/// One cursor over a matched postings list during an event.
+#[derive(Debug, Clone, Copy)]
+pub struct Cursor {
+    /// Dense list index in the `QueryIndex`.
+    pub list: u32,
+    /// Document weight `f_j` for this term.
+    pub f: f64,
+    /// Current position in the list (always live or == len).
+    pub pos: usize,
+    /// Query id under the cursor (cache of `list[pos].qid`).
+    pub qid: QueryId,
+}
+
+/// Reusable working set of cursors for the ID-ordering traversal.
+///
+/// The set is kept **sorted by the query id under each cursor** at all
+/// times — this ordering *is* the paper's "processing order". Because an
+/// iteration only moves a small prefix of cursors (the aligned lists of the
+/// pivot, or the jumping lists), order is restored with an O(m) merge-repair
+/// instead of a full re-sort; profiling showed the re-sort dominating event
+/// cost at realistic scales.
+#[derive(Debug, Default)]
+pub struct CursorSet {
+    pub cursors: Vec<Cursor>,
+}
+
+impl CursorSet {
+    /// Populate from the document's matched terms: one cursor per non-empty
+    /// list, positioned at the first live posting, sorted by query id.
+    /// Returns the number of matched lists (`m`).
+    pub fn build(&mut self, index: &QueryIndex, doc: &Document) -> usize {
+        self.cursors.clear();
+        for (term, f) in doc.vector.iter() {
+            let Some(li) = index.list_of_term(term) else { continue };
+            let list = index.list(li);
+            let pos = list.seek_live(0, QueryId(0));
+            if pos >= list.len() {
+                continue;
+            }
+            self.cursors.push(Cursor {
+                list: li,
+                f: f as f64,
+                pos,
+                qid: list.get(pos).qid,
+            });
+        }
+        let m = self.cursors.len();
+        self.sort_full();
+        m
+    }
+
+    /// Full sort + exhausted-cursor truncation. Needed after *all* cursors
+    /// move (MRIO's failed-full-bound skip); otherwise prefer
+    /// [`CursorSet::repair_prefix`].
+    pub fn sort_full(&mut self) {
+        self.cursors.sort_unstable_by_key(|c| c.qid);
+        while self.cursors.last().is_some_and(|c| c.qid == EXHAUSTED) {
+            self.cursors.pop();
+        }
+    }
+
+    /// Restore sortedness after the first `t` cursors were advanced (their
+    /// qids only grew; [`EXHAUSTED`] sorts last).
+    ///
+    /// Jumped cursors usually land only a few slots deeper — the pivot was
+    /// the id under a nearby cursor — so each moved cursor is *sifted
+    /// forward* with short shifts (the classic WAND repair). Worst case
+    /// O(t·m), typical cost a handful of moves per advanced cursor.
+    pub fn repair_prefix(&mut self, t: usize) {
+        let n = self.cursors.len();
+        if t == 0 || n == 0 {
+            return;
+        }
+        if t >= n {
+            self.sort_full();
+            return;
+        }
+        // Process moved cursors back-to-front: sifting cursors[i] forward
+        // never disturbs the (still unsorted) prefix before it.
+        for i in (0..t).rev() {
+            let cur = self.cursors[i];
+            let mut j = i;
+            while j + 1 < n && self.cursors[j + 1].qid < cur.qid {
+                self.cursors[j] = self.cursors[j + 1];
+                j += 1;
+            }
+            self.cursors[j] = cur;
+        }
+        while self.cursors.last().is_some_and(|c| c.qid == EXHAUSTED) {
+            self.cursors.pop();
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cursors.is_empty()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cursors.len()
+    }
+}
+
+/// Sentinel query id marking an exhausted cursor (no u32 query id can reach
+/// it in practice: it would require 2^32−1 registrations).
+pub const EXHAUSTED: QueryId = QueryId(u32::MAX);
+
+/// Advance cursor `c` to the first live posting with id `>= target`,
+/// refreshing the qid cache (sets [`EXHAUSTED`] at end of list).
+#[inline]
+pub fn advance_to(index: &QueryIndex, c: &mut Cursor, target: QueryId) {
+    let list = index.list(c.list);
+    c.pos = list.seek_live(c.pos, target);
+    c.qid = if c.pos < list.len() { list.get(c.pos).qid } else { EXHAUSTED };
+}
+
+/// Advance cursor `c` past its current posting.
+#[inline]
+pub fn advance_past_current(index: &QueryIndex, c: &mut Cursor) {
+    let list = index.list(c.list);
+    let mut pos = c.pos + 1;
+    while pos < list.len() && list.get(pos).is_tombstone() {
+        pos += 1;
+    }
+    c.pos = pos;
+    c.qid = if pos < list.len() { list.get(pos).qid } else { EXHAUSTED };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctk_common::{DocId, SparseVector, TermId};
+
+    fn vector(pairs: &[(u32, f32)]) -> SparseVector {
+        let mut v =
+            SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)).collect());
+        v.normalize();
+        v
+    }
+
+    #[test]
+    fn begin_event_renormalizes_states() {
+        let mut base = EngineBase::new(1.0);
+        base.decay = DecayModel::new(1.0).with_max_exponent(2.0);
+        base.push_state(1);
+        let doc = Document::new(DocId(1), vec![(TermId(0), 1.0)], 0.0);
+        let (theta, amp, _) = base.begin_event(0.0);
+        assert_eq!((theta, amp), (1.0, 1.0));
+        base.offer(QueryId(0), &doc, 0.5, 1.0);
+        assert_eq!(base.threshold_of(QueryId(0)), 0.5);
+
+        // Past the exponent headroom: renorm fires and rescales thresholds.
+        let (theta2, _, renorm) = base.begin_event(10.0);
+        let r = renorm.expect("renorm due");
+        assert!(r < 1.0);
+        assert!((base.threshold_of(QueryId(0)) - 0.5 * r).abs() < 1e-15);
+        assert!((theta2 - 1.0).abs() < 1e-12, "theta resets at the new landmark");
+        assert_eq!(base.cum.renormalizations, 1);
+    }
+
+    #[test]
+    fn offer_records_changes() {
+        let mut base = EngineBase::new(0.0);
+        base.push_state(1);
+        let doc = Document::new(DocId(7), vec![(TermId(0), 1.0)], 0.0);
+        base.begin_event(0.0);
+        assert!(base.offer(QueryId(0), &doc, 0.9, 1.0));
+        assert_eq!(base.changes.len(), 1);
+        assert_eq!(base.changes[0].query, QueryId(0));
+        assert!(!base.offer(QueryId(0), &doc, 0.1, 1.0), "worse score rejected");
+        assert_eq!(base.changes.len(), 1);
+    }
+
+    #[test]
+    fn cursor_set_builds_sorted() {
+        let mut ix = QueryIndex::new();
+        // q0 has terms 1,2; q1 has term 2.
+        ix.register(&vector(&[(1, 1.0), (2, 1.0)]), 1);
+        ix.register(&vector(&[(2, 1.0)]), 1);
+        let doc = Document::new(DocId(1), vec![(TermId(2), 1.0), (TermId(9), 1.0)], 0.0);
+        let mut cs = CursorSet::default();
+        let m = cs.build(&ix, &doc);
+        assert_eq!(m, 1, "term 9 has no list");
+        assert_eq!(cs.cursors[0].qid, QueryId(0));
+    }
+
+    #[test]
+    fn advance_handles_tombstones_and_exhaustion() {
+        let mut ix = QueryIndex::new();
+        let q0 = ix.register(&vector(&[(1, 1.0)]), 1);
+        let q1 = ix.register(&vector(&[(1, 1.0)]), 1);
+        let q2 = ix.register(&vector(&[(1, 1.0)]), 1);
+        ix.unregister(q1);
+        let li = ix.list_of_term(TermId(1)).unwrap();
+        let mut c = Cursor { list: li, f: 1.0, pos: 0, qid: q0 };
+        advance_past_current(&ix, &mut c);
+        assert_eq!(c.qid, q2, "skips the tombstoned q1");
+        advance_past_current(&ix, &mut c);
+        assert_eq!(c.qid, EXHAUSTED);
+        // advance_to is idempotent at the end.
+        advance_to(&ix, &mut c, QueryId(0));
+        assert_eq!(c.qid, EXHAUSTED);
+    }
+
+    #[test]
+    fn drop_state_and_liveness() {
+        let mut base = EngineBase::new(0.0);
+        base.push_state(2);
+        assert!(base.drop_state(QueryId(0)));
+        assert!(!base.drop_state(QueryId(0)));
+        assert!(base.state(QueryId(0)).is_none());
+        assert!(!base.is_current(QueryId(0), 0));
+    }
+}

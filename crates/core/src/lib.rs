@@ -1,0 +1,37 @@
+//! # ctk-core
+//!
+//! The paper's contribution: **RIO** (Reverse ID-Ordering) and **MRIO**
+//! (Minimal RIO) for continuous top-k monitoring on document streams, plus
+//! the exhaustive oracle, the shared scoring/decay machinery, and the
+//! monitor front-ends (single-threaded and sharded) that applications embed.
+//!
+//! ```
+//! use ctk_core::{ContinuousTopK, MrioSeg};
+//! use ctk_common::{Document, DocId, QuerySpec, TermId};
+//!
+//! let mut engine = MrioSeg::new(0.001); // decay λ
+//! let q = engine.register(QuerySpec::uniform(&[TermId(1), TermId(2)], 10).unwrap());
+//! engine.process(&Document::new(DocId(1), vec![(TermId(1), 1.0)], 0.0));
+//! assert_eq!(engine.results(q).unwrap().len(), 1);
+//! ```
+
+pub mod engine;
+pub mod monitor;
+pub mod mrio;
+pub mod naive;
+pub mod rio;
+pub mod score;
+pub mod sharded;
+pub mod stats;
+pub mod topk;
+pub mod traits;
+
+pub use monitor::{Monitor, Snapshot, SnapshotQuery};
+pub use mrio::{Mrio, MrioBlock, MrioSeg, MrioSuffix};
+pub use naive::Naive;
+pub use rio::Rio;
+pub use score::DecayModel;
+pub use sharded::{ShardedMonitor, ShardedQueryId};
+pub use stats::{CumulativeStats, EventStats};
+pub use topk::{Offer, TopKState};
+pub use traits::{ContinuousTopK, ResultChange};

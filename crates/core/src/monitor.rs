@@ -1,0 +1,234 @@
+//! The application-facing monitor front-end.
+//!
+//! Wraps any [`ContinuousTopK`] engine and adds what deployments need
+//! around the core algorithm:
+//!
+//! * document id allocation and monotone arrival-time clamping;
+//! * result-change notifications per published document;
+//! * snapshot / restore of the full monitor state (queries + results) via
+//!   serde, so a server can restart without replaying the stream.
+
+use crate::traits::{ContinuousTopK, ResultChange};
+use ctk_common::{DocId, FxHashMap, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A monitor wrapping an engine `E`.
+pub struct Monitor<E: ContinuousTopK> {
+    engine: E,
+    specs: Vec<Option<QuerySpec>>,
+    next_doc: u64,
+    last_arrival: Timestamp,
+}
+
+impl<E: ContinuousTopK> Monitor<E> {
+    pub fn new(engine: E) -> Self {
+        Monitor { engine, specs: Vec::new(), next_doc: 0, last_arrival: 0.0 }
+    }
+
+    /// The wrapped engine (read access for stats etc.).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Register a user's continuous query.
+    pub fn register(&mut self, spec: QuerySpec) -> QueryId {
+        let qid = self.engine.register(spec.clone());
+        if self.specs.len() <= qid.index() {
+            self.specs.resize(qid.index() + 1, None);
+        }
+        self.specs[qid.index()] = Some(spec);
+        qid
+    }
+
+    /// Remove a query.
+    pub fn unregister(&mut self, qid: QueryId) -> bool {
+        if self.engine.unregister(qid) {
+            self.specs[qid.index()] = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Publish a document to the stream: assigns the next document id,
+    /// clamps the arrival time to be monotone, refreshes all results and
+    /// returns the changes it caused.
+    pub fn publish(
+        &mut self,
+        pairs: Vec<(TermId, f32)>,
+        arrival: Timestamp,
+    ) -> (DocId, Vec<ResultChange>) {
+        let arrival = arrival.max(self.last_arrival);
+        self.last_arrival = arrival;
+        let id = DocId(self.next_doc);
+        self.next_doc += 1;
+        let doc = ctk_common::Document::new(id, pairs, arrival);
+        self.engine.process(&doc);
+        (id, self.engine.last_changes().to_vec())
+    }
+
+    /// Current top-k of a query, best first.
+    pub fn results(&self, qid: QueryId) -> Option<Vec<ScoredDoc>> {
+        self.engine.results(qid)
+    }
+
+    /// Number of live queries.
+    pub fn num_queries(&self) -> usize {
+        self.engine.num_queries()
+    }
+
+    /// Capture the full monitor state.
+    pub fn snapshot(&self) -> Snapshot {
+        let queries = self
+            .specs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.as_ref().map(|spec| {
+                    let qid = QueryId(i as u32);
+                    SnapshotQuery {
+                        qid: qid.0,
+                        spec: spec.clone(),
+                        results: self.engine.results(qid).unwrap_or_default(),
+                    }
+                })
+            })
+            .collect();
+        Snapshot {
+            lambda: self.engine.lambda(),
+            next_doc: self.next_doc,
+            last_arrival: self.last_arrival,
+            queries,
+        }
+    }
+
+    /// Rebuild a monitor from a snapshot using a fresh engine (which must
+    /// have been constructed with `snapshot.lambda`). Returns the mapping
+    /// from snapshot query ids to the new ids.
+    pub fn restore(engine: E, snapshot: &Snapshot) -> (Self, FxHashMap<QueryId, QueryId>) {
+        assert_eq!(
+            engine.lambda(),
+            snapshot.lambda,
+            "engine must be constructed with the snapshot's lambda"
+        );
+        let mut monitor = Monitor::new(engine);
+        monitor.next_doc = snapshot.next_doc;
+        monitor.last_arrival = snapshot.last_arrival;
+        let mut mapping = FxHashMap::default();
+        for q in &snapshot.queries {
+            let new_qid = monitor.register(q.spec.clone());
+            monitor.engine.seed_results(new_qid, &q.results);
+            mapping.insert(QueryId(q.qid), new_qid);
+        }
+        (monitor, mapping)
+    }
+}
+
+/// One query's state inside a [`Snapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotQuery {
+    pub qid: u32,
+    pub spec: QuerySpec,
+    pub results: Vec<ScoredDoc>,
+}
+
+/// A serializable capture of the whole monitor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub lambda: f64,
+    pub next_doc: u64,
+    pub last_arrival: Timestamp,
+    pub queries: Vec<SnapshotQuery>,
+}
+
+impl Snapshot {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<Snapshot> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrio::MrioSeg;
+
+    fn spec(terms: &[u32], k: usize) -> QuerySpec {
+        QuerySpec::uniform(&terms.iter().map(|&t| TermId(t)).collect::<Vec<_>>(), k).unwrap()
+    }
+
+    #[test]
+    fn publish_assigns_ids_and_reports_changes() {
+        let mut m = Monitor::new(MrioSeg::new(0.0));
+        let q = m.register(spec(&[1, 2], 2));
+        let (d0, ch0) = m.publish(vec![(TermId(1), 1.0)], 0.0);
+        assert_eq!(d0, DocId(0));
+        assert_eq!(ch0.len(), 1);
+        assert_eq!(ch0[0].query, q);
+        let (d1, ch1) = m.publish(vec![(TermId(9), 1.0)], 1.0);
+        assert_eq!(d1, DocId(1));
+        assert!(ch1.is_empty());
+    }
+
+    #[test]
+    fn arrival_times_are_clamped_monotone() {
+        let mut m = Monitor::new(MrioSeg::new(0.1));
+        m.register(spec(&[1], 1));
+        m.publish(vec![(TermId(1), 1.0)], 10.0);
+        // A stale timestamp must not travel back in time.
+        let (_, changes) = m.publish(vec![(TermId(1), 2.0)], 3.0);
+        // Same cosine, clamped to the same arrival => tie, smaller doc id
+        // stays: no change reported... but doc 1 has same score and LARGER
+        // id, so no update.
+        assert!(changes.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_results() {
+        let mut m = Monitor::new(MrioSeg::new(0.001));
+        let q1 = m.register(spec(&[1, 2], 2));
+        let q2 = m.register(spec(&[3], 1));
+        for i in 0..20u32 {
+            m.publish(vec![(TermId(1 + i % 3), 1.0), (TermId(7), 0.5)], i as f64);
+        }
+        let snap = m.snapshot();
+        let json = snap.to_json().unwrap();
+        let parsed = Snapshot::from_json(&json).unwrap();
+
+        let (restored, mapping) = Monitor::restore(MrioSeg::new(0.001), &parsed);
+        for (old, new) in [(q1, mapping[&q1]), (q2, mapping[&q2])] {
+            assert_eq!(m.results(old), restored.results(new), "query {old}");
+        }
+        assert_eq!(restored.num_queries(), 2);
+    }
+
+    #[test]
+    fn restored_monitor_keeps_processing_correctly() {
+        let mut m = Monitor::new(MrioSeg::new(0.0));
+        let q = m.register(spec(&[5], 2));
+        m.publish(vec![(TermId(5), 1.0)], 0.0);
+        let snap = m.snapshot();
+        let (mut r, map) = Monitor::restore(MrioSeg::new(0.0), &snap);
+        let rq = map[&q];
+        // New stronger doc enters the restored monitor's results.
+        let (_, changes) = r.publish(vec![(TermId(5), 3.0)], 1.0);
+        assert_eq!(changes.len(), 1);
+        let res = r.results(rq).unwrap();
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn unregister_via_monitor() {
+        let mut m = Monitor::new(MrioSeg::new(0.0));
+        let q = m.register(spec(&[1], 1));
+        assert!(m.unregister(q));
+        assert!(!m.unregister(q));
+        assert_eq!(m.num_queries(), 0);
+        assert!(m.snapshot().queries.is_empty());
+    }
+}

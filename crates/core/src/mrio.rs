@@ -1,0 +1,438 @@
+//! MRIO — Minimal RIO (paper §III, Eq. 3).
+//!
+//! RIO's bounds use list-wide maxima; MRIO replaces them with maxima **local
+//! to the zone a bound actually prunes**, which is exactly the id range
+//! between the first cursor and the cursor after the prefix:
+//!
+//! ```text
+//! UB*(i) = Σ_{j≤i} f_j · max_{q ∈ zone_i} u_j(q)
+//! zone_i = [c_1, c_{i+1})  for i < m,   [c_1, c_m]  for i = m
+//! ```
+//!
+//! For list `j` only positions at or after its own cursor can contribute, so
+//! the implementation queries `[pos(c_j), pos(bound))` per list. `UB*` is
+//! monotone in `i` (ranges extend, non-negative terms accumulate), so the
+//! *smallest* `i` with `UB*(i) ≥ θ_d` — the pivot that makes MRIO minimal —
+//! is found by galloping + binary search instead of a linear scan.
+//!
+//! Unlike RIO, a failed full bound (`UB*(m) < θ_d`) only prunes `[c_1, c_m]`;
+//! the traversal jumps past `c_m` and continues, because local bounds say
+//! nothing about ids beyond the last cursor.
+//!
+//! The zone-maximum structure is pluggable ([`ZoneMax`]): segment tree
+//! (exact, O(log n)), block maxima, or suffix snapshot — the three
+//! implementations the TKDE paper ablates (DESIGN.md A1).
+
+use crate::engine::{advance_past_current, advance_to, CursorSet, EngineBase};
+use crate::stats::{CumulativeStats, EventStats};
+use crate::topk::TopKState;
+use crate::traits::{ContinuousTopK, ResultChange};
+use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc};
+use ctk_index::{BlockMax, MaxSegTree, QueryIndex, SuffixMax, ZoneMax};
+
+/// MRIO with a segment-tree zone index (the default, exact variant).
+pub type MrioSeg = Mrio<MaxSegTree>;
+/// MRIO with block maxima.
+pub type MrioBlock = Mrio<BlockMax>;
+/// MRIO with suffix-max snapshots (loosest bounds, cheapest maintenance).
+pub type MrioSuffix = Mrio<SuffixMax>;
+
+/// The MRIO algorithm, generic over the zone-maximum structure.
+pub struct Mrio<Z: ZoneMax> {
+    base: EngineBase,
+    index: QueryIndex,
+    /// One zone structure per postings list; position-aligned with the list.
+    zones: Vec<Z>,
+    cursors: CursorSet,
+    name: &'static str,
+}
+
+impl Mrio<MaxSegTree> {
+    /// MRIO with exact segment-tree zone maxima.
+    pub fn new(lambda: f64) -> Self {
+        Mrio::with_name(lambda, "MRIO")
+    }
+}
+
+impl Mrio<BlockMax> {
+    /// MRIO with block-max zone maxima.
+    pub fn new(lambda: f64) -> Self {
+        Mrio::with_name(lambda, "MRIO-block")
+    }
+}
+
+impl Mrio<SuffixMax> {
+    /// MRIO with suffix-snapshot zone maxima.
+    pub fn new(lambda: f64) -> Self {
+        Mrio::with_name(lambda, "MRIO-suffix")
+    }
+}
+
+impl<Z: ZoneMax + Default> Mrio<Z> {
+    fn with_name(lambda: f64, name: &'static str) -> Self {
+        Mrio {
+            base: EngineBase::new(lambda),
+            index: QueryIndex::new(),
+            zones: Vec::new(),
+            cursors: CursorSet::default(),
+            name,
+        }
+    }
+}
+
+impl<Z: ZoneMax> Mrio<Z> {
+    /// Write the current `u = w/S_k` of every term of `qid` into the zones.
+    fn update_query_zones(&mut self, qid: QueryId) {
+        let Some(state) = self.base.state(qid) else { return };
+        let Some(rec) = self.index.record(qid) else { return };
+        for e in &rec.entries {
+            let u = state.normalized(e.weight as f64);
+            self.zones[e.list as usize].update(e.pos as usize, u);
+        }
+    }
+
+    /// Rebuild every zone structure from the postings (after a landmark
+    /// renormalization, which rescales all thresholds at once).
+    fn rebuild_all_zones(&mut self) {
+        let mut vals: Vec<f64> = Vec::new();
+        for li in 0..self.index.num_lists() {
+            let list = self.index.list(li as u32);
+            vals.clear();
+            vals.extend(list.as_slice().iter().map(|p| {
+                if p.is_tombstone() {
+                    f64::NEG_INFINITY
+                } else {
+                    self.base.normalized_of(p.qid, p.weight as f64)
+                }
+            }));
+            self.zones[li].rebuild(&vals);
+        }
+    }
+
+    /// `UB*` for the prefix `0..=i` of the sorted cursor set, compared
+    /// against `theta`. `bound` is the exclusive id limit of the zone.
+    /// Counts one bound computation per list term.
+    fn prefix_bound(&mut self, i: usize, bound: QueryId, ev: &mut EventStats) -> f64 {
+        let mut sum = 0.0f64;
+        for c in &self.cursors.cursors[..=i] {
+            let list = self.index.list(c.list);
+            let hi = list.seek(c.pos, bound);
+            let mx = self.zones[c.list as usize].range_max(c.pos, hi);
+            ev.bound_computations += 1;
+            if mx > 0.0 {
+                sum += c.f * mx;
+                if sum >= f64::INFINITY {
+                    break;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Exclusive id bound of zone `i`: the next cursor's id, or one past the
+    /// last cursor for the final zone (making it inclusive of `c_m`).
+    fn zone_bound(&self, i: usize) -> QueryId {
+        let cs = &self.cursors.cursors;
+        if i + 1 < cs.len() {
+            cs[i + 1].qid
+        } else {
+            QueryId(cs[cs.len() - 1].qid.0 + 1)
+        }
+    }
+}
+
+impl<Z: ZoneMax + Default> ContinuousTopK for Mrio<Z> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn register(&mut self, spec: QuerySpec) -> QueryId {
+        let qid = self.index.register(&spec.vector, spec.k as u32);
+        self.base.push_state(spec.k as u32);
+        // New lists may have been created; keep zones aligned.
+        while self.zones.len() < self.index.num_lists() {
+            self.zones.push(Z::default());
+        }
+        // Append the new postings' u values (positions align by append order
+        // because lists are append-only).
+        let state_u = f64::INFINITY; // fresh queries are unfilled
+        if let Some(rec) = self.index.record(qid) {
+            for e in &rec.entries {
+                debug_assert_eq!(e.pos as usize, self.zones[e.list as usize].len());
+                self.zones[e.list as usize].append(state_u);
+            }
+        }
+        qid
+    }
+
+    fn unregister(&mut self, qid: QueryId) -> bool {
+        match self.index.unregister(qid) {
+            Some(rec) => {
+                for e in &rec.entries {
+                    self.zones[e.list as usize].update(e.pos as usize, f64::NEG_INFINITY);
+                }
+                self.base.drop_state(qid);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn seed_results(&mut self, qid: QueryId, seeds: &[ScoredDoc]) {
+        if self.base.seed(qid, seeds) {
+            self.update_query_zones(qid);
+        }
+    }
+
+    fn process(&mut self, doc: &Document) -> EventStats {
+        let (theta, amp, renorm) = self.base.begin_event(doc.arrival);
+        if renorm.is_some() {
+            self.rebuild_all_zones();
+        }
+        let mut ev = EventStats::default();
+        ev.matched_lists = self.cursors.build(&self.index, doc) as u64;
+
+        loop {
+            if self.cursors.is_empty() {
+                break;
+            }
+            ev.iterations += 1;
+            let m = self.cursors.len();
+
+            // --- Phase 1: cheap global-bound pre-filter (RIO's Eq. 2 with
+            // the zone structures' O(1) global maxima). Since UB* <= UB,
+            // the zone pivot can only be at or after the global pivot, so
+            // the zone refinement starts there; and if even the global
+            // bound never reaches theta, the whole event terminates (global
+            // maxima cover every query id).
+            let mut global_pivot: Option<usize> = None;
+            {
+                let mut gsum = 0.0f64;
+                for (i, c) in self.cursors.cursors.iter().enumerate() {
+                    let g = self.zones[c.list as usize].global_max();
+                    ev.bound_computations += 1;
+                    if g > 0.0 {
+                        gsum += c.f * g;
+                    }
+                    if gsum >= theta {
+                        global_pivot = Some(i);
+                        break;
+                    }
+                }
+            }
+            let Some(ig) = global_pivot else {
+                break; // nothing anywhere in the index can qualify
+            };
+
+            // --- Phase 2: find the smallest i >= ig with UB*(i) >= theta
+            // (monotone in i): gallop up, then binary search the bracket.
+            let mut pivot_idx: Option<usize> = None;
+            let mut lo = ig; // smallest untested index
+            let mut step = 0usize;
+            loop {
+                let i = (ig + step).min(m - 1);
+                let b = self.zone_bound(i);
+                if self.prefix_bound(i, b, &mut ev) >= theta {
+                    // Bracket (lo-1, i]; binary search the boundary.
+                    let mut hi = i;
+                    while lo < hi {
+                        let mid = lo + (hi - lo) / 2;
+                        let bm = self.zone_bound(mid);
+                        if self.prefix_bound(mid, bm, &mut ev) >= theta {
+                            hi = mid;
+                        } else {
+                            lo = mid + 1;
+                        }
+                    }
+                    pivot_idx = Some(lo);
+                    break;
+                }
+                if i == m - 1 {
+                    break; // even UB*(m) < theta
+                }
+                lo = i + 1;
+                step = step * 2 + 1;
+            }
+
+            match pivot_idx {
+                None => {
+                    // Local bound prunes [c_1, c_m] only: skip past the last
+                    // cursor id and keep going.
+                    let target = self.zone_bound(m - 1);
+                    for c in self.cursors.cursors.iter_mut() {
+                        advance_to(&self.index, c, target);
+                        ev.postings_accessed += 1;
+                    }
+                    self.cursors.sort_full();
+                }
+                Some(p) => {
+                    let pivot = self.cursors.cursors[p].qid;
+                    if self.cursors.cursors[0].qid == pivot {
+                        let mut dot = 0.0f64;
+                        let mut moved = 0usize;
+                        for c in self.cursors.cursors.iter_mut() {
+                            if c.qid != pivot {
+                                break;
+                            }
+                            let posting = self.index.list(c.list).get(c.pos);
+                            dot += c.f * posting.weight as f64;
+                            ev.postings_accessed += 1;
+                            advance_past_current(&self.index, c);
+                            moved += 1;
+                        }
+                        ev.full_evaluations += 1;
+                        if self.base.offer(pivot, doc, dot, amp) {
+                            ev.updates += 1;
+                            self.update_query_zones(pivot);
+                        }
+                        self.cursors.repair_prefix(moved);
+                    } else {
+                        for c in self.cursors.cursors[..p].iter_mut() {
+                            advance_to(&self.index, c, pivot);
+                            ev.postings_accessed += 1;
+                        }
+                        self.cursors.repair_prefix(p);
+                    }
+                }
+            }
+        }
+
+        ev.accumulate_into(&mut self.base.cum);
+        ev
+    }
+
+    fn results(&self, qid: QueryId) -> Option<Vec<ScoredDoc>> {
+        self.base.results(qid)
+    }
+
+    fn threshold(&self, qid: QueryId) -> Option<f64> {
+        self.base.state(qid).map(TopKState::threshold)
+    }
+
+    fn num_queries(&self) -> usize {
+        self.index.num_live()
+    }
+
+    fn last_changes(&self) -> &[ResultChange] {
+        &self.base.changes
+    }
+
+    fn cumulative(&self) -> &CumulativeStats {
+        &self.base.cum
+    }
+
+    fn lambda(&self) -> f64 {
+        self.base.decay.lambda()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctk_common::{DocId, TermId};
+
+    fn spec(terms: &[(u32, f32)], k: usize) -> QuerySpec {
+        QuerySpec::new(terms.iter().map(|&(t, w)| (TermId(t), w)).collect(), k).unwrap()
+    }
+
+    fn doc(id: u64, terms: &[(u32, f32)], at: f64) -> Document {
+        Document::new(DocId(id), terms.iter().map(|&(t, w)| (TermId(t), w)).collect(), at)
+    }
+
+    fn check_variant<Z: ZoneMax + Default>(mut m: Mrio<Z>) {
+        let q1 = m.register(spec(&[(1, 1.0), (2, 1.0)], 2));
+        let q2 = m.register(spec(&[(2, 2.0), (3, 1.0)], 1));
+        m.process(&doc(1, &[(1, 1.0), (2, 1.0)], 0.0));
+        m.process(&doc(2, &[(2, 1.0), (3, 1.0)], 1.0));
+        m.process(&doc(3, &[(5, 1.0)], 2.0));
+
+        let r1 = m.results(q1).unwrap();
+        assert_eq!(r1[0].doc, DocId(1));
+        assert!((r1[0].score.get() - 1.0).abs() < 1e-6);
+        assert_eq!(r1.len(), 2);
+
+        let r2 = m.results(q2).unwrap();
+        assert_eq!(r2.len(), 1);
+        // doc2 · q2 = (1/√2)(2/√5) + (1/√2)(1/√5) = 3/√10
+        assert!((r2[0].score.get() - 3.0 / 10f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn seg_variant_basics() {
+        check_variant(MrioSeg::new(0.0));
+    }
+
+    #[test]
+    fn block_variant_basics() {
+        check_variant(MrioBlock::new(0.0));
+    }
+
+    #[test]
+    fn suffix_variant_basics() {
+        check_variant(MrioSuffix::new(0.0));
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(MrioSeg::new(0.0).name(), "MRIO");
+        assert_eq!(MrioBlock::new(0.0).name(), "MRIO-block");
+        assert_eq!(MrioSuffix::new(0.0).name(), "MRIO-suffix");
+    }
+
+    #[test]
+    fn unregister_updates_zones() {
+        let mut m = MrioSeg::new(0.0);
+        let a = m.register(spec(&[(1, 1.0)], 1));
+        let b = m.register(spec(&[(1, 1.0)], 1));
+        m.process(&doc(1, &[(1, 1.0)], 0.0));
+        assert!(m.unregister(a));
+        m.process(&doc(2, &[(1, 1.0)], 1.0));
+        assert!(m.results(a).is_none());
+        let rb = m.results(b).unwrap();
+        assert_eq!(rb.len(), 1);
+    }
+
+    #[test]
+    fn renorm_rebuilds_zones() {
+        let mut m = MrioSeg::new(0.5);
+        m.base.decay = crate::score::DecayModel::new(0.5).with_max_exponent(3.0);
+        let q = m.register(spec(&[(1, 1.0)], 2));
+        for i in 0..40u64 {
+            m.process(&doc(i, &[(1, 1.0), (2, (i % 3) as f32 + 0.1)], i as f64));
+        }
+        assert!(m.cumulative().renormalizations > 0);
+        let docs: Vec<u64> = m.results(q).unwrap().iter().map(|s| s.doc.0).collect();
+        assert_eq!(docs, vec![39, 38]);
+    }
+
+    #[test]
+    fn minimality_vs_rio_on_small_stream() {
+        use crate::rio::Rio;
+        let mut rio = Rio::new(0.01);
+        let mut mrio = MrioSeg::new(0.01);
+        // Mixed difficulty queries to spread thresholds apart.
+        for i in 0..30u32 {
+            let s = spec(&[(i % 7, 1.0), (7 + i % 5, 0.5)], 1 + (i % 3) as usize);
+            rio.register(s.clone());
+            mrio.register(s);
+        }
+        for i in 0..200u64 {
+            let terms =
+                [((i % 7) as u32, 1.0f32), ((7 + i % 5) as u32, 0.8), ((12 + i % 3) as u32, 0.3)];
+            let d = doc(i, &terms, i as f64);
+            rio.process(&d);
+            mrio.process(&d);
+        }
+        // Identical results...
+        for q in 0..30u32 {
+            assert_eq!(rio.results(QueryId(q)), mrio.results(QueryId(q)), "query {q}");
+        }
+        // ...with MRIO doing no more full evaluations (Lemma 2's claim).
+        assert!(
+            mrio.cumulative().full_evaluations <= rio.cumulative().full_evaluations,
+            "MRIO {} > RIO {}",
+            mrio.cumulative().full_evaluations,
+            rio.cumulative().full_evaluations
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! The exhaustive gold-standard matcher.
+//!
+//! For every arriving document, `Naive` collects the union of all queries
+//! that share at least one term with it (via the ID-ordered lists) and fully
+//! scores each one. Queries sharing no term have cosine 0 and can never enter
+//! a result set, so this is exact. Every other algorithm is tested for
+//! result-set equality against this one.
+
+use crate::engine::EngineBase;
+use crate::stats::{CumulativeStats, EventStats};
+use crate::topk::TopKState;
+use crate::traits::{ContinuousTopK, ResultChange};
+use ctk_common::{Document, FxHashMap, QueryId, QuerySpec, ScoredDoc, TermId};
+use ctk_index::QueryIndex;
+
+/// Term-filtered exhaustive continuous top-k.
+pub struct Naive {
+    base: EngineBase,
+    index: QueryIndex,
+    // Reused per-event buffers.
+    doc_weights: FxHashMap<TermId, f64>,
+    candidates: Vec<QueryId>,
+    seen_epoch: Vec<u32>,
+    epoch: u32,
+}
+
+impl Naive {
+    pub fn new(lambda: f64) -> Self {
+        Naive {
+            base: EngineBase::new(lambda),
+            index: QueryIndex::new(),
+            doc_weights: FxHashMap::default(),
+            candidates: Vec::new(),
+            seen_epoch: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Exact raw cosine contribution of `doc` to query `qid` (both vectors
+    /// are unit-normalized, so this is the cosine similarity).
+    fn raw_dot(&self, qid: QueryId) -> f64 {
+        let rec = self.index.record(qid).expect("live query");
+        let mut dot = 0.0;
+        for e in &rec.entries {
+            if let Some(&f) = self.doc_weights.get(&e.term) {
+                dot += f * e.weight as f64;
+            }
+        }
+        dot
+    }
+}
+
+impl ContinuousTopK for Naive {
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+
+    fn register(&mut self, spec: QuerySpec) -> QueryId {
+        let qid = self.index.register(&spec.vector, spec.k as u32);
+        self.base.push_state(spec.k as u32);
+        self.seen_epoch.push(0);
+        qid
+    }
+
+    fn unregister(&mut self, qid: QueryId) -> bool {
+        if self.index.unregister(qid).is_some() {
+            self.base.drop_state(qid);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn seed_results(&mut self, qid: QueryId, seeds: &[ScoredDoc]) {
+        self.base.seed(qid, seeds);
+    }
+
+    fn process(&mut self, doc: &Document) -> EventStats {
+        let (_theta, amp, _renorm) = self.base.begin_event(doc.arrival);
+        let mut ev = EventStats::default();
+
+        self.doc_weights.clear();
+        for (t, f) in doc.vector.iter() {
+            self.doc_weights.insert(t, f as f64);
+        }
+
+        // Union of matching queries via the postings lists.
+        self.epoch += 1;
+        self.candidates.clear();
+        for (term, _) in doc.vector.iter() {
+            let Some(li) = self.index.list_of_term(term) else { continue };
+            let list = self.index.list(li);
+            if list.live() == 0 {
+                continue;
+            }
+            ev.matched_lists += 1;
+            for p in list.iter_live() {
+                ev.postings_accessed += 1;
+                let slot = p.qid.index();
+                if self.seen_epoch[slot] != self.epoch {
+                    self.seen_epoch[slot] = self.epoch;
+                    self.candidates.push(p.qid);
+                }
+            }
+        }
+        self.candidates.sort_unstable();
+
+        let candidates = std::mem::take(&mut self.candidates);
+        for &qid in &candidates {
+            let dot = self.raw_dot(qid);
+            ev.full_evaluations += 1;
+            ev.iterations += 1;
+            if self.base.offer(qid, doc, dot, amp) {
+                ev.updates += 1;
+            }
+        }
+        self.candidates = candidates;
+
+        ev.accumulate_into(&mut self.base.cum);
+        ev
+    }
+
+    fn results(&self, qid: QueryId) -> Option<Vec<ScoredDoc>> {
+        self.base.results(qid)
+    }
+
+    fn threshold(&self, qid: QueryId) -> Option<f64> {
+        self.base.state(qid).map(TopKState::threshold)
+    }
+
+    fn num_queries(&self) -> usize {
+        self.index.num_live()
+    }
+
+    fn last_changes(&self) -> &[ResultChange] {
+        &self.base.changes
+    }
+
+    fn cumulative(&self) -> &CumulativeStats {
+        &self.base.cum
+    }
+
+    fn lambda(&self) -> f64 {
+        self.base.decay.lambda()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctk_common::{DocId, TermId};
+
+    fn spec(terms: &[(u32, f32)], k: usize) -> QuerySpec {
+        QuerySpec::new(terms.iter().map(|&(t, w)| (TermId(t), w)).collect(), k).unwrap()
+    }
+
+    fn doc(id: u64, terms: &[(u32, f32)], at: f64) -> Document {
+        Document::new(DocId(id), terms.iter().map(|&(t, w)| (TermId(t), w)).collect(), at)
+    }
+
+    #[test]
+    fn matches_hand_computed_topk() {
+        let mut n = Naive::new(0.0);
+        let q = n.register(spec(&[(1, 1.0), (2, 1.0)], 2));
+        // doc 1 matches both terms (cosine 1 against the query direction
+        // when the doc is the same direction).
+        n.process(&doc(1, &[(1, 1.0), (2, 1.0)], 0.0));
+        // doc 2 matches one term.
+        n.process(&doc(2, &[(2, 1.0), (3, 1.0)], 1.0));
+        // doc 3 matches nothing.
+        n.process(&doc(3, &[(9, 1.0)], 2.0));
+        let res = n.results(q).unwrap();
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].doc, DocId(1));
+        assert!((res[0].score.get() - 1.0).abs() < 1e-6);
+        assert_eq!(res[1].doc, DocId(2));
+        // cos = (1/√2)·(1/√2) = 0.5
+        assert!((res[1].score.get() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decay_prefers_newer_equal_docs() {
+        let mut n = Naive::new(0.1);
+        let q = n.register(spec(&[(1, 1.0)], 1));
+        n.process(&doc(1, &[(1, 1.0)], 0.0));
+        n.process(&doc(2, &[(1, 1.0)], 10.0)); // same cosine, newer
+        let res = n.results(q).unwrap();
+        assert_eq!(res[0].doc, DocId(2));
+    }
+
+    #[test]
+    fn without_decay_first_equal_doc_wins() {
+        let mut n = Naive::new(0.0);
+        let q = n.register(spec(&[(1, 1.0)], 1));
+        n.process(&doc(5, &[(1, 1.0)], 0.0));
+        n.process(&doc(2, &[(1, 1.0)], 1.0));
+        // Equal scores: the incumbent stays unless the challenger has a
+        // *smaller* doc id — doc 2 < doc 5, so it replaces.
+        assert_eq!(n.results(q).unwrap()[0].doc, DocId(2));
+    }
+
+    #[test]
+    fn unregister_stops_updates() {
+        let mut n = Naive::new(0.0);
+        let q = n.register(spec(&[(1, 1.0)], 1));
+        assert!(n.unregister(q));
+        assert!(!n.unregister(q));
+        let ev = n.process(&doc(1, &[(1, 1.0)], 0.0));
+        assert_eq!(ev.full_evaluations, 0);
+        assert_eq!(n.results(q), None);
+        assert_eq!(n.num_queries(), 0);
+    }
+
+    #[test]
+    fn changes_reported_per_event() {
+        let mut n = Naive::new(0.0);
+        let q = n.register(spec(&[(1, 1.0)], 1));
+        n.process(&doc(1, &[(1, 1.0)], 0.0));
+        assert_eq!(n.last_changes().len(), 1);
+        assert_eq!(n.last_changes()[0].query, q);
+        n.process(&doc(2, &[(8, 1.0)], 1.0));
+        assert!(n.last_changes().is_empty());
+    }
+
+    #[test]
+    fn stats_count_candidates() {
+        let mut n = Naive::new(0.0);
+        n.register(spec(&[(1, 1.0)], 1));
+        n.register(spec(&[(1, 1.0), (2, 2.0)], 1));
+        n.register(spec(&[(3, 1.0)], 1));
+        let ev = n.process(&doc(1, &[(1, 1.0), (2, 1.0)], 0.0));
+        assert_eq!(ev.full_evaluations, 2, "q0 and q1 match, q2 does not");
+        assert_eq!(ev.matched_lists, 2);
+        assert_eq!(n.cumulative().events, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Sharded parallel monitor.
+//!
+//! The paper's goal is "large numbers of users and high stream rates"; a
+//! single engine is single-threaded. Queries partition cleanly (each result
+//! set depends only on its own query), so the monitor shards the query
+//! population across worker threads, broadcasts every document to all
+//! shards, and the per-event response time becomes the *max* over shards.
+//!
+//! Communication uses `crossbeam` channels; each worker owns its engine
+//! outright (no shared mutable state, no locks on the hot path).
+
+use crate::stats::EventStats;
+use crate::traits::{ContinuousTopK, ResultChange};
+use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc};
+use crossbeam::channel::{bounded, unbounded, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A query handle in the sharded monitor: shard index + local id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardedQueryId {
+    pub shard: u32,
+    pub local: QueryId,
+}
+
+enum Command {
+    Register(QuerySpec, Sender<QueryId>),
+    Unregister(QueryId, Sender<bool>),
+    Seed(QueryId, Vec<ScoredDoc>),
+    Process(Arc<Document>, Sender<(EventStats, Vec<ResultChange>)>),
+    Results(QueryId, Sender<Option<Vec<ScoredDoc>>>),
+    Shutdown,
+}
+
+/// A monitor that fans stream events out to `S` single-threaded engines.
+pub struct ShardedMonitor {
+    workers: Vec<(Sender<Command>, JoinHandle<()>)>,
+    next_shard: usize,
+}
+
+impl ShardedMonitor {
+    /// Spawn `shards` workers, each owning an engine built by `make_engine`
+    /// (e.g. `|| MrioSeg::new(lambda)`).
+    pub fn new<E, F>(shards: usize, make_engine: F) -> Self
+    where
+        E: ContinuousTopK + Send + 'static,
+        F: Fn() -> E,
+    {
+        assert!(shards >= 1);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = unbounded::<Command>();
+            let mut engine = make_engine();
+            let handle = std::thread::spawn(move || {
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Command::Register(spec, reply) => {
+                            let _ = reply.send(engine.register(spec));
+                        }
+                        Command::Unregister(qid, reply) => {
+                            let _ = reply.send(engine.unregister(qid));
+                        }
+                        Command::Seed(qid, seeds) => {
+                            engine.seed_results(qid, &seeds);
+                        }
+                        Command::Process(doc, reply) => {
+                            let ev = engine.process(&doc);
+                            let _ = reply.send((ev, engine.last_changes().to_vec()));
+                        }
+                        Command::Results(qid, reply) => {
+                            let _ = reply.send(engine.results(qid));
+                        }
+                        Command::Shutdown => break,
+                    }
+                }
+            });
+            workers.push((tx, handle));
+        }
+        ShardedMonitor { workers, next_shard: 0 }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Register a query on the least-recently-used shard (round robin).
+    pub fn register(&mut self, spec: QuerySpec) -> ShardedQueryId {
+        let shard = self.next_shard;
+        self.next_shard = (self.next_shard + 1) % self.workers.len();
+        let (reply_tx, reply_rx) = bounded(1);
+        self.workers[shard].0.send(Command::Register(spec, reply_tx)).expect("worker alive");
+        ShardedQueryId { shard: shard as u32, local: reply_rx.recv().expect("worker reply") }
+    }
+
+    /// Remove a query.
+    pub fn unregister(&mut self, qid: ShardedQueryId) -> bool {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.workers[qid.shard as usize]
+            .0
+            .send(Command::Unregister(qid.local, reply_tx))
+            .expect("worker alive");
+        reply_rx.recv().expect("worker reply")
+    }
+
+    /// Warm-start a query (snapshot restore path).
+    pub fn seed_results(&mut self, qid: ShardedQueryId, seeds: Vec<ScoredDoc>) {
+        self.workers[qid.shard as usize]
+            .0
+            .send(Command::Seed(qid.local, seeds))
+            .expect("worker alive");
+    }
+
+    /// Process one stream event on all shards in parallel; returns the
+    /// merged work counters and all result changes.
+    pub fn process(&mut self, doc: Document) -> (EventStats, Vec<(u32, ResultChange)>) {
+        let doc = Arc::new(doc);
+        let mut pending = Vec::with_capacity(self.workers.len());
+        for (tx, _) in &self.workers {
+            let (reply_tx, reply_rx) = bounded(1);
+            tx.send(Command::Process(Arc::clone(&doc), reply_tx)).expect("worker alive");
+            pending.push(reply_rx);
+        }
+        let mut total = EventStats::default();
+        let mut changes = Vec::new();
+        for (shard, rx) in pending.into_iter().enumerate() {
+            let (ev, ch) = rx.recv().expect("worker reply");
+            total.full_evaluations += ev.full_evaluations;
+            total.iterations += ev.iterations;
+            total.postings_accessed += ev.postings_accessed;
+            total.bound_computations += ev.bound_computations;
+            total.updates += ev.updates;
+            total.matched_lists += ev.matched_lists;
+            changes.extend(ch.into_iter().map(|c| (shard as u32, c)));
+        }
+        (total, changes)
+    }
+
+    /// Current results of a query.
+    pub fn results(&self, qid: ShardedQueryId) -> Option<Vec<ScoredDoc>> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.workers[qid.shard as usize]
+            .0
+            .send(Command::Results(qid.local, reply_tx))
+            .expect("worker alive");
+        reply_rx.recv().expect("worker reply")
+    }
+}
+
+impl Drop for ShardedMonitor {
+    fn drop(&mut self) {
+        for (tx, _) in &self.workers {
+            let _ = tx.send(Command::Shutdown);
+        }
+        for (_, handle) in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrio::MrioSeg;
+    use crate::naive::Naive;
+    use ctk_common::{DocId, TermId};
+
+    fn spec(terms: &[u32], k: usize) -> QuerySpec {
+        QuerySpec::uniform(&terms.iter().map(|&t| TermId(t)).collect::<Vec<_>>(), k).unwrap()
+    }
+
+    fn doc(id: u64, terms: &[(u32, f32)], at: f64) -> Document {
+        Document::new(DocId(id), terms.iter().map(|&(t, w)| (TermId(t), w)).collect(), at)
+    }
+
+    #[test]
+    fn sharded_matches_single_engine() {
+        let mut sharded = ShardedMonitor::new(3, || MrioSeg::new(0.001));
+        let mut single = Naive::new(0.001);
+
+        let specs: Vec<QuerySpec> =
+            (0..30).map(|i| spec(&[i % 7, 7 + i % 4], 2 + (i % 3) as usize)).collect();
+        let sharded_ids: Vec<ShardedQueryId> =
+            specs.iter().map(|s| sharded.register(s.clone())).collect();
+        let single_ids: Vec<QueryId> = specs.iter().map(|s| single.register(s.clone())).collect();
+
+        for i in 0..60u64 {
+            let d = doc(i, &[((i % 7) as u32, 1.0), ((7 + i % 4) as u32, 0.6)], i as f64);
+            sharded.process(d.clone());
+            single.process(&d);
+        }
+        for (sid, qid) in sharded_ids.iter().zip(&single_ids) {
+            assert_eq!(sharded.results(*sid), single.results(*qid));
+        }
+    }
+
+    #[test]
+    fn round_robin_distributes_queries() {
+        let mut m = ShardedMonitor::new(2, || MrioSeg::new(0.0));
+        let a = m.register(spec(&[1], 1));
+        let b = m.register(spec(&[1], 1));
+        let c = m.register(spec(&[1], 1));
+        assert_eq!(a.shard, 0);
+        assert_eq!(b.shard, 1);
+        assert_eq!(c.shard, 0);
+        assert_eq!(m.shards(), 2);
+    }
+
+    #[test]
+    fn unregister_and_changes_reporting() {
+        let mut m = ShardedMonitor::new(2, || MrioSeg::new(0.0));
+        // k = 2 so the second document still has a free slot to enter.
+        let a = m.register(spec(&[1], 2));
+        let b = m.register(spec(&[1], 2));
+        let (_, changes) = m.process(doc(0, &[(1, 1.0)], 0.0));
+        assert_eq!(changes.len(), 2, "both shards report an insertion");
+        assert!(m.unregister(a));
+        let (_, changes) = m.process(doc(1, &[(1, 2.0)], 1.0));
+        assert_eq!(changes.len(), 1);
+        assert!(m.results(b).is_some());
+        assert!(m.results(a).is_none());
+    }
+}

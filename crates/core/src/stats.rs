@@ -1,0 +1,105 @@
+//! Work counters.
+//!
+//! The paper's primary metric is wall-clock response time per stream event,
+//! but its *optimality* claim (Lemma 2: MRIO performs the fewest iterations /
+//! considers the fewest queries of any ID-ordering algorithm) is about work
+//! counts. Every algorithm reports both per-event and cumulative counters so
+//! the `optimality` experiment (E4) can compare them directly.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for a single stream event (one `process` call).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventStats {
+    /// Queries fully scored ("considered queries" in the paper's sense).
+    pub full_evaluations: u64,
+    /// Traversal iterations (pivot selections for the ID-ordering family;
+    /// list-advance steps for the TA family).
+    pub iterations: u64,
+    /// Postings touched (cursor reads, accumulator updates).
+    pub postings_accessed: u64,
+    /// Upper-bound terms computed (prefix sums, zone queries).
+    pub bound_computations: u64,
+    /// Result-set insertions caused by the document.
+    pub updates: u64,
+    /// Document terms that had a non-empty list ("m" in the paper).
+    pub matched_lists: u64,
+}
+
+impl EventStats {
+    /// Fold this event into a cumulative record.
+    pub fn accumulate_into(&self, cum: &mut CumulativeStats) {
+        cum.events += 1;
+        cum.full_evaluations += self.full_evaluations;
+        cum.iterations += self.iterations;
+        cum.postings_accessed += self.postings_accessed;
+        cum.bound_computations += self.bound_computations;
+        cum.updates += self.updates;
+        cum.matched_lists += self.matched_lists;
+    }
+}
+
+/// Counters accumulated over the lifetime of an algorithm instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CumulativeStats {
+    pub events: u64,
+    pub full_evaluations: u64,
+    pub iterations: u64,
+    pub postings_accessed: u64,
+    pub bound_computations: u64,
+    pub updates: u64,
+    pub matched_lists: u64,
+    /// Landmark renormalizations performed.
+    pub renormalizations: u64,
+}
+
+impl CumulativeStats {
+    /// Average full evaluations per event.
+    pub fn avg_full_evaluations(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.full_evaluations as f64 / self.events as f64
+        }
+    }
+
+    /// Average iterations per event.
+    pub fn avg_iterations(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation() {
+        let mut cum = CumulativeStats::default();
+        let e = EventStats {
+            full_evaluations: 3,
+            iterations: 7,
+            postings_accessed: 20,
+            bound_computations: 9,
+            updates: 1,
+            matched_lists: 4,
+        };
+        e.accumulate_into(&mut cum);
+        e.accumulate_into(&mut cum);
+        assert_eq!(cum.events, 2);
+        assert_eq!(cum.full_evaluations, 6);
+        assert_eq!(cum.avg_full_evaluations(), 3.0);
+        assert_eq!(cum.avg_iterations(), 7.0);
+    }
+
+    #[test]
+    fn empty_averages_are_zero() {
+        let cum = CumulativeStats::default();
+        assert_eq!(cum.avg_full_evaluations(), 0.0);
+        assert_eq!(cum.avg_iterations(), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Per-query top-k result state.
+//!
+//! Each registered CTQD owns a bounded min-heap of its `k` best documents.
+//! The heap root is the k-th best score `S_k(q)` — the paper's "normalized
+//! factor" that turns preference weights into the prunable form `u = w/S_k`.
+//! A query with fewer than `k` results reports `S_k = 0`, making `u = +∞`:
+//! such queries can never be pruned and are always evaluated when touched
+//! (warm-up semantics, DESIGN.md §1).
+//!
+//! Every change to the result set bumps a **version** counter; the lazy bound
+//! structures (`VersionedMaxTracker`) use it to invalidate stale maxima.
+
+use ctk_common::{DocId, ScoredDoc};
+use std::collections::BinaryHeap;
+
+/// Outcome of offering a candidate to a result set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Offer {
+    /// The candidate did not beat the current k-th best.
+    Rejected,
+    /// Inserted; `evicted` is the entry that fell out (None while filling).
+    Inserted { evicted: Option<ScoredDoc> },
+}
+
+/// Bounded top-k set with threshold and version tracking.
+#[derive(Debug, Clone)]
+pub struct TopKState {
+    k: u32,
+    version: u32,
+    // [`ScoredDoc`]'s order makes "ranks better" compare as `Less`, so a
+    // plain max-heap keeps the *worst* entry (lowest score, largest doc id
+    // on ties) at the root — exactly the k-th best we need for `S_k`.
+    heap: BinaryHeap<ScoredDoc>,
+}
+
+impl TopKState {
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 1);
+        TopKState { k, version: 0, heap: BinaryHeap::with_capacity(k as usize + 1) }
+    }
+
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k as usize
+    }
+
+    /// Monotone counter bumped on every mutation of the set.
+    #[inline]
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// `S_k(q)`: score of the k-th best document, or `0.0` while unfilled.
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        if self.is_full() {
+            self.heap.peek().map(|r| r.score.get()).unwrap_or(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Normalized preference `u = w/S_k` for a weight of this query.
+    /// `+inf` while the set is unfilled.
+    #[inline]
+    pub fn normalized(&self, weight: f64) -> f64 {
+        let t = self.threshold();
+        if t > 0.0 {
+            weight / t
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Offer a candidate. Exact qualify test (pruning bounds elsewhere must
+    /// be `>=`-lenient w.r.t. this): while unfilled always insert; when full,
+    /// insert iff the candidate ranks strictly better than the current k-th
+    /// (higher score, or equal score with smaller doc id).
+    pub fn offer(&mut self, cand: ScoredDoc) -> Offer {
+        if !self.is_full() {
+            self.heap.push(cand);
+            self.version += 1;
+            return Offer::Inserted { evicted: None };
+        }
+        let worst = *self.heap.peek().expect("full heap");
+        if cand.cmp(&worst) == std::cmp::Ordering::Less {
+            // `Less` in ScoredDoc order == ranks better.
+            let evicted = self.heap.pop();
+            self.heap.push(cand);
+            self.version += 1;
+            Offer::Inserted { evicted }
+        } else {
+            Offer::Rejected
+        }
+    }
+
+    /// Multiply every stored score by `r > 0` (landmark renormalization).
+    /// Order is preserved, so the heap shape stays valid.
+    pub fn rescale(&mut self, r: f64) {
+        debug_assert!(r > 0.0);
+        let mut v = std::mem::take(&mut self.heap).into_vec();
+        for e in &mut v {
+            e.score = ctk_common::OrdF64::new(e.score.get() * r);
+        }
+        self.heap = BinaryHeap::from(v);
+        self.version += 1;
+    }
+
+    /// Remove a document (sliding-window expiry). O(k). Returns true when
+    /// the document was present.
+    pub fn remove_doc(&mut self, doc: DocId) -> bool {
+        let before = self.heap.len();
+        let v: Vec<ScoredDoc> =
+            std::mem::take(&mut self.heap).into_iter().filter(|e| e.doc != doc).collect();
+        self.heap = BinaryHeap::from(v);
+        if self.heap.len() != before {
+            self.version += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current results, best first.
+    pub fn sorted_results(&self) -> Vec<ScoredDoc> {
+        let mut v: Vec<ScoredDoc> = self.heap.iter().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sd(doc: u64, score: f64) -> ScoredDoc {
+        ScoredDoc::new(DocId(doc), score)
+    }
+
+    #[test]
+    fn fills_then_thresholds() {
+        let mut t = TopKState::new(2);
+        assert_eq!(t.threshold(), 0.0);
+        assert_eq!(t.normalized(0.5), f64::INFINITY);
+        assert!(matches!(t.offer(sd(1, 1.0)), Offer::Inserted { evicted: None }));
+        assert_eq!(t.threshold(), 0.0, "still unfilled");
+        assert!(matches!(t.offer(sd(2, 3.0)), Offer::Inserted { evicted: None }));
+        assert_eq!(t.threshold(), 1.0, "k-th best");
+        assert_eq!(t.normalized(0.5), 0.5);
+    }
+
+    #[test]
+    fn eviction_of_worst() {
+        let mut t = TopKState::new(2);
+        t.offer(sd(1, 1.0));
+        t.offer(sd(2, 3.0));
+        match t.offer(sd(3, 2.0)) {
+            Offer::Inserted { evicted: Some(e) } => assert_eq!(e, sd(1, 1.0)),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(t.threshold(), 2.0);
+        assert!(matches!(t.offer(sd(4, 1.5)), Offer::Rejected));
+    }
+
+    #[test]
+    fn tie_breaking_matches_scored_doc_order() {
+        let mut t = TopKState::new(1);
+        t.offer(sd(5, 2.0));
+        // Equal score, smaller doc id ranks better -> replaces.
+        assert!(matches!(t.offer(sd(3, 2.0)), Offer::Inserted { .. }));
+        // Equal score, larger doc id -> rejected.
+        assert!(matches!(t.offer(sd(9, 2.0)), Offer::Rejected));
+        assert_eq!(t.sorted_results(), vec![sd(3, 2.0)]);
+    }
+
+    #[test]
+    fn version_bumps_on_mutation_only() {
+        let mut t = TopKState::new(1);
+        let v0 = t.version();
+        t.offer(sd(1, 1.0));
+        let v1 = t.version();
+        assert!(v1 > v0);
+        t.offer(sd(2, 0.5)); // rejected
+        assert_eq!(t.version(), v1);
+        t.rescale(0.5);
+        assert!(t.version() > v1);
+    }
+
+    #[test]
+    fn rescale_preserves_order_and_scales_threshold() {
+        let mut t = TopKState::new(3);
+        for (d, s) in [(1, 5.0), (2, 1.0), (3, 3.0)] {
+            t.offer(sd(d, s));
+        }
+        t.rescale(0.1);
+        assert!((t.threshold() - 0.1).abs() < 1e-12);
+        let docs: Vec<u64> = t.sorted_results().iter().map(|x| x.doc.0).collect();
+        assert_eq!(docs, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn remove_doc_reopens_the_set() {
+        let mut t = TopKState::new(2);
+        t.offer(sd(1, 1.0));
+        t.offer(sd(2, 2.0));
+        assert!(t.remove_doc(DocId(2)));
+        assert!(!t.remove_doc(DocId(2)));
+        assert_eq!(t.threshold(), 0.0, "unfilled again");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn sorted_results_best_first() {
+        let mut t = TopKState::new(3);
+        for (d, s) in [(10, 0.5), (11, 2.5), (12, 1.5)] {
+            t.offer(sd(d, s));
+        }
+        let r = t.sorted_results();
+        assert_eq!(r[0], sd(11, 2.5));
+        assert_eq!(r[2], sd(10, 0.5));
+    }
+}

@@ -1,0 +1,70 @@
+//! The common interface every continuous top-k algorithm implements.
+//!
+//! RIO, MRIO, the naive oracle and the three published baselines all expose
+//! the same contract, which is what the equivalence tests, the monitor
+//! front-end and the benchmark harness program against.
+
+use crate::stats::{CumulativeStats, EventStats};
+use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc};
+
+/// A change to one query's result set caused by a stream event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResultChange {
+    pub query: QueryId,
+    /// The document that entered the top-k.
+    pub inserted: ScoredDoc,
+    /// The entry that fell out, if the set was already full.
+    pub evicted: Option<ScoredDoc>,
+}
+
+/// A continuous top-k monitoring algorithm over a document stream.
+///
+/// ## Contract
+///
+/// * `process` must be called with non-decreasing `Document::arrival`
+///   timestamps (stale timestamps are clamped to the current landmark).
+/// * After any sequence of `register` / `unregister` / `process` calls, the
+///   result set of every live query must equal — score for score, document
+///   for document — the result of exhaustively scoring every processed
+///   document against the query (this is checked against [`crate::Naive`]
+///   in the cross-algorithm equivalence tests).
+/// * `last_changes` reports the result-set deltas of the most recent
+///   `process` call, in unspecified order.
+pub trait ContinuousTopK {
+    /// Short algorithm name used in reports ("RIO", "MRIO-seg", ...).
+    fn name(&self) -> &'static str;
+
+    /// Register a CTQD; returns its id. Ids are unique and increasing.
+    fn register(&mut self, spec: QuerySpec) -> QueryId;
+
+    /// Remove a query. Returns false when the id is unknown or removed.
+    fn unregister(&mut self, qid: QueryId) -> bool;
+
+    /// Process one stream event, refreshing all affected results.
+    fn process(&mut self, doc: &Document) -> EventStats;
+
+    /// Warm-start a query's result set with pre-scored history (e.g. from a
+    /// snapshot of a long-running deployment, or the benchmark harness's
+    /// steady-state emulation). Implementations must refresh their bound
+    /// structures to reflect the new `S_k`. Seeds are offered through the
+    /// normal insertion path, so exactness w.r.t. the seeded history holds.
+    fn seed_results(&mut self, qid: QueryId, seeds: &[ScoredDoc]);
+
+    /// Current results of a live query, best first.
+    fn results(&self, qid: QueryId) -> Option<Vec<ScoredDoc>>;
+
+    /// Current `S_k(q)` (0.0 while the query has fewer than k results).
+    fn threshold(&self, qid: QueryId) -> Option<f64>;
+
+    /// Number of live queries.
+    fn num_queries(&self) -> usize;
+
+    /// Result deltas produced by the last `process` call.
+    fn last_changes(&self) -> &[ResultChange];
+
+    /// Lifetime work counters.
+    fn cumulative(&self) -> &CumulativeStats;
+
+    /// The decay parameter the instance was built with.
+    fn lambda(&self) -> f64;
+}

@@ -1,0 +1,187 @@
+//! Frequency-ordered list variants used by the published baselines.
+//!
+//! The paper's point of departure (§I) is that prior work indexes queries in
+//! *frequency-ordered* (impact-ordered) lists. Two flavours are needed:
+//!
+//! * [`ImpactList`] — entries sorted by a **snapshot** of the normalized
+//!   impact `u = w/S_k`, descending. Used by RTA's threshold-algorithm
+//!   descent. Snapshots are stale-valid upper bounds (`S_k` only grows under
+//!   inflation scoring) and are refreshed by periodic rebuilds.
+//! * [`WeightOrderedList`] — entries sorted by the raw weight `w`,
+//!   descending. Weights never change, so the order is permanent. Used by
+//!   SortQuer's term-at-a-time traversal.
+
+use ctk_common::QueryId;
+
+/// Entry of an impact-ordered list: the snapshot bound is the sort key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImpactEntry {
+    pub qid: QueryId,
+    pub weight: f32,
+    /// Snapshot of `w/S_k` at insert/rebuild time; `+inf` for unfilled
+    /// queries. Always `>=` the current value between rebuilds.
+    pub bound: f64,
+}
+
+/// List sorted by descending snapshot impact.
+#[derive(Debug, Clone, Default)]
+pub struct ImpactList {
+    entries: Vec<ImpactEntry>,
+}
+
+impl ImpactList {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[ImpactEntry] {
+        &self.entries
+    }
+
+    /// Insert keeping descending-bound order (O(n) memmove; registration is
+    /// rare relative to stream events).
+    pub fn insert(&mut self, qid: QueryId, weight: f32, bound: f64) {
+        let pos = self
+            .entries
+            .partition_point(|e| e.bound > bound);
+        self.entries.insert(pos, ImpactEntry { qid, weight, bound });
+    }
+
+    /// Remove the entry of `qid` (linear scan).
+    pub fn remove(&mut self, qid: QueryId) -> bool {
+        if let Some(pos) = self.entries.iter().position(|e| e.qid == qid) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Refresh every snapshot bound from `current_u` and re-sort.
+    /// Call periodically; between calls the stored bounds stay valid upper
+    /// bounds because the true values only decrease.
+    pub fn rebuild(&mut self, mut current_u: impl FnMut(QueryId, f32) -> f64) {
+        for e in &mut self.entries {
+            e.bound = current_u(e.qid, e.weight);
+        }
+        self.entries
+            .sort_unstable_by(|a, b| b.bound.partial_cmp(&a.bound).unwrap_or(std::cmp::Ordering::Equal));
+    }
+
+    /// Check the descending invariant (test helper).
+    pub fn is_sorted(&self) -> bool {
+        self.entries.windows(2).all(|w| w[0].bound >= w[1].bound)
+    }
+}
+
+/// List sorted by descending raw weight. Order never changes after insert.
+#[derive(Debug, Clone, Default)]
+pub struct WeightOrderedList {
+    entries: Vec<(QueryId, f32)>,
+}
+
+impl WeightOrderedList {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[(QueryId, f32)] {
+        &self.entries
+    }
+
+    /// Insert keeping descending-weight order.
+    pub fn insert(&mut self, qid: QueryId, weight: f32) {
+        let pos = self.entries.partition_point(|&(_, w)| w >= weight);
+        self.entries.insert(pos, (qid, weight));
+    }
+
+    /// Remove the entry of `qid` (linear scan).
+    pub fn remove(&mut self, qid: QueryId) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&(q, _)| q == qid) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impact_insert_keeps_descending_order() {
+        let mut l = ImpactList::new();
+        l.insert(QueryId(1), 0.5, 2.0);
+        l.insert(QueryId(2), 0.5, 5.0);
+        l.insert(QueryId(3), 0.5, f64::INFINITY);
+        l.insert(QueryId(4), 0.5, 3.0);
+        assert!(l.is_sorted());
+        let ids: Vec<u32> = l.as_slice().iter().map(|e| e.qid.0).collect();
+        assert_eq!(ids, vec![3, 2, 4, 1]);
+    }
+
+    #[test]
+    fn impact_rebuild_resorts_with_fresh_bounds() {
+        let mut l = ImpactList::new();
+        l.insert(QueryId(1), 1.0, 10.0);
+        l.insert(QueryId(2), 2.0, 9.0);
+        // New thresholds flip the order: q1 -> 1.0, q2 -> 8.0.
+        l.rebuild(|qid, w| if qid == QueryId(1) { w as f64 } else { (w * 4.0) as f64 });
+        assert!(l.is_sorted());
+        assert_eq!(l.as_slice()[0].qid, QueryId(2));
+        assert_eq!(l.as_slice()[0].bound, 8.0);
+    }
+
+    #[test]
+    fn impact_remove() {
+        let mut l = ImpactList::new();
+        l.insert(QueryId(1), 1.0, 1.0);
+        l.insert(QueryId(2), 1.0, 2.0);
+        assert!(l.remove(QueryId(1)));
+        assert!(!l.remove(QueryId(1)));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn weight_list_descending_and_stable_for_ties() {
+        let mut l = WeightOrderedList::new();
+        l.insert(QueryId(1), 0.3);
+        l.insert(QueryId(2), 0.9);
+        l.insert(QueryId(3), 0.3);
+        let ids: Vec<u32> = l.as_slice().iter().map(|&(q, _)| q.0).collect();
+        assert_eq!(ids, vec![2, 1, 3], "ties keep insertion order");
+        assert!(l.as_slice().windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn weight_list_remove() {
+        let mut l = WeightOrderedList::new();
+        l.insert(QueryId(7), 0.5);
+        assert!(l.remove(QueryId(7)));
+        assert!(l.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Exact list maxima under lazy maintenance: a versioned max-heap.
+//!
+//! RIO's global bound (paper Eq. 2) needs `max_q w_t(q)/S_k(q)` per list,
+//! and TPS needs a global `max_q 1/S_k(q)`. These maxima *decrease* whenever
+//! a query's `S_k` grows, which a plain running max cannot track. The
+//! versioned heap makes every update a push; entries carry the version of
+//! the query's threshold at push time, and stale tops are popped lazily at
+//! peek. Amortized O(log n) per update, O(1)+pops per peek, and the heap
+//! self-compacts when stale entries pile up.
+
+use ctk_common::{OrdF64, QueryId};
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapEntry {
+    value: OrdF64,
+    qid: QueryId,
+    version: u32,
+}
+
+/// Lazy exact maximum over `(qid, value)` pairs with external versioning.
+#[derive(Debug, Default)]
+pub struct VersionedMaxTracker {
+    heap: BinaryHeap<HeapEntry>,
+    /// Heap size right after the last compaction; when the heap grows past
+    /// a multiple of this, we compact.
+    baseline: usize,
+}
+
+impl VersionedMaxTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `qid`'s tracked value is now `value`, at `version`.
+    /// Older entries for the same query become stale automatically.
+    pub fn push(&mut self, qid: QueryId, version: u32, value: f64) {
+        self.heap.push(HeapEntry { value: OrdF64::new(value), qid, version });
+    }
+
+    /// Current maximum over entries whose `(qid, version)` is still current
+    /// according to `is_current`. Returns `-inf` when empty.
+    pub fn peek_max(&mut self, mut is_current: impl FnMut(QueryId, u32) -> bool) -> f64 {
+        while let Some(top) = self.heap.peek() {
+            if is_current(top.qid, top.version) {
+                return top.value.get();
+            }
+            self.heap.pop();
+        }
+        f64::NEG_INFINITY
+    }
+
+    /// Number of heap entries, stale ones included.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop stale entries when the heap has grown well past the live set.
+    /// Call opportunistically (e.g. once per stream event batch).
+    pub fn maybe_compact(&mut self, mut is_current: impl FnMut(QueryId, u32) -> bool) {
+        if self.heap.len() < 64 || self.heap.len() < 4 * self.baseline.max(16) {
+            return;
+        }
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let live: Vec<HeapEntry> =
+            entries.into_iter().filter(|e| is_current(e.qid, e.version)).collect();
+        self.heap = BinaryHeap::from(live);
+        self.baseline = self.heap.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctk_common::FxHashMap;
+
+    /// Shared helper: a map qid -> (version, value) acts as ground truth.
+    struct Truth {
+        map: FxHashMap<QueryId, (u32, f64)>,
+    }
+
+    impl Truth {
+        fn new() -> Self {
+            Truth { map: FxHashMap::default() }
+        }
+        fn set(&mut self, t: &mut VersionedMaxTracker, qid: QueryId, value: f64) {
+            let e = self.map.entry(qid).or_insert((0, f64::NEG_INFINITY));
+            e.0 += 1;
+            e.1 = value;
+            t.push(qid, e.0, value);
+        }
+        fn max(&self) -> f64 {
+            self.map.values().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max)
+        }
+        fn checker(&self) -> impl FnMut(QueryId, u32) -> bool + '_ {
+            |qid, ver| self.map.get(&qid).is_some_and(|&(v, _)| v == ver)
+        }
+    }
+
+    #[test]
+    fn tracks_decreasing_values() {
+        let mut t = VersionedMaxTracker::new();
+        let mut truth = Truth::new();
+        truth.set(&mut t, QueryId(1), 10.0);
+        truth.set(&mut t, QueryId(2), 5.0);
+        assert_eq!(t.peek_max(truth.checker()), 10.0);
+        truth.set(&mut t, QueryId(1), 1.0); // the max shrinks
+        assert_eq!(t.peek_max(truth.checker()), 5.0);
+        truth.set(&mut t, QueryId(2), 0.5);
+        assert_eq!(t.peek_max(truth.checker()), 1.0);
+    }
+
+    #[test]
+    fn empty_is_neg_inf() {
+        let mut t = VersionedMaxTracker::new();
+        assert_eq!(t.peek_max(|_, _| true), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn randomized_against_truth() {
+        let mut t = VersionedMaxTracker::new();
+        let mut truth = Truth::new();
+        let mut state = 3u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..2000 {
+            let qid = QueryId((rng() % 50) as u32);
+            let val = (rng() % 1000) as f64 / 10.0;
+            truth.set(&mut t, qid, val);
+            assert_eq!(t.peek_max(truth.checker()), truth.max());
+        }
+    }
+
+    #[test]
+    fn compaction_bounds_memory() {
+        let mut t = VersionedMaxTracker::new();
+        let mut truth = Truth::new();
+        for round in 0..200 {
+            for q in 0..20u32 {
+                truth.set(&mut t, QueryId(q), (round * 20 + q) as f64 * 0.001);
+            }
+            t.maybe_compact(truth.checker());
+        }
+        assert!(t.len() < 1000, "heap should stay near the live set size, got {}", t.len());
+        assert_eq!(t.peek_max(truth.checker()), truth.max());
+    }
+
+    #[test]
+    fn removed_queries_disappear() {
+        let mut t = VersionedMaxTracker::new();
+        let mut truth = Truth::new();
+        truth.set(&mut t, QueryId(1), 42.0);
+        truth.set(&mut t, QueryId(2), 7.0);
+        truth.map.remove(&QueryId(1)); // unregistered: no version is current
+        assert_eq!(t.peek_max(truth.checker()), 7.0);
+    }
+}

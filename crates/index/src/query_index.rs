@@ -1,0 +1,264 @@
+//! The query registry: term → postings list directory plus per-query records.
+//!
+//! Registration allocates monotonically increasing query ids (so lists stay
+//! append-only), creates lists for unseen terms, and records for each query
+//! the exact `(term, list, position, weight)` of every posting it owns. The
+//! record is what lets the algorithms (a) fully re-score a candidate query in
+//! O(|q|) and (b) route `S_k`-change updates to the bound structures without
+//! searching the lists.
+
+use crate::postings::PostingsList;
+use ctk_common::{FxHashMap, QueryId, SparseVector, TermId};
+
+/// One posting owned by a query.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordEntry {
+    pub term: TermId,
+    /// Dense list index in [`QueryIndex::lists`].
+    pub list: u32,
+    /// Position of this query's entry inside the list.
+    pub pos: u32,
+    /// The (normalized) preference weight `w_t(q)`.
+    pub weight: f32,
+}
+
+/// Per-query registration record.
+#[derive(Debug, Clone, Default)]
+pub struct QueryRecord {
+    pub entries: Vec<RecordEntry>,
+    /// Result size requested by the user.
+    pub k: u32,
+}
+
+/// The shared ID-ordered query index.
+#[derive(Debug, Default)]
+pub struct QueryIndex {
+    lists: Vec<PostingsList>,
+    list_terms: Vec<TermId>,
+    term_map: FxHashMap<TermId, u32>,
+    records: Vec<Option<QueryRecord>>,
+    live_queries: usize,
+}
+
+impl QueryIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queries ever registered (= next query id).
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of currently registered queries.
+    #[inline]
+    pub fn num_live(&self) -> usize {
+        self.live_queries
+    }
+
+    /// Number of distinct terms with a list.
+    #[inline]
+    pub fn num_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Register a query; returns its new id. The vector must be non-empty
+    /// and normalized (enforced upstream by `QuerySpec`).
+    pub fn register(&mut self, vector: &SparseVector, k: u32) -> QueryId {
+        let qid = QueryId(self.records.len() as u32);
+        let mut entries = Vec::with_capacity(vector.len());
+        for (term, weight) in vector.iter() {
+            let list_idx = *self.term_map.entry(term).or_insert_with(|| {
+                self.lists.push(PostingsList::new());
+                self.list_terms.push(term);
+                (self.lists.len() - 1) as u32
+            });
+            let list = &mut self.lists[list_idx as usize];
+            let pos = list.len() as u32;
+            list.push(qid, weight);
+            entries.push(RecordEntry { term, list: list_idx, pos, weight });
+        }
+        self.records.push(Some(QueryRecord { entries, k }));
+        self.live_queries += 1;
+        qid
+    }
+
+    /// Unregister a query: tombstones every posting and drops the record.
+    /// Returns the record (so callers can update bound structures), or `None`
+    /// if the query was unknown / already removed.
+    pub fn unregister(&mut self, qid: QueryId) -> Option<QueryRecord> {
+        let slot = self.records.get_mut(qid.index())?;
+        let record = slot.take()?;
+        for e in &record.entries {
+            self.lists[e.list as usize].tombstone(e.pos as usize);
+        }
+        self.live_queries -= 1;
+        Some(record)
+    }
+
+    /// The record of a live query.
+    #[inline]
+    pub fn record(&self, qid: QueryId) -> Option<&QueryRecord> {
+        self.records.get(qid.index()).and_then(|r| r.as_ref())
+    }
+
+    /// Dense list index of a term's list, if any query uses the term.
+    #[inline]
+    pub fn list_of_term(&self, term: TermId) -> Option<u32> {
+        self.term_map.get(&term).copied()
+    }
+
+    /// The list at a dense index.
+    #[inline]
+    pub fn list(&self, idx: u32) -> &PostingsList {
+        &self.lists[idx as usize]
+    }
+
+    /// The term that owns list `idx`.
+    #[inline]
+    pub fn term_of_list(&self, idx: u32) -> TermId {
+        self.list_terms[idx as usize]
+    }
+
+    /// Fraction of tombstoned slots across all lists, used to decide when a
+    /// compaction pass pays off.
+    pub fn tombstone_ratio(&self) -> f64 {
+        let total: usize = self.lists.iter().map(|l| l.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let dead: usize = self.lists.iter().map(|l| l.tombstones()).sum();
+        dead as f64 / total as f64
+    }
+
+    /// Drop all tombstones and refresh the cached positions in every record.
+    /// Returns the indices of the lists that changed (so callers can rebuild
+    /// their bound structures for exactly those lists).
+    pub fn compact(&mut self) -> Vec<u32> {
+        let mut changed = Vec::new();
+        for (idx, list) in self.lists.iter_mut().enumerate() {
+            if list.tombstones() == 0 {
+                continue;
+            }
+            changed.push(idx as u32);
+            let survivors = list.compact();
+            // Refresh positions: walk the compacted list once.
+            for (new_pos, p) in survivors.iter().enumerate() {
+                if let Some(rec) = self.records[p.qid.index()].as_mut() {
+                    for e in &mut rec.entries {
+                        if e.list == idx as u32 {
+                            e.pos = new_pos as u32;
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Iterate ids of live queries (ascending).
+    pub fn live_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.records
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|_| QueryId(i as u32)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector(pairs: &[(u32, f32)]) -> SparseVector {
+        let mut v =
+            SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)).collect());
+        v.normalize();
+        v
+    }
+
+    #[test]
+    fn register_builds_lists_and_records() {
+        let mut ix = QueryIndex::new();
+        let q0 = ix.register(&vector(&[(1, 1.0), (2, 1.0)]), 3);
+        let q1 = ix.register(&vector(&[(2, 1.0), (3, 1.0)]), 3);
+        assert_eq!((q0, q1), (QueryId(0), QueryId(1)));
+        assert_eq!(ix.num_lists(), 3);
+        assert_eq!(ix.num_live(), 2);
+
+        let l2 = ix.list(ix.list_of_term(TermId(2)).unwrap());
+        assert_eq!(l2.len(), 2);
+        assert_eq!(l2.get(0).qid, q0);
+        assert_eq!(l2.get(1).qid, q1);
+
+        let rec = ix.record(q1).unwrap();
+        assert_eq!(rec.entries.len(), 2);
+        assert_eq!(rec.k, 3);
+        // Record positions point back at the actual postings.
+        for e in &rec.entries {
+            assert_eq!(ix.list(e.list).get(e.pos as usize).qid, q1);
+        }
+    }
+
+    #[test]
+    fn unregister_tombstones_postings() {
+        let mut ix = QueryIndex::new();
+        let q0 = ix.register(&vector(&[(1, 1.0), (2, 1.0)]), 1);
+        let q1 = ix.register(&vector(&[(1, 1.0)]), 1);
+        assert!(ix.unregister(q0).is_some());
+        assert!(ix.unregister(q0).is_none(), "double unregister is a no-op");
+        assert_eq!(ix.num_live(), 1);
+        assert!(ix.record(q0).is_none());
+
+        let l1 = ix.list(ix.list_of_term(TermId(1)).unwrap());
+        assert!(l1.get(0).is_tombstone());
+        assert!(!l1.get(1).is_tombstone());
+        assert_eq!(l1.live(), 1);
+        let _ = q1;
+    }
+
+    #[test]
+    fn tombstone_ratio_and_compaction() {
+        let mut ix = QueryIndex::new();
+        let ids: Vec<QueryId> =
+            (0..10).map(|i| ix.register(&vector(&[(1, 1.0), (100 + i, 1.0)]), 1)).collect();
+        for qid in ids.iter().take(5) {
+            ix.unregister(*qid);
+        }
+        assert!(ix.tombstone_ratio() > 0.4);
+
+        let changed = ix.compact();
+        assert!(!changed.is_empty());
+        assert_eq!(ix.tombstone_ratio(), 0.0);
+
+        // Positions in surviving records must be refreshed.
+        for qid in ids.iter().skip(5) {
+            let rec = ix.record(*qid).unwrap();
+            for e in &rec.entries {
+                let p = ix.list(e.list).get(e.pos as usize);
+                assert_eq!(p.qid, *qid);
+                assert_eq!(p.weight, e.weight);
+            }
+        }
+    }
+
+    #[test]
+    fn live_ids_iterates_survivors() {
+        let mut ix = QueryIndex::new();
+        let a = ix.register(&vector(&[(1, 1.0)]), 1);
+        let b = ix.register(&vector(&[(1, 1.0)]), 1);
+        let c = ix.register(&vector(&[(1, 1.0)]), 1);
+        ix.unregister(b);
+        let live: Vec<QueryId> = ix.live_ids().collect();
+        assert_eq!(live, vec![a, c]);
+    }
+
+    #[test]
+    fn ids_are_monotone() {
+        let mut ix = QueryIndex::new();
+        let a = ix.register(&vector(&[(1, 1.0)]), 1);
+        ix.unregister(a);
+        let b = ix.register(&vector(&[(1, 1.0)]), 1);
+        assert!(b > a, "ids are never reused, keeping lists append-only");
+    }
+}

@@ -1,0 +1,96 @@
+//! The zone-maximum abstraction behind MRIO's local bounds (paper Eq. 3).
+//!
+//! MRIO needs, per postings list, the maximum normalized preference
+//! `u = w/S_k` over a *range of positions* (the current zone). The TKDE paper
+//! evaluates three implementations of this primitive; the trait below is the
+//! seam they all plug into, and `ctk-core::mrio` is generic over it.
+
+/// Range-maximum structure over the per-position bound values of one list.
+///
+/// `range_max` takes `&mut self` because the lazily maintained variants
+/// ([`crate::SuffixMax`]) may need to rebuild their snapshot before they can
+/// answer.
+pub trait ZoneMax {
+    /// Append a value for the new tail position (list grew by one posting).
+    fn append(&mut self, u: f64);
+
+    /// Point-update the value at `pos` (the query's `S_k` changed, or the
+    /// posting was tombstoned — encoded as `-inf`).
+    fn update(&mut self, pos: usize, u: f64);
+
+    /// Maximum over positions `[lo, hi)`. Returns `-inf` for empty ranges.
+    ///
+    /// Implementations may return a value `>=` the true maximum (an upper
+    /// bound) but never smaller — pruning correctness depends on it.
+    fn range_max(&mut self, lo: usize, hi: usize) -> f64;
+
+    /// Maximum over all positions (used as the RIO-style global bound).
+    fn global_max(&mut self) -> f64 {
+        let n = self.len();
+        self.range_max(0, n)
+    }
+
+    /// Number of tracked positions.
+    fn len(&self) -> usize;
+
+    /// True when no positions are tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replace the entire contents (compaction path).
+    fn rebuild(&mut self, vals: &[f64]);
+}
+
+/// Exhaustive reference implementation used in tests and as the correctness
+/// oracle for the real structures.
+#[derive(Debug, Default, Clone)]
+pub struct ScanZoneMax {
+    vals: Vec<f64>,
+}
+
+impl ZoneMax for ScanZoneMax {
+    fn append(&mut self, u: f64) {
+        self.vals.push(u);
+    }
+
+    fn update(&mut self, pos: usize, u: f64) {
+        self.vals[pos] = u;
+    }
+
+    fn range_max(&mut self, lo: usize, hi: usize) -> f64 {
+        self.vals[lo.min(self.vals.len())..hi.min(self.vals.len())]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    fn rebuild(&mut self, vals: &[f64]) {
+        self.vals = vals.to_vec();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_zone_max_basics() {
+        let mut z = ScanZoneMax::default();
+        for v in [1.0, 5.0, 2.0] {
+            z.append(v);
+        }
+        assert_eq!(z.range_max(0, 3), 5.0);
+        assert_eq!(z.range_max(2, 3), 2.0);
+        assert_eq!(z.range_max(1, 1), f64::NEG_INFINITY, "empty range");
+        z.update(1, 0.5);
+        assert_eq!(z.global_max(), 2.0);
+        z.rebuild(&[9.0]);
+        assert_eq!(z.len(), 1);
+        assert_eq!(z.global_max(), 9.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Walker's alias method: O(1) sampling from a discrete distribution.
+//!
+//! The corpus generator samples hundreds of terms per document from a
+//! vocabulary-sized distribution; inverse-CDF sampling would cost O(log V)
+//! per draw and the naive method O(V). The alias table costs O(V) once and
+//! O(1) per draw.
+
+use rand::Rng;
+
+/// Precomputed alias table over `n` outcomes.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Probability of keeping the column's own outcome (scaled to [0,1]).
+    prob: Vec<f64>,
+    /// Alternative outcome of each column.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (need not be normalized). At least
+    /// one weight must be positive.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()));
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "alias table needs positive total weight");
+
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+
+        // Split columns into under- and over-full, then pair them.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            // Column s keeps prob[s]; the remainder of its unit column is
+            // filled by outcome l.
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: both stacks drain to exactly-1 columns.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let col = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_weights_sample_everything() {
+        let t = AliasTable::new(&[1.0, 1.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[t.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..2000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000usize;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let got = counts[i] as f64 / n as f64;
+            assert!((got - expect).abs() < 0.01, "outcome {i}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[7.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(t.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_zero_weights_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn large_skewed_table_is_consistent() {
+        let weights: Vec<f64> = (1..=10_000).map(|i| 1.0 / i as f64).collect();
+        let t = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut top_count = 0usize;
+        let n = 50_000;
+        for _ in 0..n {
+            if t.sample(&mut rng) == 0 {
+                top_count += 1;
+            }
+        }
+        let h: f64 = weights.iter().sum();
+        let expect = 1.0 / h;
+        let got = top_count as f64 / n as f64;
+        assert!((got - expect).abs() < 0.02, "{got} vs {expect}");
+    }
+}

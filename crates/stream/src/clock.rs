@@ -1,0 +1,73 @@
+//! Arrival-time processes for the stream.
+//!
+//! The scoring model only needs non-decreasing timestamps; the clock decides
+//! how densely events pack, which (together with λ) controls how quickly old
+//! results decay relative to the event rate.
+
+use rand::Rng;
+
+/// Inter-arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalClock {
+    /// Fixed spacing: event `i` arrives at `i * dt`.
+    Fixed { dt: f64 },
+    /// Poisson arrivals with the given mean rate (events per time unit).
+    Poisson { rate: f64 },
+}
+
+impl ArrivalClock {
+    /// One logical event per time unit.
+    pub fn unit() -> Self {
+        ArrivalClock::Fixed { dt: 1.0 }
+    }
+
+    /// Sample the next inter-arrival gap.
+    pub fn next_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ArrivalClock::Fixed { dt } => {
+                assert!(dt >= 0.0);
+                dt
+            }
+            ArrivalClock::Poisson { rate } => {
+                assert!(rate > 0.0);
+                // Inverse-CDF exponential; clamp u away from 0.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -u.ln() / rate
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn fixed_gaps_are_constant() {
+        let c = ArrivalClock::Fixed { dt: 0.25 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(c.next_gap(&mut rng), 0.25);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let c = ArrivalClock::Poisson { rate: 4.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| c.next_gap(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "{mean}");
+    }
+
+    #[test]
+    fn gaps_are_nonnegative() {
+        let c = ArrivalClock::Poisson { rate: 0.5 };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(c.next_gap(&mut rng) >= 0.0);
+        }
+    }
+}

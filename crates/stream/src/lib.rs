@@ -1,0 +1,36 @@
+//! # ctk-stream
+//!
+//! Document-stream substrate: everything needed to *simulate* the paper's
+//! experimental inputs (7M Wikipedia pages and the Connected / Uniform
+//! synthetic query workloads) on a laptop, deterministically.
+//!
+//! * [`alias`] — Walker alias method: O(1) sampling from any discrete
+//!   distribution after O(n) setup;
+//! * [`zipf`] — Zipfian rank distributions (term frequencies in natural
+//!   language are Zipf-distributed; this is the skew that drives all the
+//!   pruning behaviour);
+//! * [`corpus`] — document generators: a flat Zipf model and a topic-mixture
+//!   model with realistic term co-occurrence;
+//! * [`queries`] — the paper's two query workloads: **Uniform** (terms drawn
+//!   i.i.d. from the vocabulary) and **Connected** (terms co-sampled from a
+//!   single document, i.e. words that actually co-occur);
+//! * [`clock`] — arrival-time processes (fixed-rate and Poisson);
+//! * [`driver`] — glue that turns a generator + clock into a reproducible
+//!   stream of [`ctk_common::Document`]s.
+//!
+//! Everything is seeded; the same configuration always yields the same
+//! stream, which the cross-algorithm equivalence tests rely on.
+
+pub mod alias;
+pub mod clock;
+pub mod corpus;
+pub mod driver;
+pub mod queries;
+pub mod zipf;
+
+pub use alias::AliasTable;
+pub use clock::ArrivalClock;
+pub use corpus::{CorpusConfig, CorpusModel, DocumentGenerator};
+pub use driver::StreamDriver;
+pub use queries::{QueryGenerator, QueryWorkload, WorkloadConfig};
+pub use zipf::ZipfSampler;

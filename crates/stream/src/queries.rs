@@ -1,0 +1,189 @@
+//! The paper's two synthetic query workloads (§IV).
+//!
+//! * **Uniform** — query terms drawn i.i.d. uniformly from the vocabulary.
+//!   Most queries then pair rare terms that barely co-occur with real
+//!   documents, so scores are low and thresholds stay loose.
+//! * **Connected** — query terms co-sampled from a *single generated
+//!   document*, i.e. words with realistic co-occurrence. Queries match the
+//!   stream often, thresholds tighten, and far more queries are affected per
+//!   event — the paper's Fig. 1(b) shows uniformly higher response times.
+
+use crate::corpus::{CorpusConfig, DocumentGenerator};
+use ctk_common::{QuerySpec, TermId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Which workload to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryWorkload {
+    Uniform,
+    Connected,
+}
+
+impl QueryWorkload {
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryWorkload::Uniform => "Uniform",
+            QueryWorkload::Connected => "Connected",
+        }
+    }
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    pub workload: QueryWorkload,
+    /// Inclusive range of distinct terms per query (papers use 2–5ish).
+    pub terms_min: usize,
+    pub terms_max: usize,
+    /// Result size requested by every query.
+    pub k: usize,
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            workload: QueryWorkload::Uniform,
+            terms_min: 2,
+            terms_max: 5,
+            k: 10,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// Deterministic generator of [`QuerySpec`]s over a given corpus.
+pub struct QueryGenerator {
+    cfg: WorkloadConfig,
+    vocab_size: usize,
+    /// Private document generator used by the Connected workload to find
+    /// co-occurring terms (seeded independently of the stream's generator).
+    seed_docs: DocumentGenerator,
+    rng: StdRng,
+}
+
+impl QueryGenerator {
+    /// `corpus` must be the same configuration the stream uses, so that
+    /// Connected queries co-occur with real stream documents.
+    pub fn new(cfg: WorkloadConfig, corpus: &CorpusConfig) -> Self {
+        assert!(cfg.terms_min >= 1 && cfg.terms_min <= cfg.terms_max);
+        assert!(cfg.k >= 1);
+        let mut doc_cfg = corpus.clone();
+        // Decorrelate from the stream itself but keep the same distribution.
+        doc_cfg.seed = corpus.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(cfg.seed);
+        QueryGenerator {
+            vocab_size: corpus.vocab_size,
+            seed_docs: DocumentGenerator::new(doc_cfg),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    /// Generate one query spec.
+    pub fn generate(&mut self) -> QuerySpec {
+        let n = self.rng.gen_range(self.cfg.terms_min..=self.cfg.terms_max);
+        let mut pairs: Vec<(TermId, f32)> = Vec::with_capacity(n);
+        match self.cfg.workload {
+            QueryWorkload::Uniform => {
+                while pairs.len() < n {
+                    let t = TermId(self.rng.gen_range(0..self.vocab_size) as u32);
+                    if !pairs.iter().any(|&(x, _)| x == t) {
+                        pairs.push((t, self.rng.gen_range(0.5..1.0)));
+                    }
+                }
+            }
+            QueryWorkload::Connected => {
+                // Terms of one synthetic document, weighted by their doc
+                // weight so hot co-occurring words dominate.
+                let doc_terms = self.seed_docs.sample_term_pairs();
+                let total: f32 = doc_terms.iter().map(|&(_, w)| w).sum();
+                while pairs.len() < n.min(doc_terms.len()) {
+                    // Roulette selection by weight.
+                    let mut pick = self.rng.gen_range(0.0..total);
+                    let mut chosen = doc_terms.len() - 1;
+                    for (i, &(_, w)) in doc_terms.iter().enumerate() {
+                        if pick < w {
+                            chosen = i;
+                            break;
+                        }
+                        pick -= w;
+                    }
+                    let (t, _) = doc_terms[chosen];
+                    if !pairs.iter().any(|&(x, _)| x == t) {
+                        pairs.push((t, self.rng.gen_range(0.5..1.0)));
+                    }
+                }
+            }
+        }
+        QuerySpec::new(pairs, self.cfg.k).expect("generator produces valid specs")
+    }
+
+    /// Generate a batch.
+    pub fn generate_batch(&mut self, count: usize) -> Vec<QuerySpec> {
+        (0..count).map(|_| self.generate()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctk_common::{DocId, Document};
+
+    fn corpus() -> CorpusConfig {
+        CorpusConfig::default()
+    }
+
+    #[test]
+    fn specs_are_valid_and_sized() {
+        for wl in [QueryWorkload::Uniform, QueryWorkload::Connected] {
+            let cfg = WorkloadConfig { workload: wl, terms_min: 2, terms_max: 5, k: 7, seed: 1 };
+            let mut g = QueryGenerator::new(cfg, &corpus());
+            for _ in 0..50 {
+                let q = g.generate();
+                assert!(q.vector.len() >= 2 && q.vector.len() <= 5);
+                assert_eq!(q.k, 7);
+                assert!(q.vector.is_normalized());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = WorkloadConfig { seed: 42, ..WorkloadConfig::default() };
+        let mut a = QueryGenerator::new(cfg.clone(), &corpus());
+        let mut b = QueryGenerator::new(cfg, &corpus());
+        for _ in 0..10 {
+            assert_eq!(a.generate(), b.generate());
+        }
+    }
+
+    #[test]
+    fn connected_queries_match_stream_better() {
+        // The defining property of the two workloads: Connected queries
+        // score higher against the corpus than Uniform ones.
+        let corpus_cfg = corpus();
+        let mut stream = DocumentGenerator::new(corpus_cfg.clone());
+        let docs: Vec<Document> = (0..30).map(|i| stream.generate(DocId(i), 0.0)).collect();
+
+        let avg_best = |wl: QueryWorkload| {
+            let cfg = WorkloadConfig { workload: wl, seed: 5, ..WorkloadConfig::default() };
+            let mut g = QueryGenerator::new(cfg, &corpus_cfg);
+            let mut total = 0.0;
+            for _ in 0..60 {
+                let q = g.generate();
+                let best =
+                    docs.iter().map(|d| q.vector.dot(&d.vector)).fold(0.0f64, f64::max);
+                total += best;
+            }
+            total / 60.0
+        };
+
+        let uni = avg_best(QueryWorkload::Uniform);
+        let con = avg_best(QueryWorkload::Connected);
+        assert!(con > uni * 1.5, "connected {con} should beat uniform {uni}");
+    }
+}

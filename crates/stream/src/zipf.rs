@@ -1,0 +1,112 @@
+//! Zipfian term-rank sampling.
+//!
+//! Natural-language term frequencies follow a Zipf law: the r-th most common
+//! term has probability ∝ 1/r^s (s ≈ 1 for English). The skew matters
+//! enormously for this system — popular terms produce long postings lists
+//! and high document weights, which is exactly where ID-ordering's jumps pay
+//! off. Built on the alias table for O(1) draws.
+
+use crate::alias::AliasTable;
+use rand::Rng;
+
+/// O(1) sampler of ranks `0..n` with `P(r) ∝ 1/(r+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    table: AliasTable,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// `n >= 1` outcomes, exponent `s >= 0` (s = 0 is uniform).
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n >= 1);
+        assert!(exponent >= 0.0 && exponent.is_finite());
+        let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-exponent)).collect();
+        ZipfSampler { table: AliasTable::new(&weights), exponent }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The configured exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Draw a rank in `0..n` (0 = most frequent).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.table.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut zero = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        // H_1000 ≈ 7.49, so P(0) ≈ 0.133.
+        let got = zero as f64 / n as f64;
+        assert!((got - 0.133).abs() < 0.02, "{got}");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / 50_000.0;
+            assert!((p - 0.1).abs() < 0.01, "{p}");
+        }
+    }
+
+    #[test]
+    fn higher_exponent_is_more_skewed() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let skew = |s: f64, rng: &mut StdRng| {
+            let z = ZipfSampler::new(100, s);
+            let mut zero = 0;
+            for _ in 0..20_000 {
+                if z.sample(rng) == 0 {
+                    zero += 1;
+                }
+            }
+            zero
+        };
+        let lo = skew(0.5, &mut rng);
+        let hi = skew(1.5, &mut rng);
+        assert!(hi > lo * 2, "{hi} vs {lo}");
+    }
+
+    #[test]
+    fn all_ranks_reachable() {
+        let z = ZipfSampler::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut seen = [false; 5];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

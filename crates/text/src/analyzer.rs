@@ -1,0 +1,108 @@
+//! The composed text-analysis pipeline.
+//!
+//! tokenize → stopword filter → Porter stem → vocabulary intern → tf vector.
+//! Produces [`Document`]s for the stream side and [`QuerySpec`]s for the
+//! user side, guaranteeing both go through the *same* normalization (a
+//! query for "Monitoring" must hit documents containing "monitored").
+
+use crate::stem::porter_stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::tokenize;
+use crate::vocab::Vocabulary;
+use ctk_common::{DocId, Document, FxHashMap, QuerySpec, TermId, Timestamp};
+
+/// Stateful analyzer owning the vocabulary.
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    vocab: Vocabulary,
+}
+
+impl Analyzer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The interned vocabulary (shared by documents and queries).
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Analyze raw text into `(term, log-tf)` pairs.
+    pub fn term_pairs(&mut self, text: &str) -> Vec<(TermId, f32)> {
+        let mut counts: FxHashMap<TermId, u32> = FxHashMap::default();
+        for tok in tokenize(text) {
+            if is_stopword(&tok) {
+                continue;
+            }
+            let stem = porter_stem(&tok);
+            if stem.is_empty() {
+                continue;
+            }
+            *counts.entry(self.vocab.intern(&stem)).or_insert(0) += 1;
+        }
+        counts.into_iter().map(|(t, tf)| (t, 1.0 + (tf as f32).ln())).collect()
+    }
+
+    /// Analyze a stream document.
+    pub fn document(&mut self, id: DocId, text: &str, arrival: Timestamp) -> Document {
+        Document::new(id, self.term_pairs(text), arrival)
+    }
+
+    /// Analyze a user's keyword string into a validated query spec.
+    /// Keywords get uniform weight; `k` is the result size.
+    pub fn query(&mut self, keywords: &str, k: usize) -> Option<QuerySpec> {
+        let pairs: Vec<(TermId, f32)> =
+            self.term_pairs(keywords).into_iter().map(|(t, _)| (t, 1.0)).collect();
+        QuerySpec::new(pairs, k).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_matches_inflected_document() {
+        let mut a = Analyzer::new();
+        let q = a.query("monitoring streams", 5).expect("valid query");
+        let d = a.document(DocId(1), "We monitored the document stream all day.", 0.0);
+        // Both sides stem to {monitor, stream}: cosine must be positive.
+        assert!(q.vector.dot(&d.vector) > 0.5, "dot = {}", q.vector.dot(&d.vector));
+    }
+
+    #[test]
+    fn stopwords_do_not_reach_vectors() {
+        let mut a = Analyzer::new();
+        let d = a.document(DocId(1), "the quick brown fox and the lazy dog", 0.0);
+        assert!(a.vocabulary().get("the").is_none());
+        assert!(a.vocabulary().get("quick").is_some());
+        assert_eq!(d.vector.len(), 5, "quick brown fox lazy dog");
+    }
+
+    #[test]
+    fn tf_weights_are_log_scaled() {
+        let mut a = Analyzer::new();
+        let pairs = a.term_pairs("data data data point");
+        let data = a.vocabulary().get("data").unwrap();
+        let point = a.vocabulary().get("point").unwrap();
+        let wd = pairs.iter().find(|&&(t, _)| t == data).unwrap().1;
+        let wp = pairs.iter().find(|&&(t, _)| t == point).unwrap().1;
+        assert!((wd - (1.0 + 3f32.ln())).abs() < 1e-6);
+        assert_eq!(wp, 1.0);
+    }
+
+    #[test]
+    fn empty_or_stopword_query_is_rejected() {
+        let mut a = Analyzer::new();
+        assert!(a.query("", 5).is_none());
+        assert!(a.query("the and of", 5).is_none());
+        assert!(a.query("rust", 0).is_none(), "k = 0 invalid");
+    }
+
+    #[test]
+    fn documents_are_normalized() {
+        let mut a = Analyzer::new();
+        let d = a.document(DocId(2), "continuous top-k monitoring on document streams", 0.0);
+        assert!(d.vector.is_normalized());
+    }
+}

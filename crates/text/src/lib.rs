@@ -1,0 +1,26 @@
+//! # ctk-text
+//!
+//! Real-text analysis substrate: everything needed to turn raw text (news
+//! articles, wiki pages, social posts) into the sparse term vectors the
+//! monitoring engines consume.
+//!
+//! * [`tokenize`] — lowercasing word tokenizer;
+//! * [`stem`] — a from-scratch Porter (1980) stemmer;
+//! * [`stopwords`] — standard English stopword filtering;
+//! * [`vocab`] — string ⇄ [`ctk_common::TermId`] interning;
+//! * [`analyzer`] — the composed pipeline producing documents and queries.
+//!
+//! The synthetic benchmark path (`ctk-stream`) bypasses this crate entirely;
+//! it exists for the end-to-end examples and for real deployments.
+
+pub mod analyzer;
+pub mod stem;
+pub mod stopwords;
+pub mod tokenize;
+pub mod vocab;
+
+pub use analyzer::Analyzer;
+pub use stem::porter_stem;
+pub use stopwords::is_stopword;
+pub use tokenize::tokenize;
+pub use vocab::Vocabulary;

@@ -1,0 +1,362 @@
+//! The Porter stemming algorithm (M.F. Porter, 1980), from scratch.
+//!
+//! Conflates inflected English word forms onto a common stem so that a
+//! query for "monitoring" matches documents saying "monitored". Operates on
+//! lowercase ASCII; words containing other characters are returned as-is.
+//!
+//! The implementation follows the original paper's five steps and measure
+//! function; the unit tests pin the published example vocabulary.
+
+/// Stem a lowercase word. Words shorter than 3 characters, or containing
+/// non-ASCII-alphabetic characters, are returned unchanged.
+pub fn porter_stem(word: &str) -> String {
+    if word.len() < 3 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut w: Vec<u8> = word.as_bytes().to_vec();
+    step1a(&mut w);
+    step1b(&mut w);
+    step1c(&mut w);
+    step2(&mut w);
+    step3(&mut w);
+    step4(&mut w);
+    step5a(&mut w);
+    step5b(&mut w);
+    String::from_utf8(w).expect("ascii in, ascii out")
+}
+
+/// Is `w[i]` a consonant under Porter's definition ('y' after a consonant
+/// acts as a vowel)?
+fn is_cons(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_cons(w, i - 1),
+        _ => true,
+    }
+}
+
+/// Porter's measure: the number of vowel→consonant transitions in `w[..n]`.
+fn measure(w: &[u8], n: usize) -> usize {
+    let mut m = 0;
+    let mut prev_vowel = false;
+    for i in 0..n {
+        let cons = is_cons(w, i);
+        if prev_vowel && cons {
+            m += 1;
+        }
+        prev_vowel = !cons;
+    }
+    m
+}
+
+fn has_vowel(w: &[u8], n: usize) -> bool {
+    (0..n).any(|i| !is_cons(w, i))
+}
+
+/// `*d` — ends with a double consonant.
+fn ends_double_cons(w: &[u8]) -> bool {
+    let n = w.len();
+    n >= 2 && w[n - 1] == w[n - 2] && is_cons(w, n - 1)
+}
+
+/// `*o` — ends consonant-vowel-consonant where the final consonant is not
+/// w, x or y.
+fn ends_cvc(w: &[u8], n: usize) -> bool {
+    n >= 3
+        && is_cons(w, n - 3)
+        && !is_cons(w, n - 2)
+        && is_cons(w, n - 1)
+        && !matches!(w[n - 1], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suffix: &str) -> bool {
+    w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix.as_bytes()
+}
+
+/// If the word ends with `suffix` and the stem before it has measure > `m`,
+/// replace the suffix. Returns true when the rule fired (matched AND
+/// applied); `fired_match` distinguishes "matched but condition failed".
+fn replace_if_m(w: &mut Vec<u8>, suffix: &str, repl: &str, m_gt: usize) -> bool {
+    if !ends_with(w, suffix) {
+        return false;
+    }
+    let stem_len = w.len() - suffix.len();
+    if measure(w, stem_len) > m_gt {
+        w.truncate(stem_len);
+        w.extend_from_slice(repl.as_bytes());
+    }
+    true // suffix matched: stop scanning this rule table either way
+}
+
+fn step1a(w: &mut Vec<u8>) {
+    if ends_with(w, "sses") {
+        w.truncate(w.len() - 2); // sses -> ss
+    } else if ends_with(w, "ies") {
+        w.truncate(w.len() - 2); // ies -> i
+    } else if ends_with(w, "ss") {
+        // unchanged
+    } else if ends_with(w, "s") {
+        w.truncate(w.len() - 1);
+    }
+}
+
+fn step1b(w: &mut Vec<u8>) {
+    if ends_with(w, "eed") {
+        let stem = w.len() - 3;
+        if measure(w, stem) > 0 {
+            w.truncate(w.len() - 1); // eed -> ee
+        }
+        return;
+    }
+    let cut = if ends_with(w, "ed") && has_vowel(w, w.len() - 2) {
+        2
+    } else if ends_with(w, "ing") && has_vowel(w, w.len() - 3) {
+        3
+    } else {
+        return;
+    };
+    w.truncate(w.len() - cut);
+    // Cleanup: restore an 'e' or undo doubling.
+    if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
+        w.push(b'e');
+    } else if ends_double_cons(w) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
+        w.truncate(w.len() - 1);
+    } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+        w.push(b'e');
+    }
+}
+
+fn step1c(w: &mut Vec<u8>) {
+    if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
+        let n = w.len();
+        w[n - 1] = b'i';
+    }
+}
+
+fn step2(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for (suf, repl) in RULES {
+        if replace_if_m(w, suf, repl, 0) {
+            return;
+        }
+    }
+}
+
+fn step3(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (suf, repl) in RULES {
+        if replace_if_m(w, suf, repl, 0) {
+            return;
+        }
+    }
+}
+
+fn step4(w: &mut Vec<u8>) {
+    const SUFFIXES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    for suf in SUFFIXES {
+        if ends_with(w, suf) {
+            let stem = w.len() - suf.len();
+            if measure(w, stem) > 1 {
+                w.truncate(stem);
+            }
+            return;
+        }
+    }
+    // (m>1 and (*S or *T)) ION ->
+    if ends_with(w, "ion") {
+        let stem = w.len() - 3;
+        if stem >= 1 && measure(w, stem) > 1 && matches!(w[stem - 1], b's' | b't') {
+            w.truncate(stem);
+        }
+    }
+}
+
+fn step5a(w: &mut Vec<u8>) {
+    if ends_with(w, "e") {
+        let stem = w.len() - 1;
+        let m = measure(w, stem);
+        if m > 1 || (m == 1 && !ends_cvc(w, stem)) {
+            w.truncate(stem);
+        }
+    }
+}
+
+fn step5b(w: &mut Vec<u8>) {
+    if measure(w, w.len()) > 1 && ends_double_cons(w) && w[w.len() - 1] == b'l' {
+        w.truncate(w.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pairs: &[(&str, &str)]) {
+        for (input, want) in pairs {
+            assert_eq!(porter_stem(input), *want, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn plurals_step1a() {
+        check(&[
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+        ]);
+    }
+
+    #[test]
+    fn past_and_gerund_step1b() {
+        check(&[
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ]);
+    }
+
+    #[test]
+    fn y_to_i_step1c() {
+        check(&[("happy", "happi"), ("sky", "sky")]);
+    }
+
+    #[test]
+    fn derivational_step2() {
+        check(&[
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"), // step 4 strips "ent" (official output)
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+        ]);
+    }
+
+    #[test]
+    fn derivational_step3() {
+        check(&[
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"), // step 4 strips "ic" (official output)
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+        ]);
+    }
+
+    #[test]
+    fn suffix_stripping_step4() {
+        check(&[
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+        ]);
+    }
+
+    #[test]
+    fn final_e_and_ll_step5() {
+        check(&[
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ]);
+    }
+
+    #[test]
+    fn short_words_and_non_ascii_unchanged() {
+        check(&[("a", "a"), ("is", "is"), ("be", "be")]);
+        assert_eq!(porter_stem("café"), "café");
+        assert_eq!(porter_stem("über"), "über");
+    }
+
+    #[test]
+    fn stemming_conflates_word_family() {
+        let family = ["monitor", "monitors", "monitored", "monitoring"];
+        let stems: Vec<String> = family.iter().map(|w| porter_stem(w)).collect();
+        assert!(stems.iter().all(|s| s == "monitor"), "{stems:?}");
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for w in ["relat", "monitor", "stream", "document", "queri"] {
+            assert_eq!(porter_stem(&porter_stem(w)), porter_stem(w));
+        }
+    }
+}

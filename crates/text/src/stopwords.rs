@@ -1,0 +1,50 @@
+//! English stopword filtering.
+//!
+//! Function words carry no monitoring signal but sit at the top of the Zipf
+//! distribution; dropping them shrinks document vectors by ~40% and keeps
+//! hot postings lists meaningful.
+
+/// The classic English stopword list (Snowball's, lightly trimmed).
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
+    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "herself",
+    "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it", "its", "itself", "just",
+    "me", "more", "most", "my", "myself", "no", "nor", "not", "now", "of", "off", "on", "once",
+    "only", "or", "other", "our", "ours", "ourselves", "out", "over", "own", "same", "she",
+    "should", "so", "some", "such", "than", "that", "the", "their", "theirs", "them",
+    "themselves", "then", "there", "these", "they", "this", "those", "through", "to", "too",
+    "under", "until", "up", "very", "was", "we", "were", "what", "when", "where", "which",
+    "while", "who", "whom", "why", "will", "with", "you", "your", "yours", "yourself",
+    "yourselves",
+];
+
+/// True when `word` (lowercase) is an English stopword. O(log n) lookup.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_for_binary_search() {
+        assert!(STOPWORDS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "and", "is", "of", "with", "you"] {
+            assert!(is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["rust", "stream", "topk", "monitor", "news"] {
+            assert!(!is_stopword(w), "{w}");
+        }
+    }
+}

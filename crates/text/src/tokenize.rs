@@ -1,0 +1,73 @@
+//! Word tokenization.
+//!
+//! Splits on any non-alphanumeric character, lowercases, and keeps tokens
+//! that are 2–40 characters long and contain at least one letter (pure
+//! numbers are rarely useful monitoring keywords).
+
+/// Tokenize `text` into lowercase word tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            push_token(&mut out, std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        push_token(&mut out, cur);
+    }
+    out
+}
+
+fn push_token(out: &mut Vec<String>, tok: String) {
+    let n = tok.chars().count();
+    if (2..=40).contains(&n) && tok.chars().any(|c| c.is_alphabetic()) {
+        out.push(tok);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(
+            tokenize("Breaking News: Rust 1.95 released!"),
+            vec!["breaking", "news", "rust", "released"]
+        );
+    }
+
+    #[test]
+    fn drops_single_chars_and_numbers() {
+        assert_eq!(tokenize("a 1 22 3x b2"), vec!["3x", "b2"]);
+    }
+
+    #[test]
+    fn handles_unicode() {
+        assert_eq!(tokenize("Ünïcode Café naïve"), vec!["ünïcode", "café", "naïve"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("... !!! ---").is_empty());
+    }
+
+    #[test]
+    fn hyphenation_splits() {
+        assert_eq!(tokenize("top-k publish-subscribe"), vec!["top", "publish", "subscribe"]);
+    }
+
+    #[test]
+    fn overlong_tokens_dropped() {
+        let long = "x".repeat(41);
+        assert!(tokenize(&long).is_empty());
+        let ok = "x".repeat(40);
+        assert_eq!(tokenize(&ok).len(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Vocabulary interning: strings ⇄ dense [`TermId`]s.
+//!
+//! The monitoring engines work exclusively with dense term ids; this is the
+//! boundary where strings stop existing. Ids are assigned in first-seen
+//! order and never reused.
+
+use ctk_common::{FxHashMap, TermId};
+
+/// A growable string-to-id interner.
+#[derive(Debug, Default)]
+pub struct Vocabulary {
+    map: FxHashMap<String, TermId>,
+    terms: Vec<String>,
+}
+
+impl Vocabulary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `term`, allocating a fresh id on first sight.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.map.get(term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.map.insert(term.to_string(), id);
+        self.terms.push(term.to_string());
+        id
+    }
+
+    /// Look up an existing term without interning.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.map.get(term).copied()
+    }
+
+    /// The string of an id.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("rust");
+        let b = v.intern("stream");
+        assert_eq!(v.intern("rust"), a);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("monitor");
+        assert_eq!(v.term(id), Some("monitor"));
+        assert_eq!(v.get("monitor"), Some(id));
+        assert_eq!(v.get("absent"), None);
+        assert_eq!(v.term(TermId(99)), None);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        for (i, w) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(v.intern(w), TermId(i as u32));
+        }
+    }
+}

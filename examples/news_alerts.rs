@@ -1,0 +1,68 @@
+//! End-to-end news alerting: raw headlines go through the real-text
+//! pipeline (tokenize → stopwords → Porter stem → vectorize), users register
+//! plain keyword strings, and the monitor pushes result-change
+//! notifications as stories arrive.
+//!
+//! ```text
+//! cargo run --example news_alerts
+//! ```
+
+use continuous_topk::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    let mut analyzer = Analyzer::new();
+    let mut monitor = Monitor::new(MrioSeg::new(0.05));
+
+    // Users subscribe with plain keyword strings; note inflected forms.
+    let subscriptions = [
+        ("alice", "rust databases", 2),
+        ("bob", "championship football", 2),
+        ("carol", "rocket launches", 2),
+    ];
+    let mut names: HashMap<QueryId, &str> = HashMap::new();
+    for (user, keywords, k) in subscriptions {
+        let spec = analyzer.query(keywords, k).expect("valid keywords");
+        let qid = monitor.register(spec);
+        names.insert(qid, user);
+        println!("registered {user}: {keywords:?} (k={k})");
+    }
+
+    let headlines = [
+        "New Rust database engine smashes benchmark records",
+        "Football: underdogs win the championship after penalties",
+        "Private company launches rocket carrying lunar lander",
+        "Stock markets rally on tech earnings",
+        "Database conference announces Rust workshop track",
+        "Championship rematch scheduled for spring",
+        "Rocket launch scrubbed due to weather, rescheduled",
+    ];
+
+    println!("\n--- stream ---");
+    for (i, headline) in headlines.iter().enumerate() {
+        let pairs = analyzer.term_pairs(headline);
+        let (doc_id, changes) = monitor.publish(pairs, i as f64);
+        println!("[t={i}] {headline}");
+        for change in &changes {
+            let user = names[&change.query];
+            match change.evicted {
+                Some(old) => println!(
+                    "   ALERT {user}: doc {} (score {:.3}) replaces doc {}",
+                    doc_id, change.inserted.score, old.doc
+                ),
+                None => println!(
+                    "   ALERT {user}: doc {} enters top-k (score {:.3})",
+                    doc_id, change.inserted.score
+                ),
+            }
+        }
+    }
+
+    println!("\n--- final result sets ---");
+    for (qid, user) in &names {
+        let results = monitor.results(*qid).unwrap();
+        let docs: Vec<String> =
+            results.iter().map(|sd| format!("{}({:.3})", sd.doc, sd.score)).collect();
+        println!("{user}: {}", docs.join(", "));
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: register a few continuous queries, stream documents, read
+//! the continuously maintained top-k results.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use continuous_topk::prelude::*;
+
+fn main() {
+    // An MRIO engine with recency decay λ = 0.01 per time unit: newer
+    // documents outrank equally-similar older ones.
+    let mut engine = MrioSeg::new(0.01);
+
+    // Vocabulary by hand for the demo: 0=rust 1=database 2=stream 3=cooking.
+    let rust = TermId(0);
+    let database = TermId(1);
+    let stream = TermId(2);
+    let cooking = TermId(3);
+
+    // Two users with different interests, each wanting their top-3 docs.
+    let q_systems = engine.register(QuerySpec::uniform(&[rust, database], 3).unwrap());
+    let q_streams = engine.register(QuerySpec::uniform(&[stream, database], 3).unwrap());
+
+    // The document stream flows in.
+    let docs = [
+        (vec![(rust, 2.0), (database, 1.0)], "rust-heavy database post"),
+        (vec![(stream, 3.0), (database, 1.0)], "stream processing survey"),
+        (vec![(cooking, 5.0)], "a recipe (matches nobody)"),
+        (vec![(rust, 1.0), (stream, 1.0), (database, 1.0)], "rust streaming databases"),
+    ];
+    for (i, (pairs, label)) in docs.into_iter().enumerate() {
+        let doc = Document::new(DocId(i as u64), pairs, i as f64);
+        let stats = engine.process(&doc);
+        println!(
+            "event {i}: {label:<32} -> {} result update(s), {} full evaluation(s)",
+            engine.last_changes().len(),
+            stats.full_evaluations
+        );
+    }
+
+    for (name, qid) in [("systems user", q_systems), ("streams user", q_streams)] {
+        println!("\ntop-k for {name}:");
+        for (rank, sd) in engine.results(qid).unwrap().iter().enumerate() {
+            println!("  #{} doc {} score {:.4}", rank + 1, sd.doc, sd.score);
+        }
+    }
+
+    let cum = engine.cumulative();
+    println!(
+        "\nprocessed {} events with {} full evaluations total (pruning at work)",
+        cum.events, cum.full_evaluations
+    );
+}

@@ -1,0 +1,64 @@
+//! High-rate social-feed monitoring with the sharded parallel monitor:
+//! millions of users could never be served by one core, so queries shard
+//! across worker threads and every post fans out to all shards.
+//!
+//! ```text
+//! cargo run --release --example social_feed
+//! ```
+
+use continuous_topk::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let corpus = CorpusConfig {
+        vocab_size: 30_000,
+        avg_tokens: 40, // short posts
+        ..CorpusConfig::default()
+    };
+    let workload = WorkloadConfig {
+        workload: QueryWorkload::Connected,
+        k: 10,
+        ..WorkloadConfig::default()
+    };
+    let num_queries = 20_000;
+    let posts = 400;
+    let lambda = 1e-3; // fresh content matters on a feed
+
+    let mut qgen = QueryGenerator::new(workload, &corpus);
+    let specs = qgen.generate_batch(num_queries);
+
+    for shards in [1usize, 2, 4] {
+        let mut monitor = ShardedMonitor::new(shards, || MrioSeg::new(lambda));
+        let mut ids = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            ids.push(monitor.register(spec.clone()));
+        }
+
+        let mut driver = StreamDriver::new(corpus.clone(), ArrivalClock::Poisson { rate: 5.0 });
+        let batch = driver.take_batch(posts);
+
+        let start = Instant::now();
+        let mut total_updates = 0u64;
+        for doc in batch {
+            let (stats, changes) = monitor.process(doc);
+            total_updates += stats.updates;
+            let _ = changes;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        println!(
+            "{shards} shard(s): {posts} posts in {:.3}s ({:.1} posts/s), {} feed updates",
+            elapsed,
+            posts as f64 / elapsed,
+            total_updates
+        );
+
+        // Show one user's live feed.
+        if shards == 1 {
+            let feed = monitor.results(ids[0]).unwrap();
+            println!("  sample user feed ({} items):", feed.len());
+            for sd in feed.iter().take(3) {
+                println!("    {} score {:.4}", sd.doc, sd.score);
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # continuous-topk
+//!
+//! A from-scratch Rust reproduction of **"Continuous Top-k Monitoring on
+//! Document Streams"** (U, Zhang, Mouratidis, Li — ICDE 2018 / TKDE 2017):
+//! a central server hosts millions of continuous keyword queries (CTQDs) and
+//! refreshes each one's top-k most relevant documents as a document stream
+//! flows in.
+//!
+//! The paper's contribution — the **RIO** and **MRIO** algorithms, which
+//! index the *queries* in ID-ordered inverted lists and prune with
+//! (globally, then zone-locally) bounded WAND-style jumps — lives in
+//! [`ctk_core`], re-exported here. The published baselines (RTA, SortQuer,
+//! TPS) live in [`ctk_baselines`]; synthetic corpora and the paper's two
+//! query workloads in [`ctk_stream`]; real-text analysis in [`ctk_text`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use continuous_topk::prelude::*;
+//!
+//! // An MRIO monitor with decay λ = 0.001 per time unit.
+//! let mut engine = MrioSeg::new(0.001);
+//!
+//! // Register a user's continuous query: keywords + k.
+//! let q = engine.register(QuerySpec::uniform(&[TermId(10), TermId(42)], 5).unwrap());
+//!
+//! // Feed the stream.
+//! engine.process(&Document::new(DocId(0), vec![(TermId(42), 1.0)], 0.0));
+//!
+//! // Read the continuously maintained top-k.
+//! let top = engine.results(q).unwrap();
+//! assert_eq!(top[0].doc, DocId(0));
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harness regenerating the paper's figures.
+
+pub use ctk_baselines as baselines;
+pub use ctk_common as common;
+pub use ctk_core as core;
+pub use ctk_index as index;
+pub use ctk_stream as stream;
+pub use ctk_text as text;
+
+/// The types most applications need.
+pub mod prelude {
+    pub use ctk_baselines::{Rta, SortQuer, Tps};
+    pub use ctk_common::{
+        DocId, Document, OrdF64, Query, QueryId, QuerySpec, ScoredDoc, SparseVector, TermId,
+        Timestamp,
+    };
+    pub use ctk_core::{
+        ContinuousTopK, CumulativeStats, DecayModel, EventStats, Monitor, Mrio, MrioBlock,
+        MrioSeg, MrioSuffix, Naive, ResultChange, Rio, ShardedMonitor, ShardedQueryId, Snapshot,
+    };
+    pub use ctk_text::Analyzer;
+    pub use ctk_stream::{
+        ArrivalClock, CorpusConfig, CorpusModel, DocumentGenerator, QueryGenerator,
+        QueryWorkload, StreamDriver, WorkloadConfig,
+    };
+}

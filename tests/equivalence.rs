@@ -1,0 +1,175 @@
+//! Cross-algorithm equivalence: every engine must maintain result sets
+//! identical (documents, scores, order) to the exhaustive oracle, on
+//! realistic randomized workloads, under both query workloads, with and
+//! without decay, and across register/unregister churn.
+//!
+//! This is the strongest correctness statement in the repository: RIO, the
+//! three MRIO variants, RTA, SortQuer and TPS are all *exact* algorithms —
+//! their pruning must never change a single result.
+
+use continuous_topk::prelude::*;
+
+/// All engines under test, freshly constructed.
+fn engines(lambda: f64) -> Vec<Box<dyn ContinuousTopK>> {
+    vec![
+        Box::new(Rio::new(lambda)),
+        Box::new(MrioSeg::new(lambda)),
+        Box::new(MrioBlock::new(lambda)),
+        Box::new(MrioSuffix::new(lambda)),
+        Box::new(Rta::new(lambda)),
+        Box::new(SortQuer::new(lambda)),
+        Box::new(Tps::new(lambda)),
+    ]
+}
+
+fn scores_close(a: &ScoredDoc, b: &ScoredDoc) -> bool {
+    let (x, y) = (a.score.get(), b.score.get());
+    a.doc == b.doc && (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
+}
+
+/// Run `events` documents against `num_queries` queries on every engine and
+/// compare all result sets (and thresholds) against the Naive oracle.
+fn run_equivalence(
+    workload: QueryWorkload,
+    lambda: f64,
+    num_queries: usize,
+    events: usize,
+    seed: u64,
+    churn: bool,
+) {
+    let corpus = CorpusConfig {
+        vocab_size: 2_000,
+        avg_tokens: 80,
+        length_jitter: 0.4,
+        zipf_exponent: 1.0,
+        model: CorpusModel::TopicMixture {
+            num_topics: 12,
+            terms_per_topic: 120,
+            in_topic_fraction: 0.7,
+        },
+        seed,
+    };
+    let wl = WorkloadConfig {
+        workload,
+        terms_min: 2,
+        terms_max: 4,
+        k: 3,
+        seed: seed ^ 0xABCD,
+    };
+    let mut qgen = QueryGenerator::new(wl, &corpus);
+    let specs = qgen.generate_batch(num_queries);
+
+    let mut oracle = Naive::new(lambda);
+    let mut subjects = engines(lambda);
+
+    let mut qids = Vec::new();
+    for spec in &specs {
+        let qid = oracle.register(spec.clone());
+        for s in subjects.iter_mut() {
+            assert_eq!(s.register(spec.clone()), qid, "{} id allocation", s.name());
+        }
+        qids.push(qid);
+    }
+
+    let mut driver = StreamDriver::new(corpus, ArrivalClock::unit());
+    let mut removed: Vec<QueryId> = Vec::new();
+    for step in 0..events {
+        // Churn: remove one query at 1/3, add one back at 2/3.
+        if churn && step == events / 3 {
+            let victim = qids[qids.len() / 2];
+            assert!(oracle.unregister(victim));
+            for s in subjects.iter_mut() {
+                assert!(s.unregister(victim), "{} unregister", s.name());
+            }
+            removed.push(victim);
+        }
+        if churn && step == 2 * events / 3 {
+            let spec = qgen.generate();
+            let qid = oracle.register(spec.clone());
+            for s in subjects.iter_mut() {
+                assert_eq!(s.register(spec.clone()), qid);
+            }
+            qids.push(qid);
+        }
+
+        let doc = driver.next_document();
+        oracle.process(&doc);
+        for s in subjects.iter_mut() {
+            s.process(&doc);
+        }
+
+        // Spot-check full equality every few events (cheap enough here).
+        if step % 7 == 0 || step + 1 == events {
+            for &qid in &qids {
+                if removed.contains(&qid) {
+                    continue;
+                }
+                let want = oracle.results(qid).expect("oracle result");
+                for s in subjects.iter() {
+                    let got = s.results(qid).unwrap_or_else(|| {
+                        panic!("{}: missing results for {qid}", s.name())
+                    });
+                    assert_eq!(
+                        got.len(),
+                        want.len(),
+                        "{} query {qid} step {step}: {got:?} vs {want:?}",
+                        s.name()
+                    );
+                    for (g, w) in got.iter().zip(&want) {
+                        assert!(
+                            scores_close(g, w),
+                            "{} query {qid} step {step}: {g:?} vs {w:?}",
+                            s.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Removed queries must stay gone.
+    for qid in removed {
+        for s in subjects.iter() {
+            assert!(s.results(qid).is_none(), "{}", s.name());
+        }
+    }
+}
+
+#[test]
+fn uniform_no_decay() {
+    run_equivalence(QueryWorkload::Uniform, 0.0, 120, 140, 11, false);
+}
+
+#[test]
+fn uniform_with_decay() {
+    run_equivalence(QueryWorkload::Uniform, 0.01, 120, 140, 22, false);
+}
+
+#[test]
+fn connected_no_decay() {
+    run_equivalence(QueryWorkload::Connected, 0.0, 120, 140, 33, false);
+}
+
+#[test]
+fn connected_with_decay() {
+    run_equivalence(QueryWorkload::Connected, 0.01, 120, 140, 44, false);
+}
+
+#[test]
+fn connected_with_churn() {
+    run_equivalence(QueryWorkload::Connected, 0.005, 80, 150, 55, true);
+}
+
+#[test]
+fn uniform_with_churn_and_strong_decay() {
+    run_equivalence(QueryWorkload::Uniform, 0.05, 80, 150, 66, true);
+}
+
+/// Renormalization path: tiny exponent headroom forces many landmark
+/// renormalizations; results must stay equivalent throughout.
+#[test]
+fn heavy_decay_exercises_renormalization() {
+    // λ=0.7 over 150 unit-spaced events pushes λΔτ to 105 > 60 (the default
+    // headroom), forcing at least one renormalization in every engine.
+    run_equivalence(QueryWorkload::Connected, 0.7, 60, 150, 77, false);
+}
