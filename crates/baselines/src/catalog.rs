@@ -56,20 +56,14 @@ impl Catalog {
 
     /// Ids of live queries, ascending.
     pub fn live_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
-        self.queries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, q)| q.as_ref().map(|_| QueryId(i as u32)))
+        self.queries.iter().enumerate().filter_map(|(i, q)| q.as_ref().map(|_| QueryId(i as u32)))
     }
 
     /// Exact raw dot product of a stored query with a document given as a
     /// term→weight map.
     pub fn dot(&self, qid: QueryId, doc_weights: &FxHashMap<TermId, f64>) -> f64 {
         let Some(q) = self.get(qid) else { return 0.0 };
-        q.terms
-            .iter()
-            .filter_map(|&(t, w)| doc_weights.get(&t).map(|&f| f * w as f64))
-            .sum()
+        q.terms.iter().filter_map(|&(t, w)| doc_weights.get(&t).map(|&f| f * w as f64)).sum()
     }
 }
 
@@ -78,8 +72,7 @@ mod tests {
     use super::*;
 
     fn vector(pairs: &[(u32, f32)]) -> SparseVector {
-        let mut v =
-            SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)).collect());
+        let mut v = SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)).collect());
         v.normalize();
         v
     }

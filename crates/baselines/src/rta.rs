@@ -15,11 +15,11 @@
 //! break the upper-bound contract).
 
 use crate::catalog::Catalog;
+use ctk_common::{Document, FxHashMap, QueryId, QuerySpec, ScoredDoc, TermId};
 use ctk_core::engine::EngineBase;
 use ctk_core::stats::{CumulativeStats, EventStats};
 use ctk_core::topk::TopKState;
 use ctk_core::traits::{ContinuousTopK, ResultChange};
-use ctk_common::{Document, FxHashMap, QueryId, QuerySpec, ScoredDoc, TermId};
 use ctk_index::ImpactList;
 
 /// Default list-refresh period (stream events).

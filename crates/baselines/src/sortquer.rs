@@ -21,11 +21,11 @@
 //! exhaustive — the same warm-up behaviour as every other method here.
 
 use crate::catalog::Catalog;
+use ctk_common::{Document, FxHashMap, QueryId, QuerySpec, ScoredDoc, TermId};
 use ctk_core::engine::EngineBase;
 use ctk_core::stats::{CumulativeStats, EventStats};
 use ctk_core::topk::TopKState;
 use ctk_core::traits::{ContinuousTopK, ResultChange};
-use ctk_common::{Document, FxHashMap, QueryId, QuerySpec, ScoredDoc, TermId};
 use ctk_index::{VersionedMaxTracker, WeightOrderedList};
 
 /// The SortQuer baseline.
@@ -195,8 +195,7 @@ impl ContinuousTopK for SortQuer {
             }
             // Exact score: the accumulator is already exact when nothing
             // was cut; otherwise re-score from the catalog.
-            let dot =
-                if slack == 0.0 { partial } else { self.catalog.dot(qid, &self.doc_weights) };
+            let dot = if slack == 0.0 { partial } else { self.catalog.dot(qid, &self.doc_weights) };
             ev.full_evaluations += 1;
             if self.base.offer(qid, doc, dot, amp) {
                 ev.updates += 1;

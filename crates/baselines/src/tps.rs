@@ -16,11 +16,11 @@
 //! where RIO couples weight and threshold per entry, and MRIO narrows both
 //! to the current zone. Hence TPS jumps less and evaluates more.
 
+use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc};
 use ctk_core::engine::{advance_past_current, advance_to, CursorSet, EngineBase};
 use ctk_core::stats::{CumulativeStats, EventStats};
 use ctk_core::topk::TopKState;
 use ctk_core::traits::{ContinuousTopK, ResultChange};
-use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc};
 use ctk_index::{QueryIndex, VersionedMaxTracker};
 
 /// The TPS baseline.
@@ -109,8 +109,10 @@ impl ContinuousTopK for Tps {
         if renorm.is_some() {
             self.refresh_all_inv_sk();
         }
-        let mut ev = EventStats::default();
-        ev.matched_lists = self.cursors.build(&self.index, doc) as u64;
+        let mut ev = EventStats {
+            matched_lists: self.cursors.build(&self.index, doc) as u64,
+            ..EventStats::default()
+        };
 
         loop {
             if self.cursors.is_empty() {

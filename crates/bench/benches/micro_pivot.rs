@@ -13,7 +13,7 @@ fn bench_seek(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut qid = 0u32;
     for _ in 0..100_000 {
-        qid += rng.gen_range(1..20);
+        qid += rng.gen_range(1u32..20);
         list.push(QueryId(qid), 0.5);
     }
     let max_id = qid;
@@ -42,11 +42,7 @@ fn bench_cursor_repair(c: &mut Criterion) {
             let _ = q;
         }
     }
-    let doc = Document::new(
-        DocId(0),
-        (0..150).map(|t| (TermId(t), 1.0)).collect(),
-        0.0,
-    );
+    let doc = Document::new(DocId(0), (0..150).map(|t| (TermId(t), 1.0)).collect(), 0.0);
     let mut group = c.benchmark_group("cursors");
     group.sample_size(30);
     group.bench_function("build_150_lists", |b| {
@@ -65,8 +61,7 @@ fn bench_cursor_repair(c: &mut Criterion) {
                     let list = index.list(cs.cursors[i].list);
                     let pos = list.seek(cs.cursors[i].pos, target);
                     cs.cursors[i].pos = pos.min(list.len().saturating_sub(1));
-                    cs.cursors[i].qid =
-                        if pos < list.len() { list.get(pos).qid } else { target };
+                    cs.cursors[i].qid = if pos < list.len() { list.get(pos).qid } else { target };
                 }
                 cs.repair_prefix(2);
             }

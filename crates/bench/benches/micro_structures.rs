@@ -23,7 +23,7 @@ fn bench_range_max(c: &mut Criterion) {
     let ranges: Vec<(usize, usize)> = (0..1024)
         .map(|_| {
             let lo = rng.gen_range(0..N - 64);
-            (lo, lo + rng.gen_range(1..64))
+            (lo, lo + rng.gen_range(1usize..64))
         })
         .collect();
 

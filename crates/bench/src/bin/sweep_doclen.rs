@@ -5,7 +5,9 @@
 //! cargo run -p ctk-bench --release --bin sweep_doclen [-- --scale smoke|laptop]
 //! ```
 
-use ctk_bench::{make_engine, prepare, run_engine, write_csv, ExperimentConfig, Scale, Table, PAPER_ALGOS};
+use ctk_bench::{
+    make_engine, prepare, run_engine, write_csv, ExperimentConfig, Scale, Table, PAPER_ALGOS,
+};
 use ctk_stream::QueryWorkload;
 
 fn main() {

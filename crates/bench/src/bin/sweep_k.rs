@@ -4,7 +4,9 @@
 //! cargo run -p ctk-bench --release --bin sweep_k [-- --scale smoke|laptop]
 //! ```
 
-use ctk_bench::{make_engine, prepare, run_engine, write_csv, ExperimentConfig, Scale, Table, PAPER_ALGOS};
+use ctk_bench::{
+    make_engine, prepare, run_engine, write_csv, ExperimentConfig, Scale, Table, PAPER_ALGOS,
+};
 use ctk_stream::QueryWorkload;
 
 fn main() {

@@ -6,7 +6,9 @@
 //! cargo run -p ctk-bench --release --bin sweep_lambda [-- --scale smoke|laptop]
 //! ```
 
-use ctk_bench::{make_engine, prepare, run_engine, write_csv, ExperimentConfig, Scale, Table, PAPER_ALGOS};
+use ctk_bench::{
+    make_engine, prepare, run_engine, write_csv, ExperimentConfig, Scale, Table, PAPER_ALGOS,
+};
 use ctk_stream::QueryWorkload;
 
 fn main() {
@@ -27,8 +29,11 @@ fn main() {
         for algo in PAPER_ALGOS {
             let mut engine = make_engine(algo, cfg.lambda);
             let r = run_engine(engine.as_mut(), &wl);
-            eprintln!("  λ={lambda:<8} {algo:<9} {:>9.4} ms/ev ({:.1} updates/ev)",
-                r.avg_ms, r.stats.updates as f64 / r.stats.events.max(1) as f64);
+            eprintln!(
+                "  λ={lambda:<8} {algo:<9} {:>9.4} ms/ev ({:.1} updates/ev)",
+                r.avg_ms,
+                r.stats.updates as f64 / r.stats.events.max(1) as f64
+            );
             row.push(r.avg_ms);
         }
         table.push_row(format!("{lambda}"), row);

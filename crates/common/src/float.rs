@@ -78,12 +78,8 @@ mod tests {
 
     #[test]
     fn total_order() {
-        let mut v = vec![
-            OrdF64::new(3.0),
-            OrdF64::new(f64::INFINITY),
-            OrdF64::new(-1.0),
-            OrdF64::new(0.0),
-        ];
+        let mut v =
+            vec![OrdF64::new(3.0), OrdF64::new(f64::INFINITY), OrdF64::new(-1.0), OrdF64::new(0.0)];
         v.sort();
         let raw: Vec<f64> = v.into_iter().map(f64::from).collect();
         assert_eq!(raw, vec![-1.0, 0.0, 3.0, f64::INFINITY]);

@@ -77,11 +77,7 @@ impl SparseVector {
 
     /// Euclidean norm.
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|&(_, w)| (w as f64) * (w as f64))
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|&(_, w)| (w as f64) * (w as f64)).sum::<f64>().sqrt()
     }
 
     /// Scale to unit norm. A zero vector is left unchanged.
@@ -215,10 +211,7 @@ impl PartialOrd for ScoredDoc {
 impl Ord for ScoredDoc {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Descending score, then ascending doc id.
-        other
-            .score
-            .cmp(&self.score)
-            .then_with(|| self.doc.cmp(&other.doc))
+        other.score.cmp(&self.score).then_with(|| self.doc.cmp(&other.doc))
     }
 }
 

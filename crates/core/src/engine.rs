@@ -176,12 +176,7 @@ impl CursorSet {
             if pos >= list.len() {
                 continue;
             }
-            self.cursors.push(Cursor {
-                list: li,
-                f: f as f64,
-                pos,
-                qid: list.get(pos).qid,
-            });
+            self.cursors.push(Cursor { list: li, f: f as f64, pos, qid: list.get(pos).qid });
         }
         let m = self.cursors.len();
         self.sort_full();
@@ -272,8 +267,7 @@ mod tests {
     use ctk_common::{DocId, SparseVector, TermId};
 
     fn vector(pairs: &[(u32, f32)]) -> SparseVector {
-        let mut v =
-            SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)).collect());
+        let mut v = SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)).collect());
         v.normalize();
         v
     }

@@ -189,8 +189,10 @@ impl<Z: ZoneMax + Default> ContinuousTopK for Mrio<Z> {
         if renorm.is_some() {
             self.rebuild_all_zones();
         }
-        let mut ev = EventStats::default();
-        ev.matched_lists = self.cursors.build(&self.index, doc) as u64;
+        let mut ev = EventStats {
+            matched_lists: self.cursors.build(&self.index, doc) as u64,
+            ..EventStats::default()
+        };
 
         loop {
             if self.cursors.is_empty() {

@@ -103,8 +103,10 @@ impl ContinuousTopK for Rio {
         if renorm.is_some() {
             self.refresh_all_trackers();
         }
-        let mut ev = EventStats::default();
-        ev.matched_lists = self.cursors.build(&self.index, doc) as u64;
+        let mut ev = EventStats {
+            matched_lists: self.cursors.build(&self.index, doc) as u64,
+            ..EventStats::default()
+        };
 
         loop {
             if self.cursors.is_empty() {
@@ -119,8 +121,7 @@ impl ContinuousTopK for Rio {
                 let trackers = &mut self.trackers;
                 let mut prefix = 0.0f64;
                 for (i, c) in self.cursors.cursors.iter().enumerate() {
-                    let mx =
-                        trackers[c.list as usize].peek_max(|q, v| base.is_current(q, v));
+                    let mx = trackers[c.list as usize].peek_max(|q, v| base.is_current(q, v));
                     ev.bound_computations += 1;
                     if mx > 0.0 {
                         prefix += c.f * mx;

@@ -121,8 +121,9 @@ mod tests {
         let r = d.renormalize(600.0);
         assert!(r < 1.0);
         let s_rescaled = s_old * r;
-        // The same document scored directly under the new landmark.
-        let s_fresh = 0.8 * d.amplification(400.0) * d.theta(400.0); // τ < landmark clamps
+        // The same document scored directly under the new landmark
+        // (τ < landmark clamps).
+        let s_fresh = 0.8 * d.amplification(400.0) * d.theta(400.0);
         // Direct algebra: s under new landmark = 0.8·e^{0.01·(400−600)}.
         let expect = 0.8 * (0.01f64 * (400.0 - 600.0)).exp();
         assert!((s_rescaled - expect).abs() < 1e-12, "{s_rescaled} vs {expect}");

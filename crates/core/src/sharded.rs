@@ -11,8 +11,8 @@
 
 use crate::stats::EventStats;
 use crate::traits::{ContinuousTopK, ResultChange};
-use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc};
 use crossbeam::channel::{bounded, unbounded, Sender};
+use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 

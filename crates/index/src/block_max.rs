@@ -76,8 +76,7 @@ impl ZoneMax for BlockMax {
         if u >= self.global {
             self.global = u;
         } else if old == self.global {
-            self.global =
-                self.block_max.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            self.global = self.block_max.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         }
     }
 

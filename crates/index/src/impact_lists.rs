@@ -52,9 +52,7 @@ impl ImpactList {
     /// Insert keeping descending-bound order (O(n) memmove; registration is
     /// rare relative to stream events).
     pub fn insert(&mut self, qid: QueryId, weight: f32, bound: f64) {
-        let pos = self
-            .entries
-            .partition_point(|e| e.bound > bound);
+        let pos = self.entries.partition_point(|e| e.bound > bound);
         self.entries.insert(pos, ImpactEntry { qid, weight, bound });
     }
 
@@ -75,8 +73,9 @@ impl ImpactList {
         for e in &mut self.entries {
             e.bound = current_u(e.qid, e.weight);
         }
-        self.entries
-            .sort_unstable_by(|a, b| b.bound.partial_cmp(&a.bound).unwrap_or(std::cmp::Ordering::Equal));
+        self.entries.sort_unstable_by(|a, b| {
+            b.bound.partial_cmp(&a.bound).unwrap_or(std::cmp::Ordering::Equal)
+        });
     }
 
     /// Check the descending invariant (test helper).

@@ -73,7 +73,10 @@ impl PostingsList {
     /// Append an entry. `qid` must exceed every id already present.
     pub fn push(&mut self, qid: QueryId, weight: f32) {
         debug_assert!(weight > 0.0);
-        debug_assert!(self.entries.last().map_or(true, |p| p.qid < qid), "postings must stay ID-ordered");
+        debug_assert!(
+            self.entries.last().is_none_or(|p| p.qid < qid),
+            "postings must stay ID-ordered"
+        );
         self.entries.push(Posting { qid, weight });
     }
 
@@ -195,9 +198,8 @@ mod tests {
         let l = list(&ids);
         for from in 0..=l.len() {
             for t in 0..620u32 {
-                let expect = (from..l.len())
-                    .find(|&p| l.get(p).qid >= QueryId(t))
-                    .unwrap_or(l.len());
+                let expect =
+                    (from..l.len()).find(|&p| l.get(p).qid >= QueryId(t)).unwrap_or(l.len());
                 assert_eq!(l.seek(from, QueryId(t)), expect, "from={from} t={t}");
             }
         }

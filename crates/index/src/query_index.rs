@@ -159,10 +159,7 @@ impl QueryIndex {
 
     /// Iterate ids of live queries (ascending).
     pub fn live_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
-        self.records
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.as_ref().map(|_| QueryId(i as u32)))
+        self.records.iter().enumerate().filter_map(|(i, r)| r.as_ref().map(|_| QueryId(i as u32)))
     }
 }
 
@@ -171,8 +168,7 @@ mod tests {
     use super::*;
 
     fn vector(pairs: &[(u32, f32)]) -> SparseVector {
-        let mut v =
-            SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)).collect());
+        let mut v = SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)).collect());
         v.normalize();
         v
     }

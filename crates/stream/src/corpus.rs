@@ -177,10 +177,7 @@ impl DocumentGenerator {
             }
         }
 
-        self.counts
-            .iter()
-            .map(|(&t, &tf)| (TermId(t), 1.0 + (tf as f32).ln()))
-            .collect()
+        self.counts.iter().map(|(&t, &tf)| (TermId(t), 1.0 + (tf as f32).ln())).collect()
     }
 
     /// Generate one full (normalized) document.
@@ -269,8 +266,7 @@ mod tests {
                 }
             }
             let mean = sims.iter().sum::<f64>() / sims.len() as f64;
-            let var =
-                sims.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / sims.len() as f64;
+            let var = sims.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / sims.len() as f64;
             var.sqrt()
         };
         let (topical, flat) = (cos_spread(&docs), cos_spread(&flat));

@@ -64,8 +64,7 @@ mod tests {
 
     #[test]
     fn ids_and_times_are_monotone() {
-        let mut d =
-            StreamDriver::new(CorpusConfig::small_flat(1000, 40, 1), ArrivalClock::unit());
+        let mut d = StreamDriver::new(CorpusConfig::small_flat(1000, 40, 1), ArrivalClock::unit());
         let docs = d.take_batch(20);
         for w in docs.windows(2) {
             assert!(w[1].id > w[0].id);
@@ -91,9 +90,7 @@ mod tests {
         );
         let docs = d.take_batch(50);
         assert!(docs.last().unwrap().arrival > 0.0);
-        let gaps_equal = docs
-            .windows(2)
-            .all(|w| (w[1].arrival - w[0].arrival - 0.5).abs() < 1e-12);
+        let gaps_equal = docs.windows(2).all(|w| (w[1].arrival - w[0].arrival - 0.5).abs() < 1e-12);
         assert!(!gaps_equal, "poisson gaps must vary");
     }
 }

@@ -175,8 +175,7 @@ mod tests {
             let mut total = 0.0;
             for _ in 0..60 {
                 let q = g.generate();
-                let best =
-                    docs.iter().map(|d| q.vector.dot(&d.vector)).fold(0.0f64, f64::max);
+                let best = docs.iter().map(|d| q.vector.dot(&d.vector)).fold(0.0f64, f64::max);
                 total += best;
             }
             total / 60.0

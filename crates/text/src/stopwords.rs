@@ -5,6 +5,7 @@
 //! hot postings lists meaningful.
 
 /// The classic English stopword list (Snowball's, lightly trimmed).
+#[rustfmt::skip] // keep the packed table layout
 static STOPWORDS: &[&str] = &[
     "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
     "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",

@@ -10,16 +10,9 @@
 use continuous_topk::prelude::*;
 
 fn main() {
-    let corpus = CorpusConfig {
-        vocab_size: 20_000,
-        avg_tokens: 150,
-        ..CorpusConfig::default()
-    };
-    let workload = WorkloadConfig {
-        workload: QueryWorkload::Connected,
-        k: 5,
-        ..WorkloadConfig::default()
-    };
+    let corpus = CorpusConfig { vocab_size: 20_000, avg_tokens: 150, ..CorpusConfig::default() };
+    let workload =
+        WorkloadConfig { workload: QueryWorkload::Connected, k: 5, ..WorkloadConfig::default() };
     let num_queries = 4_000;
     let events = 600;
     let lambda = 1e-3;
@@ -43,7 +36,10 @@ fn main() {
         }
     }
 
-    eprintln!("streaming {events} documents into {num_queries} queries x {} engines...", engines.len());
+    eprintln!(
+        "streaming {events} documents into {num_queries} queries x {} engines...",
+        engines.len()
+    );
     let mut driver = StreamDriver::new(corpus, ArrivalClock::unit());
     for doc in driver.take_batch(events) {
         for engine in engines.iter_mut() {

@@ -17,8 +17,7 @@ fn main() {
     // A monitor that has been running for a while...
     let mut qgen = QueryGenerator::new(workload, &corpus);
     let mut monitor = Monitor::new(MrioSeg::new(lambda));
-    let qids: Vec<QueryId> =
-        (0..200).map(|_| monitor.register(qgen.generate())).collect();
+    let qids: Vec<QueryId> = (0..200).map(|_| monitor.register(qgen.generate())).collect();
     let mut driver = StreamDriver::new(corpus.clone(), ArrivalClock::unit());
     for doc in driver.take_batch(300) {
         monitor.publish(doc.vector.iter().collect(), doc.arrival);

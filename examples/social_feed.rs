@@ -15,11 +15,8 @@ fn main() {
         avg_tokens: 40, // short posts
         ..CorpusConfig::default()
     };
-    let workload = WorkloadConfig {
-        workload: QueryWorkload::Connected,
-        k: 10,
-        ..WorkloadConfig::default()
-    };
+    let workload =
+        WorkloadConfig { workload: QueryWorkload::Connected, k: 10, ..WorkloadConfig::default() };
     let num_queries = 20_000;
     let posts = 400;
     let lambda = 1e-3; // fresh content matters on a feed

@@ -50,12 +50,12 @@ pub mod prelude {
         Timestamp,
     };
     pub use ctk_core::{
-        ContinuousTopK, CumulativeStats, DecayModel, EventStats, Monitor, Mrio, MrioBlock,
-        MrioSeg, MrioSuffix, Naive, ResultChange, Rio, ShardedMonitor, ShardedQueryId, Snapshot,
+        ContinuousTopK, CumulativeStats, DecayModel, EventStats, Monitor, Mrio, MrioBlock, MrioSeg,
+        MrioSuffix, Naive, ResultChange, Rio, ShardedMonitor, ShardedQueryId, Snapshot,
+    };
+    pub use ctk_stream::{
+        ArrivalClock, CorpusConfig, CorpusModel, DocumentGenerator, QueryGenerator, QueryWorkload,
+        StreamDriver, WorkloadConfig,
     };
     pub use ctk_text::Analyzer;
-    pub use ctk_stream::{
-        ArrivalClock, CorpusConfig, CorpusModel, DocumentGenerator, QueryGenerator,
-        QueryWorkload, StreamDriver, WorkloadConfig,
-    };
 }

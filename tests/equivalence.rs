@@ -49,13 +49,7 @@ fn run_equivalence(
         },
         seed,
     };
-    let wl = WorkloadConfig {
-        workload,
-        terms_min: 2,
-        terms_max: 4,
-        k: 3,
-        seed: seed ^ 0xABCD,
-    };
+    let wl = WorkloadConfig { workload, terms_min: 2, terms_max: 4, k: 3, seed: seed ^ 0xABCD };
     let mut qgen = QueryGenerator::new(wl, &corpus);
     let specs = qgen.generate_batch(num_queries);
 
@@ -106,9 +100,9 @@ fn run_equivalence(
                 }
                 let want = oracle.results(qid).expect("oracle result");
                 for s in subjects.iter() {
-                    let got = s.results(qid).unwrap_or_else(|| {
-                        panic!("{}: missing results for {qid}", s.name())
-                    });
+                    let got = s
+                        .results(qid)
+                        .unwrap_or_else(|| panic!("{}: missing results for {qid}", s.name()));
                     assert_eq!(
                         got.len(),
                         want.len(),

@@ -22,7 +22,7 @@ fn corpus(seed: u64) -> CorpusConfig {
 }
 
 fn specs(workload: QueryWorkload, n: usize, seed: u64) -> Vec<QuerySpec> {
-    let cfg = WorkloadConfig { workload, terms_min: 2, terms_max: 4, k: 5, seed, ..WorkloadConfig::default() };
+    let cfg = WorkloadConfig { workload, terms_min: 2, terms_max: 4, k: 5, seed };
     QueryGenerator::new(cfg, &corpus(seed)).generate_batch(n)
 }
 

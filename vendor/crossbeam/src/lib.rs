@@ -1,0 +1,123 @@
+//! Offline stand-in for `crossbeam`, exposing the channel subset this
+//! workspace uses. Backed by `std::sync::mpsc` (which since Rust 1.67 *is*
+//! crossbeam-channel's implementation), with one unified `Sender` type over
+//! the bounded/unbounded flavors like the real crate.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// The sending half of a channel (bounded or unbounded).
+    pub struct Sender<T>(Flavor<T>);
+
+    enum Flavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Flavor::Unbounded(tx) => Flavor::Unbounded(tx.clone()),
+                Flavor::Bounded(tx) => Flavor::Bounded(tx.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while a bounded channel is full.
+        /// Fails only when all receivers have disconnected.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Flavor::Unbounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+                Flavor::Bounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; fails when all senders have
+        /// disconnected and the channel is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// A channel with unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Flavor::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// A channel holding at most `cap` in-flight messages (0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Flavor::Bounded(tx)), Receiver(rx))
+    }
+
+    /// The message could not be delivered because the channel disconnected.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: Debug without requiring `T: Debug`.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// The channel is empty and all senders have disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a failed [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, TryRecvError};
+
+    #[test]
+    fn unbounded_round_trip_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx2.send(i).unwrap();
+            }
+        });
+        let mut sum = 0;
+        for _ in 0..100 {
+            sum += rx.recv().unwrap();
+        }
+        h.join().unwrap();
+        assert_eq!(sum, 4950);
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_reply_channel_pattern() {
+        let (tx, rx) = bounded::<u64>(1);
+        std::thread::spawn(move || tx.send(7).unwrap());
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err(), "sender dropped");
+    }
+}
