@@ -207,6 +207,14 @@ impl ContinuousTopK for Tps {
     fn lambda(&self) -> f64 {
         self.base.decay.lambda()
     }
+
+    fn landmark(&self) -> f64 {
+        self.base.decay.landmark()
+    }
+
+    fn restore_landmark(&mut self, landmark: f64) {
+        self.base.decay.restore_landmark(landmark);
+    }
 }
 
 #[cfg(test)]

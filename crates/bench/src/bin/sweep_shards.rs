@@ -1,0 +1,189 @@
+//! Batched sharded-ingestion throughput: docs/sec as a function of shard
+//! count and batch size, against two fixed references on the *same*
+//! workload — the single-threaded engine and the per-document sharded path
+//! (batch size 1, the pre-batching design).
+//!
+//! ```text
+//! cargo run -p ctk-bench --release --bin sweep_shards \
+//!     [-- --scale smoke|laptop|full] [--shards 1,2,4] [--batches 1,64,256] \
+//!     [--window 1] [--docs N]
+//! ```
+//!
+//! Prints a markdown table and writes the machine-readable report to
+//! `results/sweep_shards.json` (archived by CI as a build artifact).
+//!
+//! Interpreting speedups: batching removes the per-document channel
+//! allocation + cross-shard barrier, so `batch ≥ 64` vs `batch 1` shows the
+//! coordination overhead; `shards > 1` vs the single engine additionally
+//! needs physical cores to pay off — the report records the machine's
+//! available parallelism so a 1-core CI runner is not mistaken for a
+//! scaling regression.
+
+use ctk_bench::report::format_sig;
+use ctk_bench::{prepare, write_json_report, ExperimentConfig, Scale, Table};
+use ctk_core::{ContinuousTopK, MrioSeg, ShardedMonitor};
+use ctk_stream::QueryWorkload;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Cell {
+    shards: usize,
+    batch: usize,
+    docs_per_sec: f64,
+    speedup_vs_single: f64,
+    speedup_vs_per_doc_sharded: f64,
+}
+
+#[derive(Serialize)]
+struct SweepReport {
+    engine: String,
+    scale: String,
+    num_queries: usize,
+    measured_docs: usize,
+    window: usize,
+    available_parallelism: usize,
+    single_docs_per_sec: f64,
+    cells: Vec<Cell>,
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_list(s: &str) -> Vec<usize> {
+    s.split(',').filter_map(|p| p.trim().parse().ok()).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_value(&args, "--scale").and_then(|s| Scale::parse(&s)).unwrap_or(Scale::Laptop);
+    let shard_counts =
+        arg_value(&args, "--shards").map(|s| parse_list(&s)).unwrap_or_else(|| vec![1, 2, 4]);
+    let batch_sizes =
+        arg_value(&args, "--batches").map(|s| parse_list(&s)).unwrap_or_else(|| vec![1, 64, 256]);
+    let window: usize = arg_value(&args, "--window").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let measured_docs: usize =
+        arg_value(&args, "--docs").and_then(|s| s.parse().ok()).unwrap_or(match scale {
+            Scale::Smoke => 2_000,
+            Scale::Laptop => 8_000,
+            Scale::Full => 20_000,
+        });
+
+    let n = scale.query_counts()[scale.query_counts().len() / 2];
+    let mut cfg = ExperimentConfig::fig1(QueryWorkload::Connected, n, scale);
+    cfg.measured_events = measured_docs;
+    let wl = prepare(&cfg);
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    eprintln!(
+        "sweep_shards: {n} queries, {} measured docs, window {window}, {cores} core(s)",
+        wl.measured.len()
+    );
+    if cores < shard_counts.iter().copied().max().unwrap_or(1) {
+        eprintln!(
+            "  note: fewer cores than shards — sharding cannot beat the single engine here; \
+             compare batch sizes (coordination overhead) instead"
+        );
+    }
+
+    // Reference 1: the single-threaded engine.
+    let single_dps = {
+        let mut engine = MrioSeg::new(cfg.lambda);
+        wl.install(&mut engine);
+        for doc in &wl.warmup {
+            engine.process(doc);
+        }
+        let start = Instant::now();
+        for doc in &wl.measured {
+            engine.process(doc);
+        }
+        wl.measured.len() as f64 / start.elapsed().as_secs_f64()
+    };
+    eprintln!("  single-threaded MRIO: {} docs/sec", format_sig(single_dps));
+
+    let mut table = Table::new(
+        "Batched sharded ingestion throughput (MRIO)",
+        "shards x batch",
+        &["docs/sec", "vs single", "vs per-doc sharded"],
+        "docs/sec",
+    );
+    let mut cells = Vec::new();
+    for &shards in &shard_counts {
+        // Reference 2: this shard count fed one document at a time through
+        // the blocking `process` call — the old one-doc-one-barrier design.
+        // Always swept first (as the batch-1 cell, without pipelining) and
+        // exactly once, whatever --batches says.
+        let mut batches = vec![1usize];
+        for &b in &batch_sizes {
+            if b > 1 && !batches.contains(&b) {
+                batches.push(b);
+            }
+        }
+        let mut per_doc_dps = f64::NAN;
+        for &batch in &batches {
+            let mut monitor = ShardedMonitor::new(shards, || MrioSeg::new(cfg.lambda));
+            let mut ids = Vec::with_capacity(wl.specs.len());
+            for spec in &wl.specs {
+                ids.push(monitor.register(spec.clone()));
+            }
+            for (i, seeds) in wl.seeds.iter().enumerate() {
+                if !seeds.is_empty() {
+                    monitor.seed_results(ids[i], seeds.clone());
+                }
+            }
+            for chunk in wl.warmup.chunks(batch.max(1)) {
+                monitor.process_batch(chunk.to_vec());
+            }
+
+            let start = Instant::now();
+            if batch == 1 {
+                // The per-document reference must pay the historical cost:
+                // one blocking broadcast + merge per document, no window.
+                for doc in &wl.measured {
+                    monitor.process(doc.clone());
+                }
+            } else {
+                monitor.run_pipelined(
+                    wl.measured.chunks(batch).map(<[_]>::to_vec),
+                    window,
+                    |_, _| {},
+                );
+            }
+            let dps = wl.measured.len() as f64 / start.elapsed().as_secs_f64();
+            if batch == 1 {
+                per_doc_dps = dps;
+            }
+            let vs_per_doc = dps / per_doc_dps;
+            eprintln!(
+                "  shards={shards} batch={batch}: {} docs/sec ({:.2}x single, {:.2}x per-doc)",
+                format_sig(dps),
+                dps / single_dps,
+                vs_per_doc
+            );
+            table.push_row(format!("{shards} x {batch}"), vec![dps, dps / single_dps, vs_per_doc]);
+            cells.push(Cell {
+                shards,
+                batch,
+                docs_per_sec: dps,
+                speedup_vs_single: dps / single_dps,
+                speedup_vs_per_doc_sharded: vs_per_doc,
+            });
+        }
+    }
+
+    println!("{}", table.to_markdown());
+    let report = SweepReport {
+        engine: "MRIO".to_string(),
+        scale: format!("{scale:?}"),
+        num_queries: n,
+        measured_docs: wl.measured.len(),
+        window,
+        available_parallelism: cores,
+        single_docs_per_sec: single_dps,
+        cells,
+    };
+    match write_json_report("sweep_shards", &report) {
+        Ok(path) => eprintln!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  failed to write JSON report: {e}"),
+    }
+}

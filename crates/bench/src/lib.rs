@@ -12,7 +12,8 @@
 //! * [`report`] — markdown / CSV / JSON emission into `results/`.
 //!
 //! Binaries (`src/bin/*.rs`): `fig1`, `optimality`, `ablation_zonemax`,
-//! `sweep_k`, `sweep_lambda`, `sweep_doclen`, `scaling_threads`. Criterion
+//! `sweep_k`, `sweep_lambda`, `sweep_doclen`, `scaling_threads`,
+//! `sweep_shards` (batched sharded-ingestion throughput). Criterion
 //! micro-benches live in `benches/`.
 
 pub mod config;
@@ -23,6 +24,6 @@ pub mod workload;
 
 pub use config::{ExperimentConfig, Scale};
 pub use engines::{make_engine, PAPER_ALGOS};
-pub use report::{write_csv, write_json, Table};
+pub use report::{write_csv, write_json, write_json_report, Table};
 pub use runner::{run_engine, RunResult};
 pub use workload::{prepare, PreparedWorkload};

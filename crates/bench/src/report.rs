@@ -105,10 +105,20 @@ pub fn write_csv(name: &str, table: &Table) -> std::io::Result<std::path::PathBu
 
 /// Write full run results as JSON to `results/<name>.json`.
 pub fn write_json(name: &str, results: &[RunResult]) -> std::io::Result<std::path::PathBuf> {
+    write_json_report(name, &results)
+}
+
+/// Write any serializable report as JSON to `results/<name>.json` —
+/// the machine-readable side channel every bench binary emits so CI can
+/// archive throughput numbers as build artifacts.
+pub fn write_json_report<T: serde::Serialize>(
+    name: &str,
+    report: &T,
+) -> std::io::Result<std::path::PathBuf> {
     let dir = Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(results)?)?;
+    std::fs::write(&path, serde_json::to_string_pretty(report)?)?;
     Ok(path)
 }
 

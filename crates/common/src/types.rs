@@ -81,6 +81,12 @@ impl SparseVector {
     }
 
     /// Scale to unit norm. A zero vector is left unchanged.
+    ///
+    /// Entries whose scaled weight underflows `f32` to zero (a subnormal
+    /// term inside a vector with a much larger norm) are dropped: a weight
+    /// of exactly `0.0` is the tombstone marker in the ID-ordered postings
+    /// lists, so letting one through registration would silently desync the
+    /// tombstone accounting downstream.
     pub fn normalize(&mut self) {
         let n = self.norm();
         if n > 0.0 {
@@ -88,6 +94,7 @@ impl SparseVector {
             for e in &mut self.entries {
                 e.1 *= inv;
             }
+            self.entries.retain(|&(_, w)| w > 0.0);
         }
     }
 
@@ -240,6 +247,18 @@ mod tests {
         assert!((s.norm() - 1.0).abs() < 1e-6);
         assert!(s.is_normalized());
         assert!((s.weight(TermId(1)) - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_drops_underflowed_weights() {
+        // 1e-42 is subnormal but positive; dividing by the ~1e4 norm lands
+        // below f32::MIN_POSITIVE and underflows to exactly 0.0.
+        let mut s = v(&[(1, 1e-42), (2, 1e4)]);
+        s.normalize();
+        assert_eq!(s.len(), 1, "underflowed entry must be dropped, not kept at 0.0");
+        assert_eq!(s.weight(TermId(1)), 0.0);
+        assert!(s.as_slice().iter().all(|&(_, w)| w > 0.0));
+        assert!(s.is_normalized());
     }
 
     #[test]

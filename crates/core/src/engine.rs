@@ -99,6 +99,17 @@ impl EngineBase {
         (self.decay.theta(arrival), self.decay.amplification(arrival), renorm)
     }
 
+    /// [`EngineBase::begin_event`] for callers that have already
+    /// established no renormalization can be due — batched ingestion checks
+    /// the batch's *last* arrival once (timestamps are non-decreasing, so
+    /// it bounds every event in the batch) and then skips the per-event
+    /// decay test in the inner loop.
+    pub fn begin_event_steady(&mut self, arrival: Timestamp) -> (f64, f64) {
+        debug_assert!(!self.decay.needs_renorm(arrival));
+        self.changes.clear();
+        (self.decay.theta(arrival), self.decay.amplification(arrival))
+    }
+
     /// Offer a fully evaluated candidate to query `qid`. Records the result
     /// change and returns `true` on insertion (callers then refresh their
     /// bound structures for this query).

@@ -31,7 +31,7 @@ pub use mrio::{Mrio, MrioBlock, MrioSeg, MrioSuffix};
 pub use naive::Naive;
 pub use rio::Rio;
 pub use score::DecayModel;
-pub use sharded::{ShardedMonitor, ShardedQueryId};
+pub use sharded::{BatchOutcome, ShardedMonitor, ShardedQueryId};
 pub use stats::{CumulativeStats, EventStats};
 pub use topk::{Offer, TopKState};
 pub use traits::{ContinuousTopK, ResultChange};

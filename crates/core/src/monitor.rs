@@ -58,13 +58,35 @@ impl<E: ContinuousTopK> Monitor<E> {
         pairs: Vec<(TermId, f32)>,
         arrival: Timestamp,
     ) -> (DocId, Vec<ResultChange>) {
+        let doc = self.admit(pairs, arrival);
+        let id = doc.id;
+        self.engine.process(&doc);
+        (id, self.engine.last_changes().to_vec())
+    }
+
+    /// Publish a batch of documents through the engine's batched ingestion
+    /// path: ids are allocated in order, arrival times are clamped monotone
+    /// across the whole batch, and the returned changes cover every
+    /// document (attribute them via `ResultChange::inserted`).
+    pub fn publish_batch(
+        &mut self,
+        batch: Vec<(Vec<(TermId, f32)>, Timestamp)>,
+    ) -> (Vec<DocId>, Vec<ResultChange>) {
+        let docs: Vec<ctk_common::Document> =
+            batch.into_iter().map(|(pairs, arrival)| self.admit(pairs, arrival)).collect();
+        let ids = docs.iter().map(|d| d.id).collect();
+        let mut changes = Vec::new();
+        self.engine.process_batch_into(&docs, &mut changes);
+        (ids, changes)
+    }
+
+    /// Stamp one incoming document: next id, monotone-clamped arrival.
+    fn admit(&mut self, pairs: Vec<(TermId, f32)>, arrival: Timestamp) -> ctk_common::Document {
         let arrival = arrival.max(self.last_arrival);
         self.last_arrival = arrival;
         let id = DocId(self.next_doc);
         self.next_doc += 1;
-        let doc = ctk_common::Document::new(id, pairs, arrival);
-        self.engine.process(&doc);
-        (id, self.engine.last_changes().to_vec())
+        ctk_common::Document::new(id, pairs, arrival)
     }
 
     /// Current top-k of a query, best first.
@@ -96,6 +118,7 @@ impl<E: ContinuousTopK> Monitor<E> {
             .collect();
         Snapshot {
             lambda: self.engine.lambda(),
+            landmark: self.engine.landmark(),
             next_doc: self.next_doc,
             last_arrival: self.last_arrival,
             queries,
@@ -112,6 +135,12 @@ impl<E: ContinuousTopK> Monitor<E> {
             "engine must be constructed with the snapshot's lambda"
         );
         let mut monitor = Monitor::new(engine);
+        // Adopt the snapshot's decay landmark before seeding: the seeded
+        // scores are expressed relative to it. A fresh engine sits at
+        // landmark 0, so skipping this step after any renormalization had
+        // fired would re-inflate (and soon re-renormalize) the seeds in the
+        // wrong frame, corrupting every threshold.
+        monitor.engine.restore_landmark(snapshot.landmark);
         monitor.next_doc = snapshot.next_doc;
         monitor.last_arrival = snapshot.last_arrival;
         let mut mapping = FxHashMap::default();
@@ -136,6 +165,9 @@ pub struct SnapshotQuery {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Snapshot {
     pub lambda: f64,
+    /// The decay landmark all stored scores are relative to. Restoring
+    /// without it mixes score frames once any renormalization has fired.
+    pub landmark: Timestamp,
     pub next_doc: u64,
     pub last_arrival: Timestamp,
     pub queries: Vec<SnapshotQuery>,
@@ -220,6 +252,69 @@ mod tests {
         assert_eq!(changes.len(), 1);
         let res = r.results(rq).unwrap();
         assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_after_renormalization_restores_the_landmark_frame() {
+        // λ = 0.1 with the default headroom of 60 renormalizes once the
+        // stream passes arrival 600 — well before the snapshot at 700.
+        let mut m = Monitor::new(MrioSeg::new(0.1));
+        let q = m.register(spec(&[1, 2], 3));
+        for i in 0..=70u32 {
+            // Strong documents: high cosine against the query.
+            m.publish(vec![(TermId(1), 1.0), (TermId(2), 1.0)], i as f64 * 10.0);
+        }
+        assert!(
+            m.engine().cumulative().renormalizations >= 1,
+            "stream must renormalize before the snapshot for this regression"
+        );
+
+        let snap = m.snapshot();
+        let json = snap.to_json().unwrap();
+        let parsed = Snapshot::from_json(&json).unwrap();
+        assert_eq!(parsed.landmark, m.engine().landmark());
+        let (mut restored, mapping) = Monitor::restore(MrioSeg::new(0.1), &parsed);
+        let rq = mapping[&q];
+        assert_eq!(m.results(q), restored.results(rq));
+
+        // The regression: a *weak* document arriving after the restore.
+        // Pre-fix, the restored engine sat at landmark 0, immediately
+        // re-renormalized to arrival 701 and crushed the seeded scores to
+        // ~e^{-60}, so this low-cosine document walked into the top-k. With
+        // the landmark restored, both monitors score it in the same frame
+        // and reject it identically.
+        let weak = vec![(TermId(2), 0.1), (TermId(9), 1.0)];
+        let (_, ch_orig) = m.publish(weak.clone(), 701.0);
+        let (_, ch_rest) = restored.publish(weak, 701.0);
+        assert_eq!(ch_orig, ch_rest, "restored monitor diverged on the first post-restore event");
+        assert_eq!(m.results(q), restored.results(rq));
+    }
+
+    #[test]
+    fn publish_batch_matches_sequential_publishes() {
+        let pairs = |i: u32| vec![(TermId(1 + i % 3), 1.0), (TermId(7), 0.5)];
+        let mut one = Monitor::new(MrioSeg::new(0.01));
+        let q1 = one.register(spec(&[1, 2, 7], 3));
+        let mut batch = Monitor::new(MrioSeg::new(0.01));
+        let q2 = batch.register(spec(&[1, 2, 7], 3));
+
+        let mut seq_changes = Vec::new();
+        for i in 0..30u32 {
+            // Include a stale timestamp mid-stream: batch clamping must
+            // match the sequential clamp.
+            let at = if i == 10 { 2.0 } else { i as f64 };
+            let (_, ch) = one.publish(pairs(i), at);
+            seq_changes.extend(ch);
+        }
+        let items: Vec<_> =
+            (0..30u32).map(|i| (pairs(i), if i == 10 { 2.0 } else { i as f64 })).collect();
+        let (ids, batch_changes) = batch.publish_batch(items);
+
+        assert_eq!(ids.len(), 30);
+        assert_eq!(ids[0], DocId(0));
+        assert_eq!(ids[29], DocId(29));
+        assert_eq!(seq_changes, batch_changes);
+        assert_eq!(one.results(q1), batch.results(q2));
     }
 
     #[test]

@@ -139,56 +139,10 @@ impl<Z: ZoneMax> Mrio<Z> {
             QueryId(cs[cs.len() - 1].qid.0 + 1)
         }
     }
-}
 
-impl<Z: ZoneMax + Default> ContinuousTopK for Mrio<Z> {
-    fn name(&self) -> &'static str {
-        self.name
-    }
-
-    fn register(&mut self, spec: QuerySpec) -> QueryId {
-        let qid = self.index.register(&spec.vector, spec.k as u32);
-        self.base.push_state(spec.k as u32);
-        // New lists may have been created; keep zones aligned.
-        while self.zones.len() < self.index.num_lists() {
-            self.zones.push(Z::default());
-        }
-        // Append the new postings' u values (positions align by append order
-        // because lists are append-only).
-        let state_u = f64::INFINITY; // fresh queries are unfilled
-        if let Some(rec) = self.index.record(qid) {
-            for e in &rec.entries {
-                debug_assert_eq!(e.pos as usize, self.zones[e.list as usize].len());
-                self.zones[e.list as usize].append(state_u);
-            }
-        }
-        qid
-    }
-
-    fn unregister(&mut self, qid: QueryId) -> bool {
-        match self.index.unregister(qid) {
-            Some(rec) => {
-                for e in &rec.entries {
-                    self.zones[e.list as usize].update(e.pos as usize, f64::NEG_INFINITY);
-                }
-                self.base.drop_state(qid);
-                true
-            }
-            None => false,
-        }
-    }
-
-    fn seed_results(&mut self, qid: QueryId, seeds: &[ScoredDoc]) {
-        if self.base.seed(qid, seeds) {
-            self.update_query_zones(qid);
-        }
-    }
-
-    fn process(&mut self, doc: &Document) -> EventStats {
-        let (theta, amp, renorm) = self.base.begin_event(doc.arrival);
-        if renorm.is_some() {
-            self.rebuild_all_zones();
-        }
+    /// The traversal body of one event, after the decay prologue has run.
+    /// Shared by the per-document and batched entry points.
+    fn run_event(&mut self, doc: &Document, theta: f64, amp: f64) -> EventStats {
         let mut ev = EventStats {
             matched_lists: self.cursors.build(&self.index, doc) as u64,
             ..EventStats::default()
@@ -302,6 +256,81 @@ impl<Z: ZoneMax + Default> ContinuousTopK for Mrio<Z> {
         ev.accumulate_into(&mut self.base.cum);
         ev
     }
+}
+
+impl<Z: ZoneMax + Default> ContinuousTopK for Mrio<Z> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn register(&mut self, spec: QuerySpec) -> QueryId {
+        let qid = self.index.register(&spec.vector, spec.k as u32);
+        self.base.push_state(spec.k as u32);
+        // New lists may have been created; keep zones aligned.
+        while self.zones.len() < self.index.num_lists() {
+            self.zones.push(Z::default());
+        }
+        // Append the new postings' u values (positions align by append order
+        // because lists are append-only).
+        let state_u = f64::INFINITY; // fresh queries are unfilled
+        if let Some(rec) = self.index.record(qid) {
+            for e in &rec.entries {
+                debug_assert_eq!(e.pos as usize, self.zones[e.list as usize].len());
+                self.zones[e.list as usize].append(state_u);
+            }
+        }
+        qid
+    }
+
+    fn unregister(&mut self, qid: QueryId) -> bool {
+        match self.index.unregister(qid) {
+            Some(rec) => {
+                for e in &rec.entries {
+                    self.zones[e.list as usize].update(e.pos as usize, f64::NEG_INFINITY);
+                }
+                self.base.drop_state(qid);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn seed_results(&mut self, qid: QueryId, seeds: &[ScoredDoc]) {
+        if self.base.seed(qid, seeds) {
+            self.update_query_zones(qid);
+        }
+    }
+
+    fn process(&mut self, doc: &Document) -> EventStats {
+        let (theta, amp, renorm) = self.base.begin_event(doc.arrival);
+        if renorm.is_some() {
+            self.rebuild_all_zones();
+        }
+        self.run_event(doc, theta, amp)
+    }
+
+    fn process_batch_into(
+        &mut self,
+        docs: &[Document],
+        changes_out: &mut Vec<ResultChange>,
+    ) -> Vec<EventStats> {
+        let mut stats = Vec::with_capacity(docs.len());
+        // Arrivals are non-decreasing, so if the *last* document of the
+        // batch stays inside the decay headroom, every document does — one
+        // check replaces a per-event test-and-branch in the steady state.
+        let renorm_possible = docs.last().is_some_and(|d| self.base.decay.needs_renorm(d.arrival));
+        for doc in docs {
+            let ev = if renorm_possible {
+                self.process(doc)
+            } else {
+                let (theta, amp) = self.base.begin_event_steady(doc.arrival);
+                self.run_event(doc, theta, amp)
+            };
+            stats.push(ev);
+            changes_out.extend_from_slice(&self.base.changes);
+        }
+        stats
+    }
 
     fn results(&self, qid: QueryId) -> Option<Vec<ScoredDoc>> {
         self.base.results(qid)
@@ -325,6 +354,14 @@ impl<Z: ZoneMax + Default> ContinuousTopK for Mrio<Z> {
 
     fn lambda(&self) -> f64 {
         self.base.decay.lambda()
+    }
+
+    fn landmark(&self) -> f64 {
+        self.base.decay.landmark()
+    }
+
+    fn restore_landmark(&mut self, landmark: f64) {
+        self.base.decay.restore_landmark(landmark);
     }
 }
 
@@ -405,6 +442,45 @@ mod tests {
         assert!(m.cumulative().renormalizations > 0);
         let docs: Vec<u64> = m.results(q).unwrap().iter().map(|s| s.doc.0).collect();
         assert_eq!(docs, vec![39, 38]);
+    }
+
+    #[test]
+    fn batched_processing_is_bit_identical_to_looped() {
+        // Exercise the steady fast path AND the renorm slow path: λ = 0.5
+        // with the default headroom of 60 renormalizes at arrival > 120.
+        let mk = || {
+            let mut m = MrioSeg::new(0.5);
+            for i in 0..20u32 {
+                m.register(spec(&[(i % 5, 1.0), (5 + i % 3, 0.5)], 2));
+            }
+            m
+        };
+        let docs: Vec<Document> = (0..150u64)
+            .map(|i| doc(i, &[((i % 5) as u32, 1.0), ((5 + i % 3) as u32, 0.7)], i as f64 * 1.1))
+            .collect();
+
+        let mut looped = mk();
+        let mut loop_changes = Vec::new();
+        let mut loop_stats = Vec::new();
+        for d in &docs {
+            loop_stats.push(looped.process(d));
+            loop_changes.extend_from_slice(looped.last_changes());
+        }
+
+        let mut batched = mk();
+        let mut batch_changes = Vec::new();
+        let mut batch_stats = Vec::new();
+        for chunk in docs.chunks(32) {
+            batch_stats.extend(batched.process_batch_into(chunk, &mut batch_changes));
+        }
+
+        assert!(looped.cumulative().renormalizations > 0, "stream must cross a renorm");
+        assert_eq!(loop_stats, batch_stats);
+        assert_eq!(loop_changes, batch_changes);
+        assert_eq!(looped.cumulative(), batched.cumulative());
+        for q in 0..20u32 {
+            assert_eq!(looped.results(QueryId(q)), batched.results(QueryId(q)), "query {q}");
+        }
     }
 
     #[test]

@@ -75,6 +75,16 @@ impl DecayModel {
         r
     }
 
+    /// Reinstate a landmark captured from another instance (snapshot
+    /// restore). Stored scores are expressed relative to the landmark, so a
+    /// restored engine must adopt the snapshot's landmark *before* seeding
+    /// any scores — otherwise old-frame scores get compared (and later
+    /// renormalized) in the new frame and thresholds silently corrupt.
+    pub fn restore_landmark(&mut self, landmark: Timestamp) {
+        assert!(landmark.is_finite() && landmark >= 0.0, "landmark must be finite and >= 0");
+        self.landmark = landmark;
+    }
+
     /// Override the renormalization headroom (tests use small values to
     /// exercise the renorm path frequently).
     pub fn with_max_exponent(mut self, max_exponent: f64) -> Self {
@@ -149,5 +159,22 @@ mod tests {
     #[should_panic]
     fn negative_lambda_rejected() {
         let _ = DecayModel::new(-0.1);
+    }
+
+    #[test]
+    fn restore_landmark_matches_original_frame() {
+        let mut original = DecayModel::new(0.1).with_max_exponent(5.0);
+        let _ = original.renormalize(80.0);
+        let mut restored = DecayModel::new(0.1);
+        restored.restore_landmark(original.landmark());
+        assert_eq!(restored.landmark(), 80.0);
+        assert_eq!(original.theta(90.0), restored.theta(90.0));
+        assert_eq!(original.amplification(90.0), restored.amplification(90.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn restore_landmark_rejects_non_finite() {
+        DecayModel::new(0.1).restore_landmark(f64::NAN);
     }
 }

@@ -1,18 +1,35 @@
-//! Sharded parallel monitor.
+//! Sharded parallel monitor with batched, pipelined ingestion.
 //!
 //! The paper's goal is "large numbers of users and high stream rates"; a
 //! single engine is single-threaded. Queries partition cleanly (each result
 //! set depends only on its own query), so the monitor shards the query
-//! population across worker threads, broadcasts every document to all
-//! shards, and the per-event response time becomes the *max* over shards.
+//! population across worker threads and broadcasts stream documents to all
+//! shards.
+//!
+//! Ingestion is **batch-first**: the unit of work sent to a shard is an
+//! `Arc<[Document]>` batch, not a single document. One channel send, one
+//! reply and one cross-shard merge are paid per *batch*, so the per-document
+//! coordination cost shrinks linearly with the batch size — the
+//! one-doc-one-barrier behaviour of the original design is now just the
+//! degenerate `process` wrapper with a batch of one.
+//!
+//! Replies flow over **persistent per-worker channels** created once at
+//! spawn (the old design allocated a fresh rendezvous channel per call).
+//! Because each worker answers batches in submission order, the monitor can
+//! keep a window of batches **in flight**: [`ShardedMonitor::submit_batch`]
+//! hands shard `i` batch `n+1` while the merger is still draining batch `n`
+//! ([`ShardedMonitor::drain_batch`]), hiding merge latency behind shard
+//! compute. [`ShardedMonitor::run_pipelined`] wraps the submit/drain dance
+//! for a whole stream.
 //!
 //! Communication uses `crossbeam` channels; each worker owns its engine
 //! outright (no shared mutable state, no locks on the hot path).
 
-use crate::stats::EventStats;
+use crate::stats::{CumulativeStats, EventStats};
 use crate::traits::{ContinuousTopK, ResultChange};
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -27,15 +44,38 @@ enum Command {
     Register(QuerySpec, Sender<QueryId>),
     Unregister(QueryId, Sender<bool>),
     Seed(QueryId, Vec<ScoredDoc>),
-    Process(Arc<Document>, Sender<(EventStats, Vec<ResultChange>)>),
+    /// Score a batch; the reply travels over the worker's persistent
+    /// reply channel, in submission order.
+    Process(Arc<[Document]>),
     Results(QueryId, Sender<Option<Vec<ScoredDoc>>>),
+    Cumulative(Sender<CumulativeStats>),
     Shutdown,
+}
+
+/// Merged outcome of one batch: per-document work counters (summed across
+/// shards) and every result change as `(shard, change)` pairs.
+pub type BatchOutcome = (Vec<EventStats>, Vec<(u32, ResultChange)>);
+
+/// One shard's answer to a [`Command::Process`] batch.
+struct BatchReply {
+    /// Per-document work counters, aligned with the batch.
+    stats: Vec<EventStats>,
+    /// Every result change of the batch, in document order.
+    changes: Vec<ResultChange>,
+}
+
+struct Worker {
+    tx: Sender<Command>,
+    reply_rx: Receiver<BatchReply>,
+    handle: Option<JoinHandle<()>>,
 }
 
 /// A monitor that fans stream events out to `S` single-threaded engines.
 pub struct ShardedMonitor {
-    workers: Vec<(Sender<Command>, JoinHandle<()>)>,
+    workers: Vec<Worker>,
     next_shard: usize,
+    /// Lengths of submitted-but-undrained batches, oldest first.
+    in_flight: VecDeque<usize>,
 }
 
 impl ShardedMonitor {
@@ -50,6 +90,10 @@ impl ShardedMonitor {
         let mut workers = Vec::with_capacity(shards);
         for _ in 0..shards {
             let (tx, rx) = unbounded::<Command>();
+            // Unbounded so a worker never blocks publishing a reply; the
+            // monitor bounds the number of outstanding batches itself via
+            // the pipelining window.
+            let (reply_tx, reply_rx) = unbounded::<BatchReply>();
             let mut engine = make_engine();
             let handle = std::thread::spawn(move || {
                 while let Ok(cmd) = rx.recv() {
@@ -63,20 +107,26 @@ impl ShardedMonitor {
                         Command::Seed(qid, seeds) => {
                             engine.seed_results(qid, &seeds);
                         }
-                        Command::Process(doc, reply) => {
-                            let ev = engine.process(&doc);
-                            let _ = reply.send((ev, engine.last_changes().to_vec()));
+                        Command::Process(docs) => {
+                            let mut changes = Vec::new();
+                            let stats = engine.process_batch_into(&docs, &mut changes);
+                            if reply_tx.send(BatchReply { stats, changes }).is_err() {
+                                break; // monitor gone
+                            }
                         }
                         Command::Results(qid, reply) => {
                             let _ = reply.send(engine.results(qid));
+                        }
+                        Command::Cumulative(reply) => {
+                            let _ = reply.send(*engine.cumulative());
                         }
                         Command::Shutdown => break,
                     }
                 }
             });
-            workers.push((tx, handle));
+            workers.push(Worker { tx, reply_rx, handle: Some(handle) });
         }
-        ShardedMonitor { workers, next_shard: 0 }
+        ShardedMonitor { workers, next_shard: 0, in_flight: VecDeque::new() }
     }
 
     /// Number of shards.
@@ -89,7 +139,7 @@ impl ShardedMonitor {
         let shard = self.next_shard;
         self.next_shard = (self.next_shard + 1) % self.workers.len();
         let (reply_tx, reply_rx) = bounded(1);
-        self.workers[shard].0.send(Command::Register(spec, reply_tx)).expect("worker alive");
+        self.workers[shard].tx.send(Command::Register(spec, reply_tx)).expect("worker alive");
         ShardedQueryId { shard: shard as u32, local: reply_rx.recv().expect("worker reply") }
     }
 
@@ -97,7 +147,7 @@ impl ShardedMonitor {
     pub fn unregister(&mut self, qid: ShardedQueryId) -> bool {
         let (reply_tx, reply_rx) = bounded(1);
         self.workers[qid.shard as usize]
-            .0
+            .tx
             .send(Command::Unregister(qid.local, reply_tx))
             .expect("worker alive");
         reply_rx.recv().expect("worker reply")
@@ -106,54 +156,132 @@ impl ShardedMonitor {
     /// Warm-start a query (snapshot restore path).
     pub fn seed_results(&mut self, qid: ShardedQueryId, seeds: Vec<ScoredDoc>) {
         self.workers[qid.shard as usize]
-            .0
+            .tx
             .send(Command::Seed(qid.local, seeds))
             .expect("worker alive");
     }
 
     /// Process one stream event on all shards in parallel; returns the
-    /// merged work counters and all result changes.
+    /// merged work counters and all result changes. This is the batch path
+    /// with a batch of one — latency-oriented callers keep the old API,
+    /// throughput-oriented callers should use [`ShardedMonitor::process_batch`]
+    /// or the submit/drain pipeline.
     pub fn process(&mut self, doc: Document) -> (EventStats, Vec<(u32, ResultChange)>) {
-        let doc = Arc::new(doc);
-        let mut pending = Vec::with_capacity(self.workers.len());
-        for (tx, _) in &self.workers {
-            let (reply_tx, reply_rx) = bounded(1);
-            tx.send(Command::Process(Arc::clone(&doc), reply_tx)).expect("worker alive");
-            pending.push(reply_rx);
+        let (mut stats, changes) = self.process_batch(vec![doc]);
+        (stats.pop().expect("one document in, one stat out"), changes)
+    }
+
+    /// Broadcast one batch to every shard and wait for the merged outcome:
+    /// per-document work counters (summed across shards via
+    /// [`EventStats::merge`]) and every result change as `(shard, change)`
+    /// pairs in document order per shard.
+    ///
+    /// Must not be interleaved with an open submit/drain pipeline — drain
+    /// in-flight batches first.
+    pub fn process_batch(&mut self, docs: Vec<Document>) -> BatchOutcome {
+        assert!(
+            self.in_flight.is_empty(),
+            "process_batch cannot run while submitted batches are in flight; drain them first"
+        );
+        self.submit_batch(docs);
+        self.drain_batch().expect("batch just submitted")
+    }
+
+    /// Hand one batch to every shard **without waiting**: the single
+    /// allocation is the `Arc<[Document]>` the shards share. Pair with
+    /// [`ShardedMonitor::drain_batch`]; replies come back in submission
+    /// order, so keeping one or two batches in flight lets shard `i` score
+    /// batch `n+1` while the merger drains batch `n`.
+    pub fn submit_batch(&mut self, docs: Vec<Document>) {
+        let docs: Arc<[Document]> = docs.into();
+        for w in &self.workers {
+            w.tx.send(Command::Process(Arc::clone(&docs))).expect("worker alive");
         }
-        let mut total = EventStats::default();
+        self.in_flight.push_back(docs.len());
+    }
+
+    /// Merge the oldest in-flight batch: blocks until every shard has
+    /// answered it. Returns `None` when nothing is in flight.
+    pub fn drain_batch(&mut self) -> Option<BatchOutcome> {
+        let len = self.in_flight.pop_front()?;
+        let mut stats = vec![EventStats::default(); len];
         let mut changes = Vec::new();
-        for (shard, rx) in pending.into_iter().enumerate() {
-            let (ev, ch) = rx.recv().expect("worker reply");
-            total.full_evaluations += ev.full_evaluations;
-            total.iterations += ev.iterations;
-            total.postings_accessed += ev.postings_accessed;
-            total.bound_computations += ev.bound_computations;
-            total.updates += ev.updates;
-            total.matched_lists += ev.matched_lists;
-            changes.extend(ch.into_iter().map(|c| (shard as u32, c)));
+        for (shard, w) in self.workers.iter().enumerate() {
+            let reply = w.reply_rx.recv().expect("worker reply");
+            debug_assert_eq!(reply.stats.len(), len, "shard answered a different batch");
+            for (merged, ev) in stats.iter_mut().zip(&reply.stats) {
+                merged.merge(ev);
+            }
+            changes.extend(reply.changes.into_iter().map(|c| (shard as u32, c)));
         }
-        (total, changes)
+        Some((stats, changes))
+    }
+
+    /// Number of submitted batches not yet drained.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Drive a whole stream of batches through the shards, keeping up to
+    /// `window` batches in flight (0 = fully synchronous, equivalent to
+    /// calling [`ShardedMonitor::process_batch`] per batch). `on_batch`
+    /// receives each batch's merged outcome in stream order.
+    pub fn run_pipelined<I, F>(&mut self, batches: I, window: usize, mut on_batch: F)
+    where
+        I: IntoIterator<Item = Vec<Document>>,
+        F: FnMut(Vec<EventStats>, Vec<(u32, ResultChange)>),
+    {
+        for batch in batches {
+            self.submit_batch(batch);
+            // Drain down to the window immediately after submitting, so at
+            // most `window` batches are in flight while the iterator
+            // produces the next one (window 0: drained before we return to
+            // the iterator — synchronous).
+            while self.in_flight.len() > window {
+                let (stats, changes) = self.drain_batch().expect("in-flight batch");
+                on_batch(stats, changes);
+            }
+        }
+        while let Some((stats, changes)) = self.drain_batch() {
+            on_batch(stats, changes);
+        }
     }
 
     /// Current results of a query.
     pub fn results(&self, qid: ShardedQueryId) -> Option<Vec<ScoredDoc>> {
         let (reply_tx, reply_rx) = bounded(1);
         self.workers[qid.shard as usize]
-            .0
+            .tx
             .send(Command::Results(qid.local, reply_tx))
             .expect("worker alive");
         reply_rx.recv().expect("worker reply")
+    }
+
+    /// Lifetime work counters of every shard's engine, shard order. The
+    /// invariant checked by the equivalence tests: after `n` documents,
+    /// every shard reports `events == n` (each document visits each shard
+    /// exactly once), so the summed counters equal `n × shards`.
+    pub fn shard_cumulative(&self) -> Vec<CumulativeStats> {
+        self.workers
+            .iter()
+            .map(|w| {
+                let (reply_tx, reply_rx) = bounded(1);
+                w.tx.send(Command::Cumulative(reply_tx)).expect("worker alive");
+                reply_rx.recv().expect("worker reply")
+            })
+            .collect()
     }
 }
 
 impl Drop for ShardedMonitor {
     fn drop(&mut self) {
-        for (tx, _) in &self.workers {
-            let _ = tx.send(Command::Shutdown);
+        for w in &self.workers {
+            let _ = w.tx.send(Command::Shutdown);
         }
-        for (_, handle) in self.workers.drain(..) {
-            let _ = handle.join();
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -219,5 +347,101 @@ mod tests {
         assert_eq!(changes.len(), 1);
         assert!(m.results(b).is_some());
         assert!(m.results(a).is_none());
+    }
+
+    #[test]
+    fn batch_path_matches_per_doc_path() {
+        let mk = || {
+            let mut m = ShardedMonitor::new(3, || MrioSeg::new(0.001));
+            let ids: Vec<ShardedQueryId> = (0..20)
+                .map(|i| m.register(spec(&[i % 5, 5 + i % 3], 1 + (i % 2) as usize)))
+                .collect();
+            (m, ids)
+        };
+        let docs: Vec<Document> = (0..50u64)
+            .map(|i| doc(i, &[((i % 5) as u32, 1.0), ((5 + i % 3) as u32, 0.4)], i as f64))
+            .collect();
+
+        let (mut per_doc, ids_a) = mk();
+        let mut stats_a = Vec::new();
+        let mut changes_a = Vec::new();
+        for d in &docs {
+            let (ev, ch) = per_doc.process(d.clone());
+            stats_a.push(ev);
+            changes_a.extend(ch);
+        }
+
+        let (mut batched, ids_b) = mk();
+        let mut stats_b = Vec::new();
+        let mut changes_b = Vec::new();
+        for chunk in docs.chunks(16) {
+            let (evs, ch) = batched.process_batch(chunk.to_vec());
+            stats_b.extend(evs);
+            changes_b.extend(ch);
+        }
+
+        assert_eq!(stats_a, stats_b, "merged per-document stats must not depend on batching");
+        // Changes are reported in unspecified order (per-doc groups by
+        // document, the batch path groups by shard): compare as multisets.
+        let key = |(shard, c): &(u32, ResultChange)| {
+            (*shard, c.query.0, c.inserted.doc.0, c.inserted.score)
+        };
+        changes_a.sort_by_key(key);
+        changes_b.sort_by_key(key);
+        assert_eq!(changes_a, changes_b);
+        for (a, b) in ids_a.iter().zip(&ids_b) {
+            assert_eq!(per_doc.results(*a), batched.results(*b));
+        }
+        // Every shard saw every document exactly once.
+        for cum in batched.shard_cumulative() {
+            assert_eq!(cum.events, docs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn pipelined_ingestion_matches_synchronous() {
+        let mk = || {
+            let mut m = ShardedMonitor::new(2, || MrioSeg::new(0.0));
+            let ids: Vec<ShardedQueryId> = (0..10).map(|i| m.register(spec(&[i % 4], 2))).collect();
+            (m, ids)
+        };
+        let batches: Vec<Vec<Document>> = (0..8u64)
+            .map(|b| {
+                (0..16u64)
+                    .map(|i| {
+                        let id = b * 16 + i;
+                        doc(id, &[((id % 4) as u32, 1.0 + (id % 3) as f32)], id as f64)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let (mut sync_m, ids_a) = mk();
+        let mut sync_out = Vec::new();
+        for b in &batches {
+            let (evs, ch) = sync_m.process_batch(b.clone());
+            sync_out.push((evs, ch));
+        }
+
+        let (mut pipe_m, ids_b) = mk();
+        let mut pipe_out = Vec::new();
+        pipe_m.run_pipelined(batches.clone(), 2, |evs, ch| pipe_out.push((evs, ch)));
+        assert_eq!(pipe_m.in_flight(), 0);
+
+        assert_eq!(sync_out.len(), pipe_out.len());
+        for ((ea, ca), (eb, cb)) in sync_out.iter().zip(&pipe_out) {
+            assert_eq!(ea, eb);
+            assert_eq!(ca, cb);
+        }
+        for (a, b) in ids_a.iter().zip(&ids_b) {
+            assert_eq!(sync_m.results(*a), pipe_m.results(*b));
+        }
+    }
+
+    #[test]
+    fn drain_on_empty_pipeline_is_none() {
+        let mut m = ShardedMonitor::new(2, || MrioSeg::new(0.0));
+        assert!(m.drain_batch().is_none());
+        assert_eq!(m.in_flight(), 0);
     }
 }

@@ -27,6 +27,19 @@ pub struct EventStats {
 }
 
 impl EventStats {
+    /// Fold another event record into this one, field by field. This is the
+    /// single merge point for cross-shard aggregation: when a counter is
+    /// added to the struct, extending `merge` (and `accumulate_into`) keeps
+    /// every merger — sharded monitor, batch drains — consistent at once.
+    pub fn merge(&mut self, other: &EventStats) {
+        self.full_evaluations += other.full_evaluations;
+        self.iterations += other.iterations;
+        self.postings_accessed += other.postings_accessed;
+        self.bound_computations += other.bound_computations;
+        self.updates += other.updates;
+        self.matched_lists += other.matched_lists;
+    }
+
     /// Fold this event into a cumulative record.
     pub fn accumulate_into(&self, cum: &mut CumulativeStats) {
         cum.events += 1;
@@ -36,6 +49,12 @@ impl EventStats {
         cum.bound_computations += self.bound_computations;
         cum.updates += self.updates;
         cum.matched_lists += self.matched_lists;
+    }
+}
+
+impl std::ops::AddAssign<&EventStats> for EventStats {
+    fn add_assign(&mut self, other: &EventStats) {
+        self.merge(other);
     }
 }
 
@@ -94,6 +113,34 @@ mod tests {
         assert_eq!(cum.full_evaluations, 6);
         assert_eq!(cum.avg_full_evaluations(), 3.0);
         assert_eq!(cum.avg_iterations(), 7.0);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = EventStats {
+            full_evaluations: 1,
+            iterations: 2,
+            postings_accessed: 3,
+            bound_computations: 4,
+            updates: 5,
+            matched_lists: 6,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(
+            b,
+            EventStats {
+                full_evaluations: 2,
+                iterations: 4,
+                postings_accessed: 6,
+                bound_computations: 8,
+                updates: 10,
+                matched_lists: 12,
+            }
+        );
+        let mut c = EventStats::default();
+        c += &a;
+        assert_eq!(c, a);
     }
 
     #[test]

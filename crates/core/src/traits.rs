@@ -5,7 +5,7 @@
 //! front-end and the benchmark harness program against.
 
 use crate::stats::{CumulativeStats, EventStats};
-use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc};
+use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc, Timestamp};
 
 /// A change to one query's result set caused by a stream event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +43,41 @@ pub trait ContinuousTopK {
     /// Process one stream event, refreshing all affected results.
     fn process(&mut self, doc: &Document) -> EventStats;
 
+    /// Process a batch of stream events (arrival timestamps non-decreasing
+    /// across the whole batch, like repeated `process` calls), appending
+    /// every result change of the batch — in document order — to
+    /// `changes_out`. Returns per-document work counters.
+    ///
+    /// This is the throughput entry point: callers that ingest at high
+    /// stream rates (the sharded monitor's workers, the bench harness)
+    /// amortize per-event overhead here. The default implementation loops
+    /// over [`ContinuousTopK::process`]; engines may override it to reuse
+    /// working sets and hoist steady-state checks (e.g. the decay
+    /// renormalization test) out of the inner loop, but must stay
+    /// bit-identical to the looped form.
+    ///
+    /// Changes carry their document id (`ResultChange::inserted`), so the
+    /// flat `changes_out` remains fully attributable per document.
+    fn process_batch_into(
+        &mut self,
+        docs: &[Document],
+        changes_out: &mut Vec<ResultChange>,
+    ) -> Vec<EventStats> {
+        let mut stats = Vec::with_capacity(docs.len());
+        for doc in docs {
+            stats.push(self.process(doc));
+            changes_out.extend_from_slice(self.last_changes());
+        }
+        stats
+    }
+
+    /// [`ContinuousTopK::process_batch_into`] for callers that do not need
+    /// the result changes.
+    fn process_batch(&mut self, docs: &[Document]) -> Vec<EventStats> {
+        let mut sink = Vec::new();
+        self.process_batch_into(docs, &mut sink)
+    }
+
     /// Warm-start a query's result set with pre-scored history (e.g. from a
     /// snapshot of a long-running deployment, or the benchmark harness's
     /// steady-state emulation). Implementations must refresh their bound
@@ -67,4 +102,15 @@ pub trait ContinuousTopK {
 
     /// The decay parameter the instance was built with.
     fn lambda(&self) -> f64;
+
+    /// The current decay landmark: the timestamp all stored scores are
+    /// expressed relative to. Advances on every landmark renormalization,
+    /// so it is part of any durable capture of engine state.
+    fn landmark(&self) -> Timestamp;
+
+    /// Adopt a landmark captured from another instance (snapshot restore).
+    /// Must be called on a fresh engine *before* seeding any scores:
+    /// snapshot scores are expressed in the snapshot's landmark frame, and
+    /// mixing frames corrupts thresholds as soon as decay math runs.
+    fn restore_landmark(&mut self, landmark: Timestamp);
 }

@@ -70,7 +70,13 @@ impl PostingsList {
         &self.entries
     }
 
-    /// Append an entry. `qid` must exceed every id already present.
+    /// Append an entry. `qid` must exceed every id already present, and
+    /// `weight` must be strictly positive — `0.0` is the tombstone marker,
+    /// so a zero here would desync the tombstone counter from
+    /// [`Posting::is_tombstone`]. Zero weights are filtered out upstream
+    /// (`SparseVector::normalize` drops underflowed entries and
+    /// `QueryIndex::register` rejects non-positive weights), which keeps
+    /// this a debug-only check on the hot append path.
     pub fn push(&mut self, qid: QueryId, weight: f32) {
         debug_assert!(weight > 0.0);
         debug_assert!(

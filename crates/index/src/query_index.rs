@@ -65,10 +65,20 @@ impl QueryIndex {
 
     /// Register a query; returns its new id. The vector must be non-empty
     /// and normalized (enforced upstream by `QuerySpec`).
+    ///
+    /// Non-positive weights are rejected here rather than trusted from the
+    /// caller: `weight == 0.0` doubles as the tombstone marker inside
+    /// [`PostingsList`], so a zero slipping through (e.g. an `f32`
+    /// underflow during normalization upstream) would register a posting
+    /// that *reads* as deleted while the list's tombstone counter says
+    /// otherwise, desyncing `live()` from the live iteration paths.
     pub fn register(&mut self, vector: &SparseVector, k: u32) -> QueryId {
         let qid = QueryId(self.records.len() as u32);
         let mut entries = Vec::with_capacity(vector.len());
         for (term, weight) in vector.iter() {
+            if weight <= 0.0 {
+                continue;
+            }
             let list_idx = *self.term_map.entry(term).or_insert_with(|| {
                 self.lists.push(PostingsList::new());
                 self.list_terms.push(term);
@@ -235,6 +245,34 @@ mod tests {
                 assert_eq!(p.qid, *qid);
                 assert_eq!(p.weight, e.weight);
             }
+        }
+    }
+
+    #[test]
+    fn zero_weights_never_register_as_tombstones() {
+        // A subnormal weight next to a huge one underflows to exactly 0.0
+        // during normalization (1e-42 / ~1e4 < f32::MIN_POSITIVE). Pre-fix,
+        // the zero-weight posting registered as a phantom tombstone:
+        // `live()` counted it while every live-iteration path skipped it.
+        let mut raw = SparseVector::from_pairs(vec![(TermId(1), 1e-42), (TermId(2), 1e4)]);
+        raw.normalize();
+        let mut ix = QueryIndex::new();
+        let qid = ix.register(&raw, 1);
+
+        for li in 0..ix.num_lists() as u32 {
+            let list = ix.list(li);
+            assert_eq!(
+                list.live(),
+                list.iter_live().count(),
+                "tombstone accounting desynced on list {li}"
+            );
+            assert_eq!(list.tombstones(), 0);
+        }
+        // The record only owns live postings.
+        let rec = ix.record(qid).unwrap();
+        assert!(rec.entries.iter().all(|e| e.weight > 0.0));
+        for e in &rec.entries {
+            assert!(!ix.list(e.list).get(e.pos as usize).is_tombstone());
         }
     }
 

@@ -1,0 +1,77 @@
+//! High-rate ingestion: drink the stream in batches instead of sips.
+//!
+//! Two front-ends for the same firehose:
+//! * a single-engine [`Monitor`] fed through `publish_batch` (one renorm
+//!   check and changes buffer per batch instead of per document);
+//! * a [`ShardedMonitor`] ingesting pipelined batches — shards score batch
+//!   `n+1` while the merger drains batch `n`.
+//!
+//! ```text
+//! cargo run --release --example firehose
+//! ```
+
+use continuous_topk::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let lambda = 1e-3;
+    let corpus = CorpusConfig { vocab_size: 4_000, avg_tokens: 40, ..CorpusConfig::default() };
+    let workload =
+        WorkloadConfig { workload: QueryWorkload::Connected, k: 5, ..WorkloadConfig::default() };
+    let mut qgen = QueryGenerator::new(workload, &corpus);
+    let specs: Vec<QuerySpec> = (0..2_000).map(|_| qgen.generate()).collect();
+
+    const BATCH: usize = 256;
+    const BATCHES: usize = 12;
+
+    // --- Single engine, batched publishes.
+    let mut monitor = Monitor::new(MrioSeg::new(lambda));
+    for spec in &specs {
+        monitor.register(spec.clone());
+    }
+    let mut driver = StreamDriver::new(corpus.clone(), ArrivalClock::unit());
+    let start = Instant::now();
+    let mut published = 0usize;
+    let mut changed = 0usize;
+    for batch in driver.by_ref().take(BATCH * BATCHES).collect::<Vec<_>>().chunks(BATCH) {
+        let items: Vec<_> = batch.iter().map(|d| (d.vector.iter().collect(), d.arrival)).collect();
+        let (ids, changes) = monitor.publish_batch(items);
+        published += ids.len();
+        changed += changes.len();
+    }
+    let dps = published as f64 / start.elapsed().as_secs_f64();
+    println!(
+        "single engine : {published} docs in batches of {BATCH} -> {dps:.0} docs/sec, \
+         {changed} result changes"
+    );
+
+    // --- Sharded monitor, pipelined batches.
+    let shards = std::thread::available_parallelism().map(|p| p.get().min(4)).unwrap_or(2);
+    let mut sharded = ShardedMonitor::new(shards, || MrioSeg::new(lambda));
+    let ids: Vec<ShardedQueryId> = specs.iter().map(|s| sharded.register(s.clone())).collect();
+    let driver = StreamDriver::new(corpus, ArrivalClock::unit());
+    let start = Instant::now();
+    let mut merged_updates = 0u64;
+    sharded.run_pipelined(driver.batches(BATCH).take(BATCHES), 1, |stats, _changes| {
+        merged_updates += stats.iter().map(|ev| ev.updates).sum::<u64>();
+    });
+    let total = BATCH * BATCHES;
+    let dps = total as f64 / start.elapsed().as_secs_f64();
+    println!(
+        "sharded x{shards}: {total} docs in pipelined batches of {BATCH} -> {dps:.0} docs/sec, \
+         {merged_updates} result updates"
+    );
+
+    // Both paths kept exact per-query state; show one query's view.
+    let sample = ids[0];
+    if let Some(top) = sharded.results(sample) {
+        println!(
+            "query 0 (shard {}): top-{} scores {:?}",
+            sample.shard,
+            top.len(),
+            top.iter()
+                .map(|sd| (sd.doc.0, (sd.score.get() * 1e3).round() / 1e3))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Randomized equivalence of the batched sharded ingestion path.
+//!
+//! A `ShardedMonitor` built from `Naive` shards, fed through
+//! `process_batch`, must stay **bit-identical** to a single `Naive` engine
+//! fed one document at a time — including while queries register and
+//! unregister mid-stream. (Each query's score accumulates from its own
+//! registration record, so partitioning queries across shards must not
+//! change a single bit of any result.)
+//!
+//! The merged-stat invariant is checked alongside: every document visits
+//! every shard exactly once, so the summed per-shard event counters equal
+//! `documents × shards`.
+
+use continuous_topk::prelude::*;
+use proptest::prelude::*;
+
+type RawVec = Vec<(u32, f32)>;
+
+fn make_spec(terms: &RawVec, k: usize) -> Option<QuerySpec> {
+    QuerySpec::new(terms.iter().map(|&(t, w)| (TermId(t), w)).collect(), k).ok()
+}
+
+proptest! {
+    // Each case spins up `shards` worker threads; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batched_sharded_ingestion_with_churn_matches_naive(
+        shards in 2usize..5,
+        batch_size in 1usize..9,
+        initial in prop::collection::vec(
+            (prop::collection::vec((0u32..40, 0.1f32..2.0), 1..4), 1usize..4),
+            4..16,
+        ),
+        rounds in prop::collection::vec(
+            (
+                // This round's documents.
+                prop::collection::vec(prop::collection::vec((0u32..40, 0.1f32..2.0), 1..8), 1..12),
+                // Churn: a candidate registration, applied when gate > 0...
+                (prop::collection::vec((0u32..40, 0.1f32..2.0), 1..4), 1usize..4),
+                0usize..3,
+                // ...and an unregister slot: live[idx % (len + 1)], where
+                // landing on `len` means "no unregister this round".
+                0usize..64,
+            ),
+            1..6,
+        ),
+        lambda in prop::sample::select(vec![0.0, 0.05, 0.8]),
+    ) {
+        let mut sharded = ShardedMonitor::new(shards, || Naive::new(lambda));
+        let mut single = Naive::new(lambda);
+        // Live queries as (sharded handle, single-engine id) pairs.
+        let mut live: Vec<(ShardedQueryId, QueryId)> = Vec::new();
+
+        for (terms, k) in &initial {
+            if let Some(spec) = make_spec(terms, *k) {
+                live.push((sharded.register(spec.clone()), single.register(spec)));
+            }
+        }
+        prop_assume!(!live.is_empty());
+
+        let mut next_doc = 0u64;
+        let mut total_docs = 0u64;
+        for (doc_batches, (reg_terms, reg_k), reg_gate, unreg_slot) in &rounds {
+            let slot = unreg_slot % (live.len() + 1);
+            if slot < live.len() {
+                let (sid, qid) = live.remove(slot);
+                prop_assert!(sharded.unregister(sid));
+                prop_assert!(single.unregister(qid));
+            }
+            if *reg_gate > 0 {
+                if let Some(spec) = make_spec(reg_terms, *reg_k) {
+                    live.push((sharded.register(spec.clone()), single.register(spec)));
+                }
+            }
+
+            let docs: Vec<Document> = doc_batches
+                .iter()
+                .map(|pairs| {
+                    let d = Document::new(
+                        DocId(next_doc),
+                        pairs.iter().map(|&(t, w)| (TermId(t), w)).collect(),
+                        next_doc as f64,
+                    );
+                    next_doc += 1;
+                    d
+                })
+                .collect();
+            total_docs += docs.len() as u64;
+
+            for d in &docs {
+                single.process(d);
+            }
+            for chunk in docs.chunks(batch_size) {
+                let (stats, _changes) = sharded.process_batch(chunk.to_vec());
+                prop_assert_eq!(stats.len(), chunk.len());
+            }
+        }
+
+        // Bit-identical results for every surviving query.
+        for (sid, qid) in &live {
+            prop_assert_eq!(
+                sharded.results(*sid),
+                single.results(*qid),
+                "shard {} local {:?} vs single {:?}",
+                sid.shard,
+                sid.local,
+                qid
+            );
+        }
+
+        // Merged-stat consistency: every shard processed every document.
+        let per_shard = sharded.shard_cumulative();
+        prop_assert_eq!(per_shard.len(), shards);
+        for cum in &per_shard {
+            prop_assert_eq!(cum.events, total_docs);
+        }
+        let summed: u64 = per_shard.iter().map(|c| c.events).sum();
+        prop_assert_eq!(summed, total_docs * shards as u64);
+    }
+}
