@@ -215,6 +215,16 @@ impl ContinuousTopK for Tps {
     fn restore_landmark(&mut self, landmark: f64) {
         self.base.decay.restore_landmark(landmark);
     }
+
+    fn tombstone_ratio(&self) -> f64 {
+        self.index.tombstone_ratio()
+    }
+
+    fn compact_index(&mut self) -> usize {
+        // `wmax` is a stale-valid upper bound and the `inv_sk` trackers are
+        // keyed by (qid, version), so neither depends on list positions.
+        self.index.compact().len()
+    }
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ fn main() {
         }
         for (i, spec_seeds) in wl.seeds.iter().enumerate() {
             if !spec_seeds.is_empty() {
-                monitor.seed_results(ids[i], spec_seeds.clone());
+                monitor.seed_results(ids[i], spec_seeds);
             }
         }
         for doc in &wl.warmup {

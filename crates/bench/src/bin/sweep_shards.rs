@@ -128,7 +128,7 @@ fn main() {
             }
             for (i, seeds) in wl.seeds.iter().enumerate() {
                 if !seeds.is_empty() {
-                    monitor.seed_results(ids[i], seeds.clone());
+                    monitor.seed_results(ids[i], seeds);
                 }
             }
             for chunk in wl.warmup.chunks(batch.max(1)) {

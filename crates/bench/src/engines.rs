@@ -1,7 +1,11 @@
 //! Engine factory: construct any algorithm by its report name.
+//!
+//! Thin shim over the facade's [`EngineKind`] — the harness's name-keyed
+//! tables and CLI flags resolve through the same registry the application
+//! builder uses, so a new engine kind lands everywhere at once.
 
-use ctk_baselines::{Rta, SortQuer, Tps};
-use ctk_core::{ContinuousTopK, MrioBlock, MrioSeg, MrioSuffix, Naive, Rio};
+use continuous_topk::EngineKind;
+use ctk_core::ContinuousTopK;
 
 /// The five methods of the paper's Figure 1, in its legend order.
 pub const PAPER_ALGOS: [&str; 5] = ["RTA", "RIO", "MRIO", "SortQuer", "TPS"];
@@ -12,18 +16,9 @@ pub const ALL_ALGOS: [&str; 8] =
 
 /// Construct an engine by name. Panics on unknown names (callers pass
 /// compile-time constants).
-pub fn make_engine(name: &str, lambda: f64) -> Box<dyn ContinuousTopK> {
-    match name {
-        "RTA" => Box::new(Rta::new(lambda)),
-        "RIO" => Box::new(Rio::new(lambda)),
-        "MRIO" => Box::new(MrioSeg::new(lambda)),
-        "MRIO-block" => Box::new(MrioBlock::new(lambda)),
-        "MRIO-suffix" => Box::new(MrioSuffix::new(lambda)),
-        "SortQuer" => Box::new(SortQuer::new(lambda)),
-        "TPS" => Box::new(Tps::new(lambda)),
-        "Naive" => Box::new(Naive::new(lambda)),
-        other => panic!("unknown engine name: {other}"),
-    }
+pub fn make_engine(name: &str, lambda: f64) -> Box<dyn ContinuousTopK + Send> {
+    let kind: EngineKind = name.parse().unwrap_or_else(|e| panic!("{e}"));
+    kind.build_engine(lambda)
 }
 
 #[cfg(test)]
@@ -37,6 +32,12 @@ mod tests {
             assert_eq!(e.name(), name);
             assert_eq!(e.lambda(), 0.001);
         }
+    }
+
+    #[test]
+    fn name_tables_match_the_kind_registry() {
+        assert_eq!(ALL_ALGOS, EngineKind::ALL.map(|k| k.name()));
+        assert_eq!(PAPER_ALGOS, EngineKind::PAPER.map(|k| k.name()));
     }
 
     #[test]

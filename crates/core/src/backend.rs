@@ -1,0 +1,143 @@
+//! The unified application-facing API over every monitor front-end.
+//!
+//! The paper's system model is **one** server front-end hosting millions of
+//! CTQDs; deployments should not care whether that front-end runs a single
+//! engine or shards the query population across worker threads. This module
+//! defines the contract both implement:
+//!
+//! * [`crate::Monitor`] — one engine, zero threads;
+//! * [`crate::ShardedMonitor`] — the query-sharded parallel monitor.
+//!
+//! Both speak plain [`QueryId`]s (the sharded backend maps them to shard
+//! routes internally), return [`PublishReceipt`]s from ingestion, and
+//! capture/restore through the versioned [`crate::Snapshot`] format —
+//! including restoring a capture into a backend with a *different* shard
+//! count. Application code written against `dyn MonitorBackend` is
+//! untouched by any later re-partitioning of the work behind it.
+
+use crate::monitor::Snapshot;
+use crate::stats::EventStats;
+use crate::traits::ResultChange;
+use ctk_common::{DocId, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
+
+/// The typed outcome of a [`MonitorBackend::publish`] /
+/// [`MonitorBackend::publish_batch`] call: the ids assigned to the admitted
+/// documents, every result change they caused, and per-document work
+/// counters (summed across shards on sharded backends).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PublishReceipt {
+    /// Ids assigned to the admitted documents, in submission order.
+    pub doc_ids: Vec<DocId>,
+    /// Every result-set change of the batch. Attribute a change to its
+    /// document via `change.inserted.doc`; order within the receipt is
+    /// unspecified across queries (sharded backends group by shard).
+    pub changes: Vec<ResultChange>,
+    /// Per-document work counters, aligned with `doc_ids`.
+    pub stats: Vec<EventStats>,
+}
+
+impl PublishReceipt {
+    /// The id of the first (for single publishes: the only) document.
+    ///
+    /// # Panics
+    /// Panics on a receipt for an empty batch.
+    pub fn doc_id(&self) -> DocId {
+        self.doc_ids[0]
+    }
+
+    /// True when the batch changed no result set.
+    pub fn is_quiet(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// All counters of the batch folded into one record.
+    pub fn merged_stats(&self) -> EventStats {
+        let mut total = EventStats::default();
+        for ev in &self.stats {
+            total.merge(ev);
+        }
+        total
+    }
+
+    /// The changes that affected one query, in document order.
+    pub fn changes_for(&self, qid: QueryId) -> impl Iterator<Item = &ResultChange> + '_ {
+        self.changes.iter().filter(move |c| c.query == qid)
+    }
+
+    /// The changes grouped per affected query, ascending query id; document
+    /// order is preserved within each group. This is the notification-fanout
+    /// view: one entry per subscriber to wake.
+    pub fn changes_by_query(&self) -> Vec<(QueryId, Vec<ResultChange>)> {
+        let mut sorted = self.changes.clone();
+        sorted.sort_by_key(|c| (c.query, c.inserted.doc));
+        let mut grouped: Vec<(QueryId, Vec<ResultChange>)> = Vec::new();
+        for change in sorted {
+            match grouped.last_mut() {
+                Some((qid, group)) if *qid == change.query => group.push(change),
+                _ => grouped.push((change.query, vec![change])),
+            }
+        }
+        grouped
+    }
+}
+
+/// One application-facing monitor API over single-engine and sharded
+/// backends alike.
+///
+/// ## Contract
+///
+/// * `register` assigns unique, monotonically increasing [`QueryId`]s,
+///   regardless of how queries are partitioned internally.
+/// * `publish`/`publish_batch` allocate document ids in submission order and
+///   clamp arrival timestamps to be monotone across calls.
+/// * After identical `register`/`unregister`/`publish` sequences, two
+///   backends with the same `lambda` report **bit-identical** `results` for
+///   every query, whatever their engine kind or shard count (checked against
+///   the exhaustive oracle in `tests/backend_api.rs`).
+/// * `snapshot` captures the full monitor state; [`Snapshot::restore_into`]
+///   rebuilds it on any freshly built backend of the same `lambda` —
+///   including one with a different shard count.
+pub trait MonitorBackend {
+    /// Register a user's continuous query; returns its public id.
+    fn register(&mut self, spec: QuerySpec) -> QueryId;
+
+    /// Remove a query. Returns false when the id is unknown or removed.
+    fn unregister(&mut self, qid: QueryId) -> bool;
+
+    /// Publish one document to the stream.
+    fn publish(&mut self, pairs: Vec<(TermId, f32)>, arrival: Timestamp) -> PublishReceipt;
+
+    /// Publish a batch of documents through the backend's batched (and, on
+    /// sharded backends, pipelined) ingestion path.
+    fn publish_batch(&mut self, batch: Vec<(Vec<(TermId, f32)>, Timestamp)>) -> PublishReceipt;
+
+    /// Current top-k of a query, best first. `None` after unregistration.
+    fn results(&self, qid: QueryId) -> Option<Vec<ScoredDoc>>;
+
+    /// Number of live queries.
+    fn num_queries(&self) -> usize;
+
+    /// Number of shards doing the work (1 for single-engine backends).
+    fn shards(&self) -> usize {
+        1
+    }
+
+    /// The decay parameter the backend was built with.
+    fn lambda(&self) -> f64;
+
+    /// Capture the full monitor state (versioned, engine-agnostic).
+    fn snapshot(&self) -> Snapshot;
+
+    // --- Restore plumbing, driven by [`Snapshot::restore_into`]. ---
+
+    /// Adopt a captured decay landmark on every engine. Must run on a fresh
+    /// backend *before* any seeding: snapshot scores are expressed in the
+    /// snapshot's landmark frame.
+    fn restore_landmark(&mut self, landmark: Timestamp);
+
+    /// Adopt a captured stream position (next document id, last arrival).
+    fn restore_stream_position(&mut self, next_doc: u64, last_arrival: Timestamp);
+
+    /// Warm-start a query's result set with pre-scored history.
+    fn seed_results(&mut self, qid: QueryId, seeds: &[ScoredDoc]);
+}

@@ -15,6 +15,7 @@
 //! assert_eq!(engine.results(q).unwrap().len(), 1);
 //! ```
 
+pub mod backend;
 pub mod engine;
 pub mod monitor;
 pub mod mrio;
@@ -26,12 +27,13 @@ pub mod stats;
 pub mod topk;
 pub mod traits;
 
-pub use monitor::{Monitor, Snapshot, SnapshotQuery};
+pub use backend::{MonitorBackend, PublishReceipt};
+pub use monitor::{Monitor, ShardSnapshot, Snapshot, SnapshotQuery, SNAPSHOT_VERSION};
 pub use mrio::{Mrio, MrioBlock, MrioSeg, MrioSuffix};
 pub use naive::Naive;
 pub use rio::Rio;
 pub use score::DecayModel;
-pub use sharded::{BatchOutcome, ShardedMonitor, ShardedQueryId};
+pub use sharded::{BatchOutcome, ShardedMonitor};
 pub use stats::{CumulativeStats, EventStats};
 pub use topk::{Offer, TopKState};
 pub use traits::{ContinuousTopK, ResultChange};

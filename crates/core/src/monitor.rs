@@ -1,14 +1,21 @@
-//! The application-facing monitor front-end.
+//! The single-engine monitor front-end and the versioned snapshot format.
 //!
-//! Wraps any [`ContinuousTopK`] engine and adds what deployments need
-//! around the core algorithm:
+//! [`Monitor`] wraps any [`ContinuousTopK`] engine and adds what deployments
+//! need around the core algorithm:
 //!
 //! * document id allocation and monotone arrival-time clamping;
-//! * result-change notifications per published document;
+//! * typed [`PublishReceipt`]s from single and batched publishes;
+//! * an optional tombstone-compaction policy applied at batch boundaries;
 //! * snapshot / restore of the full monitor state (queries + results) via
-//!   serde, so a server can restart without replaying the stream.
+//!   the versioned [`Snapshot`] JSON format, so a server can restart
+//!   without replaying the stream.
+//!
+//! It implements [`MonitorBackend`], the same contract the sharded
+//! front-end speaks — application code can hold a `Box<dyn MonitorBackend>`
+//! and never know which one it got.
 
-use crate::traits::{ContinuousTopK, ResultChange};
+use crate::backend::{MonitorBackend, PublishReceipt};
+use crate::traits::ContinuousTopK;
 use ctk_common::{DocId, FxHashMap, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
 use serde::{Deserialize, Serialize};
 
@@ -18,11 +25,28 @@ pub struct Monitor<E: ContinuousTopK> {
     specs: Vec<Option<QuerySpec>>,
     next_doc: u64,
     last_arrival: Timestamp,
+    /// Tombstone ratio beyond which batch boundaries compact the index
+    /// (`0.0` disables the policy).
+    compact_at: f64,
 }
 
 impl<E: ContinuousTopK> Monitor<E> {
     pub fn new(engine: E) -> Self {
-        Monitor { engine, specs: Vec::new(), next_doc: 0, last_arrival: 0.0 }
+        Monitor { engine, specs: Vec::new(), next_doc: 0, last_arrival: 0.0, compact_at: 0.0 }
+    }
+
+    /// Enable tombstone compaction: whenever a publish leaves the engine's
+    /// index with `tombstone_ratio() >= ratio`, the index is compacted (and
+    /// the affected bound structures rebuilt) before the next batch. Ratios
+    /// `<= 0.0` disable the policy.
+    pub fn with_compaction(mut self, ratio: f64) -> Self {
+        self.set_compaction_threshold(ratio);
+        self
+    }
+
+    /// See [`Monitor::with_compaction`].
+    pub fn set_compaction_threshold(&mut self, ratio: f64) {
+        self.compact_at = ratio.max(0.0);
     }
 
     /// The wrapped engine (read access for stats etc.).
@@ -52,32 +76,37 @@ impl<E: ContinuousTopK> Monitor<E> {
 
     /// Publish a document to the stream: assigns the next document id,
     /// clamps the arrival time to be monotone, refreshes all results and
-    /// returns the changes it caused.
-    pub fn publish(
-        &mut self,
-        pairs: Vec<(TermId, f32)>,
-        arrival: Timestamp,
-    ) -> (DocId, Vec<ResultChange>) {
+    /// returns the receipt. This is the batched path with a batch of one —
+    /// the changes land in the receipt directly, with no per-document copy
+    /// out of the engine's scratch buffer.
+    pub fn publish(&mut self, pairs: Vec<(TermId, f32)>, arrival: Timestamp) -> PublishReceipt {
         let doc = self.admit(pairs, arrival);
-        let id = doc.id;
-        self.engine.process(&doc);
-        (id, self.engine.last_changes().to_vec())
+        let mut receipt = PublishReceipt {
+            doc_ids: vec![doc.id],
+            changes: Vec::new(),
+            stats: Vec::with_capacity(1),
+        };
+        receipt.stats =
+            self.engine.process_batch_into(std::slice::from_ref(&doc), &mut receipt.changes);
+        self.maybe_compact();
+        receipt
     }
 
     /// Publish a batch of documents through the engine's batched ingestion
     /// path: ids are allocated in order, arrival times are clamped monotone
-    /// across the whole batch, and the returned changes cover every
-    /// document (attribute them via `ResultChange::inserted`).
-    pub fn publish_batch(
-        &mut self,
-        batch: Vec<(Vec<(TermId, f32)>, Timestamp)>,
-    ) -> (Vec<DocId>, Vec<ResultChange>) {
+    /// across the whole batch, and the receipt covers every document
+    /// (attribute changes via `ResultChange::inserted`).
+    pub fn publish_batch(&mut self, batch: Vec<(Vec<(TermId, f32)>, Timestamp)>) -> PublishReceipt {
         let docs: Vec<ctk_common::Document> =
             batch.into_iter().map(|(pairs, arrival)| self.admit(pairs, arrival)).collect();
-        let ids = docs.iter().map(|d| d.id).collect();
-        let mut changes = Vec::new();
-        self.engine.process_batch_into(&docs, &mut changes);
-        (ids, changes)
+        let mut receipt = PublishReceipt {
+            doc_ids: docs.iter().map(|d| d.id).collect(),
+            changes: Vec::new(),
+            stats: Vec::new(),
+        };
+        receipt.stats = self.engine.process_batch_into(&docs, &mut receipt.changes);
+        self.maybe_compact();
+        receipt
     }
 
     /// Stamp one incoming document: next id, monotone-clamped arrival.
@@ -87,6 +116,14 @@ impl<E: ContinuousTopK> Monitor<E> {
         let id = DocId(self.next_doc);
         self.next_doc += 1;
         ctk_common::Document::new(id, pairs, arrival)
+    }
+
+    /// Batch-boundary compaction policy: no event is mid-flight here, so
+    /// the index can reorganize safely.
+    fn maybe_compact(&mut self) {
+        if self.compact_at > 0.0 && self.engine.tombstone_ratio() >= self.compact_at {
+            self.engine.compact_index();
+        }
     }
 
     /// Current top-k of a query, best first.
@@ -99,7 +136,7 @@ impl<E: ContinuousTopK> Monitor<E> {
         self.engine.num_queries()
     }
 
-    /// Capture the full monitor state.
+    /// Capture the full monitor state as a single-section [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
         let queries = self
             .specs
@@ -117,71 +154,246 @@ impl<E: ContinuousTopK> Monitor<E> {
             })
             .collect();
         Snapshot {
+            version: SNAPSHOT_VERSION,
             lambda: self.engine.lambda(),
-            landmark: self.engine.landmark(),
             next_doc: self.next_doc,
             last_arrival: self.last_arrival,
-            queries,
+            shards: vec![ShardSnapshot { landmark: self.engine.landmark(), queries }],
         }
     }
 
     /// Rebuild a monitor from a snapshot using a fresh engine (which must
     /// have been constructed with `snapshot.lambda`). Returns the mapping
-    /// from snapshot query ids to the new ids.
+    /// from snapshot query ids to the new ids. Convenience wrapper around
+    /// [`Snapshot::restore_into`].
     pub fn restore(engine: E, snapshot: &Snapshot) -> (Self, FxHashMap<QueryId, QueryId>) {
-        assert_eq!(
-            engine.lambda(),
-            snapshot.lambda,
-            "engine must be constructed with the snapshot's lambda"
-        );
         let mut monitor = Monitor::new(engine);
-        // Adopt the snapshot's decay landmark before seeding: the seeded
-        // scores are expressed relative to it. A fresh engine sits at
-        // landmark 0, so skipping this step after any renormalization had
-        // fired would re-inflate (and soon re-renormalize) the seeds in the
-        // wrong frame, corrupting every threshold.
-        monitor.engine.restore_landmark(snapshot.landmark);
-        monitor.next_doc = snapshot.next_doc;
-        monitor.last_arrival = snapshot.last_arrival;
-        let mut mapping = FxHashMap::default();
-        for q in &snapshot.queries {
-            let new_qid = monitor.register(q.spec.clone());
-            monitor.engine.seed_results(new_qid, &q.results);
-            mapping.insert(QueryId(q.qid), new_qid);
-        }
+        let mapping = snapshot.restore_into(&mut monitor);
         (monitor, mapping)
     }
 }
 
+impl<E: ContinuousTopK> MonitorBackend for Monitor<E> {
+    fn register(&mut self, spec: QuerySpec) -> QueryId {
+        Monitor::register(self, spec)
+    }
+
+    fn unregister(&mut self, qid: QueryId) -> bool {
+        Monitor::unregister(self, qid)
+    }
+
+    fn publish(&mut self, pairs: Vec<(TermId, f32)>, arrival: Timestamp) -> PublishReceipt {
+        Monitor::publish(self, pairs, arrival)
+    }
+
+    fn publish_batch(&mut self, batch: Vec<(Vec<(TermId, f32)>, Timestamp)>) -> PublishReceipt {
+        Monitor::publish_batch(self, batch)
+    }
+
+    fn results(&self, qid: QueryId) -> Option<Vec<ScoredDoc>> {
+        Monitor::results(self, qid)
+    }
+
+    fn num_queries(&self) -> usize {
+        Monitor::num_queries(self)
+    }
+
+    fn lambda(&self) -> f64 {
+        self.engine.lambda()
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Monitor::snapshot(self)
+    }
+
+    fn restore_landmark(&mut self, landmark: Timestamp) {
+        self.engine.restore_landmark(landmark);
+    }
+
+    fn restore_stream_position(&mut self, next_doc: u64, last_arrival: Timestamp) {
+        self.next_doc = next_doc;
+        self.last_arrival = last_arrival;
+    }
+
+    fn seed_results(&mut self, qid: QueryId, seeds: &[ScoredDoc]) {
+        self.engine.seed_results(qid, seeds);
+    }
+}
+
+/// Current snapshot format version. Bump on any breaking field change and
+/// teach [`Snapshot::from_json`] to migrate the previous shape.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
 /// One query's state inside a [`Snapshot`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SnapshotQuery {
+    /// The public query id at capture time.
     pub qid: u32,
     pub spec: QuerySpec,
     pub results: Vec<ScoredDoc>,
 }
 
-/// A serializable capture of the whole monitor.
+/// One shard's section of a [`Snapshot`]: its decay landmark and the
+/// queries it hosted. Single-engine monitors write exactly one section.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Snapshot {
-    pub lambda: f64,
-    /// The decay landmark all stored scores are relative to. Restoring
-    /// without it mixes score frames once any renormalization has fired.
+pub struct ShardSnapshot {
+    /// The decay landmark all this section's scores are relative to.
+    /// Restoring without it mixes score frames once any renormalization has
+    /// fired.
     pub landmark: Timestamp,
-    pub next_doc: u64,
-    pub last_arrival: Timestamp,
     pub queries: Vec<SnapshotQuery>,
 }
 
+/// A serializable capture of a whole monitor backend (format version 2).
+///
+/// The section list records how the capture was partitioned, but restore is
+/// partition-agnostic: [`Snapshot::restore_into`] rebalances the queries
+/// onto whatever backend it is given, so a 4-shard capture restores into a
+/// 2-shard (or single-engine) monitor and vice versa.
+///
+/// ## Format history
+///
+/// * **v2** (current): `version` tag, per-shard `shards` sections each
+///   carrying its `landmark`.
+/// * **v1** (PR 2): flat single-engine capture with a top-level `landmark`.
+/// * **v0** (pre-PR-2): as v1 but without `landmark` — migrated with
+///   `landmark = 0`, which is exact for captures that never renormalized.
+///
+/// [`Snapshot::from_json`] parses all three; [`Snapshot::to_json`] always
+/// writes v2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub version: u32,
+    pub lambda: f64,
+    pub next_doc: u64,
+    pub last_arrival: Timestamp,
+    pub shards: Vec<ShardSnapshot>,
+}
+
+/// The v1 (PR-2) on-disk shape, kept for migration only.
+#[derive(Deserialize)]
+struct SnapshotV1 {
+    lambda: f64,
+    landmark: Timestamp,
+    next_doc: u64,
+    last_arrival: Timestamp,
+    queries: Vec<SnapshotQuery>,
+}
+
+/// The v0 (pre-PR-2) on-disk shape, kept for migration only. **Must be
+/// tried after [`SnapshotV1`]**: a v1 document also parses as v0 (the extra
+/// `landmark` field is ignored), silently dropping the landmark.
+#[derive(Deserialize)]
+struct SnapshotV0 {
+    lambda: f64,
+    next_doc: u64,
+    last_arrival: Timestamp,
+    queries: Vec<SnapshotQuery>,
+}
+
 impl Snapshot {
-    /// Serialize to JSON.
+    /// Serialize to JSON (always the current format version).
     pub fn to_json(&self) -> serde_json::Result<String> {
         serde_json::to_string_pretty(self)
     }
 
-    /// Deserialize from JSON.
+    /// Deserialize from JSON, migrating v1 / v0 captures to the current
+    /// in-memory form (one section; v0 gets `landmark = 0`).
     pub fn from_json(s: &str) -> serde_json::Result<Snapshot> {
-        serde_json::from_str(s)
+        match serde_json::from_str::<Snapshot>(s) {
+            Ok(snap) => {
+                if snap.version != SNAPSHOT_VERSION {
+                    return Err(serde::Error::custom(format!(
+                        "unsupported snapshot version {} (this build reads <= {SNAPSHOT_VERSION})",
+                        snap.version
+                    ))
+                    .into());
+                }
+                Ok(snap)
+            }
+            Err(v2_err) => {
+                if let Ok(v1) = serde_json::from_str::<SnapshotV1>(s) {
+                    return Ok(Snapshot {
+                        version: SNAPSHOT_VERSION,
+                        lambda: v1.lambda,
+                        next_doc: v1.next_doc,
+                        last_arrival: v1.last_arrival,
+                        shards: vec![ShardSnapshot { landmark: v1.landmark, queries: v1.queries }],
+                    });
+                }
+                if let Ok(v0) = serde_json::from_str::<SnapshotV0>(s) {
+                    return Ok(Snapshot {
+                        version: SNAPSHOT_VERSION,
+                        lambda: v0.lambda,
+                        next_doc: v0.next_doc,
+                        last_arrival: v0.last_arrival,
+                        shards: vec![ShardSnapshot { landmark: 0.0, queries: v0.queries }],
+                    });
+                }
+                Err(v2_err)
+            }
+        }
+    }
+
+    /// Total queries across all sections.
+    pub fn num_queries(&self) -> usize {
+        self.shards.iter().map(|s| s.queries.len()).sum()
+    }
+
+    /// Iterate every captured query, section order.
+    pub fn queries(&self) -> impl Iterator<Item = &SnapshotQuery> + '_ {
+        self.shards.iter().flat_map(|s| s.queries.iter())
+    }
+
+    /// The decay landmark of the capture. Sections written by one backend
+    /// always agree (every shard sees the same arrivals, so their decay
+    /// models renormalize in lockstep); the maximum is taken defensively.
+    pub fn landmark(&self) -> Timestamp {
+        debug_assert!(
+            self.shards.windows(2).all(|w| w[0].landmark == w[1].landmark),
+            "sections of one capture must share the landmark frame"
+        );
+        self.shards.iter().map(|s| s.landmark).fold(0.0, f64::max)
+    }
+
+    /// Rebuild this capture's state on a freshly built backend (same
+    /// `lambda`; any engine kind or shard count). Queries are re-registered
+    /// in ascending captured-id order — the sharded backend thereby
+    /// rebalances them round-robin over *its* shards, so the capture's
+    /// partitioning does not constrain the restore target. Returns the
+    /// mapping from captured query ids to the new ids.
+    ///
+    /// # Panics
+    /// Panics when the backend's `lambda` differs from the capture's, or
+    /// when the backend already hosts queries (seeded scores are only
+    /// meaningful in a fresh landmark frame).
+    pub fn restore_into<B: MonitorBackend + ?Sized>(
+        &self,
+        backend: &mut B,
+    ) -> FxHashMap<QueryId, QueryId> {
+        assert_eq!(
+            backend.lambda(),
+            self.lambda,
+            "backend must be constructed with the snapshot's lambda"
+        );
+        assert_eq!(backend.num_queries(), 0, "restore target must be freshly built");
+        // Adopt the snapshot's decay landmark before seeding: the seeded
+        // scores are expressed relative to it. A fresh engine sits at
+        // landmark 0, so skipping this step after any renormalization had
+        // fired would re-inflate (and soon re-renormalize) the seeds in the
+        // wrong frame, corrupting every threshold.
+        backend.restore_landmark(self.landmark());
+        backend.restore_stream_position(self.next_doc, self.last_arrival);
+
+        let mut captured: Vec<&SnapshotQuery> = self.queries().collect();
+        captured.sort_by_key(|q| q.qid);
+        let mut mapping = FxHashMap::default();
+        for q in captured {
+            let new_qid = backend.register(q.spec.clone());
+            backend.seed_results(new_qid, &q.results);
+            mapping.insert(QueryId(q.qid), new_qid);
+        }
+        mapping
     }
 }
 
@@ -198,13 +410,34 @@ mod tests {
     fn publish_assigns_ids_and_reports_changes() {
         let mut m = Monitor::new(MrioSeg::new(0.0));
         let q = m.register(spec(&[1, 2], 2));
-        let (d0, ch0) = m.publish(vec![(TermId(1), 1.0)], 0.0);
-        assert_eq!(d0, DocId(0));
-        assert_eq!(ch0.len(), 1);
-        assert_eq!(ch0[0].query, q);
-        let (d1, ch1) = m.publish(vec![(TermId(9), 1.0)], 1.0);
-        assert_eq!(d1, DocId(1));
-        assert!(ch1.is_empty());
+        let r0 = m.publish(vec![(TermId(1), 1.0)], 0.0);
+        assert_eq!(r0.doc_id(), DocId(0));
+        assert_eq!(r0.doc_ids, vec![DocId(0)]);
+        assert_eq!(r0.changes.len(), 1);
+        assert_eq!(r0.changes[0].query, q);
+        assert_eq!(r0.stats.len(), 1);
+        assert_eq!(r0.merged_stats().updates, 1);
+        let r1 = m.publish(vec![(TermId(9), 1.0)], 1.0);
+        assert_eq!(r1.doc_id(), DocId(1));
+        assert!(r1.is_quiet());
+    }
+
+    #[test]
+    fn receipt_groups_changes_per_query() {
+        let mut m = Monitor::new(MrioSeg::new(0.0));
+        let q1 = m.register(spec(&[1], 2));
+        let q2 = m.register(spec(&[1, 2], 2));
+        let receipt =
+            m.publish_batch(vec![(vec![(TermId(1), 1.0)], 0.0), (vec![(TermId(2), 1.0)], 1.0)]);
+        let grouped = receipt.changes_by_query();
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].0, q1);
+        assert_eq!(grouped[0].1.len(), 1);
+        assert_eq!(grouped[1].0, q2);
+        assert_eq!(grouped[1].1.len(), 2, "q2 matched both documents");
+        // Document order within the group.
+        assert!(grouped[1].1[0].inserted.doc < grouped[1].1[1].inserted.doc);
+        assert_eq!(receipt.changes_for(q2).count(), 2);
     }
 
     #[test]
@@ -213,11 +446,11 @@ mod tests {
         m.register(spec(&[1], 1));
         m.publish(vec![(TermId(1), 1.0)], 10.0);
         // A stale timestamp must not travel back in time.
-        let (_, changes) = m.publish(vec![(TermId(1), 2.0)], 3.0);
+        let receipt = m.publish(vec![(TermId(1), 2.0)], 3.0);
         // Same cosine, clamped to the same arrival => tie, smaller doc id
         // stays: no change reported... but doc 1 has same score and LARGER
         // id, so no update.
-        assert!(changes.is_empty());
+        assert!(receipt.is_quiet());
     }
 
     #[test]
@@ -229,6 +462,8 @@ mod tests {
             m.publish(vec![(TermId(1 + i % 3), 1.0), (TermId(7), 0.5)], i as f64);
         }
         let snap = m.snapshot();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        assert_eq!(snap.shards.len(), 1);
         let json = snap.to_json().unwrap();
         let parsed = Snapshot::from_json(&json).unwrap();
 
@@ -248,8 +483,8 @@ mod tests {
         let (mut r, map) = Monitor::restore(MrioSeg::new(0.0), &snap);
         let rq = map[&q];
         // New stronger doc enters the restored monitor's results.
-        let (_, changes) = r.publish(vec![(TermId(5), 3.0)], 1.0);
-        assert_eq!(changes.len(), 1);
+        let receipt = r.publish(vec![(TermId(5), 3.0)], 1.0);
+        assert_eq!(receipt.changes.len(), 1);
         let res = r.results(rq).unwrap();
         assert_eq!(res.len(), 2);
     }
@@ -272,7 +507,7 @@ mod tests {
         let snap = m.snapshot();
         let json = snap.to_json().unwrap();
         let parsed = Snapshot::from_json(&json).unwrap();
-        assert_eq!(parsed.landmark, m.engine().landmark());
+        assert_eq!(parsed.landmark(), m.engine().landmark());
         let (mut restored, mapping) = Monitor::restore(MrioSeg::new(0.1), &parsed);
         let rq = mapping[&q];
         assert_eq!(m.results(q), restored.results(rq));
@@ -284,9 +519,12 @@ mod tests {
         // the landmark restored, both monitors score it in the same frame
         // and reject it identically.
         let weak = vec![(TermId(2), 0.1), (TermId(9), 1.0)];
-        let (_, ch_orig) = m.publish(weak.clone(), 701.0);
-        let (_, ch_rest) = restored.publish(weak, 701.0);
-        assert_eq!(ch_orig, ch_rest, "restored monitor diverged on the first post-restore event");
+        let a = m.publish(weak.clone(), 701.0);
+        let b = restored.publish(weak, 701.0);
+        assert_eq!(
+            a.changes, b.changes,
+            "restored monitor diverged on the first post-restore event"
+        );
         assert_eq!(m.results(q), restored.results(rq));
     }
 
@@ -303,17 +541,16 @@ mod tests {
             // Include a stale timestamp mid-stream: batch clamping must
             // match the sequential clamp.
             let at = if i == 10 { 2.0 } else { i as f64 };
-            let (_, ch) = one.publish(pairs(i), at);
-            seq_changes.extend(ch);
+            seq_changes.extend(one.publish(pairs(i), at).changes);
         }
         let items: Vec<_> =
             (0..30u32).map(|i| (pairs(i), if i == 10 { 2.0 } else { i as f64 })).collect();
-        let (ids, batch_changes) = batch.publish_batch(items);
+        let receipt = batch.publish_batch(items);
 
-        assert_eq!(ids.len(), 30);
-        assert_eq!(ids[0], DocId(0));
-        assert_eq!(ids[29], DocId(29));
-        assert_eq!(seq_changes, batch_changes);
+        assert_eq!(receipt.doc_ids.len(), 30);
+        assert_eq!(receipt.doc_ids[0], DocId(0));
+        assert_eq!(receipt.doc_ids[29], DocId(29));
+        assert_eq!(seq_changes, receipt.changes);
         assert_eq!(one.results(q1), batch.results(q2));
     }
 
@@ -324,6 +561,43 @@ mod tests {
         assert!(m.unregister(q));
         assert!(!m.unregister(q));
         assert_eq!(m.num_queries(), 0);
-        assert!(m.snapshot().queries.is_empty());
+        assert_eq!(m.snapshot().num_queries(), 0);
+    }
+
+    #[test]
+    fn compaction_policy_fires_at_batch_boundaries_without_changing_results() {
+        let mk = |ratio: f64| {
+            let mut m = Monitor::new(MrioSeg::new(0.0)).with_compaction(ratio);
+            let ids: Vec<QueryId> =
+                (0..40).map(|i| m.register(spec(&[i % 6, 6 + i % 4], 2))).collect();
+            (m, ids)
+        };
+        let (mut compacting, ids_a) = mk(0.2);
+        let (mut lazy, ids_b) = mk(0.0);
+
+        for round in 0..4u32 {
+            // Churn: retire a block of queries, then publish a batch.
+            for q in (round * 8)..(round * 8 + 6) {
+                assert!(compacting.unregister(QueryId(q)));
+                assert!(lazy.unregister(QueryId(q)));
+            }
+            let batch: Vec<_> = (0..20u32)
+                .map(|i| {
+                    let t = (round * 20 + i) as f64;
+                    (vec![(TermId(i % 6), 1.0), (TermId(6 + i % 4), 0.5)], t)
+                })
+                .collect();
+            let a = compacting.publish_batch(batch.clone());
+            let b = lazy.publish_batch(batch);
+            assert_eq!(a.changes, b.changes, "round {round}");
+        }
+        // The policy actually compacted...
+        assert!(compacting.engine().tombstone_ratio() < 0.2);
+        // ...while the lazy monitor accumulated dead postings.
+        assert!(lazy.engine().tombstone_ratio() >= 0.2);
+        // Results are untouched by index reorganization.
+        for (a, b) in ids_a.iter().zip(&ids_b) {
+            assert_eq!(compacting.results(*a), lazy.results(*b));
+        }
     }
 }

@@ -91,21 +91,28 @@ impl<Z: ZoneMax> Mrio<Z> {
         }
     }
 
+    /// Rebuild list `li`'s zone structure from its postings: live entries
+    /// map to their current `u = w/S_k`, tombstones to `-∞`. `vals` is the
+    /// caller's scratch buffer (reused across lists).
+    fn rebuild_zone(&mut self, li: u32, vals: &mut Vec<f64>) {
+        let list = self.index.list(li);
+        vals.clear();
+        vals.extend(list.as_slice().iter().map(|p| {
+            if p.is_tombstone() {
+                f64::NEG_INFINITY
+            } else {
+                self.base.normalized_of(p.qid, p.weight as f64)
+            }
+        }));
+        self.zones[li as usize].rebuild(vals);
+    }
+
     /// Rebuild every zone structure from the postings (after a landmark
     /// renormalization, which rescales all thresholds at once).
     fn rebuild_all_zones(&mut self) {
         let mut vals: Vec<f64> = Vec::new();
-        for li in 0..self.index.num_lists() {
-            let list = self.index.list(li as u32);
-            vals.clear();
-            vals.extend(list.as_slice().iter().map(|p| {
-                if p.is_tombstone() {
-                    f64::NEG_INFINITY
-                } else {
-                    self.base.normalized_of(p.qid, p.weight as f64)
-                }
-            }));
-            self.zones[li].rebuild(&vals);
+        for li in 0..self.index.num_lists() as u32 {
+            self.rebuild_zone(li, &mut vals);
         }
     }
 
@@ -362,6 +369,21 @@ impl<Z: ZoneMax + Default> ContinuousTopK for Mrio<Z> {
 
     fn restore_landmark(&mut self, landmark: f64) {
         self.base.decay.restore_landmark(landmark);
+    }
+
+    fn tombstone_ratio(&self) -> f64 {
+        self.index.tombstone_ratio()
+    }
+
+    fn compact_index(&mut self) -> usize {
+        let changed = self.index.compact();
+        // Rebuild the zone structure of exactly the lists whose layout
+        // moved; untouched lists keep their (position-aligned) zones.
+        let mut vals: Vec<f64> = Vec::new();
+        for &li in &changed {
+            self.rebuild_zone(li, &mut vals);
+        }
+        changed.len()
     }
 }
 

@@ -151,6 +151,14 @@ impl ContinuousTopK for Naive {
     fn restore_landmark(&mut self, landmark: f64) {
         self.base.decay.restore_landmark(landmark);
     }
+
+    fn tombstone_ratio(&self) -> f64 {
+        self.index.tombstone_ratio()
+    }
+
+    fn compact_index(&mut self) -> usize {
+        self.index.compact().len()
+    }
 }
 
 #[cfg(test)]

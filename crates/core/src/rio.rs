@@ -212,6 +212,16 @@ impl ContinuousTopK for Rio {
     fn restore_landmark(&mut self, landmark: f64) {
         self.base.decay.restore_landmark(landmark);
     }
+
+    fn tombstone_ratio(&self) -> f64 {
+        self.index.tombstone_ratio()
+    }
+
+    fn compact_index(&mut self) -> usize {
+        // Trackers are keyed by (qid, version), not list position, so the
+        // postings can move freely underneath them.
+        self.index.compact().len()
+    }
 }
 
 #[cfg(test)]

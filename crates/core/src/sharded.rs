@@ -6,6 +6,13 @@
 //! population across worker threads and broadcasts stream documents to all
 //! shards.
 //!
+//! The front-end speaks the same [`MonitorBackend`] contract as the
+//! single-engine [`crate::Monitor`]: applications register with plain
+//! [`QueryId`]s and never see the shard routing. Internally each public id
+//! maps to a `(shard, local id)` route; result changes coming back from a
+//! shard are translated to public ids during the merge, so every receipt,
+//! change and snapshot is expressed in one id space.
+//!
 //! Ingestion is **batch-first**: the unit of work sent to a shard is an
 //! `Arc<[Document]>` batch, not a single document. One channel send, one
 //! reply and one cross-shard merge are paid per *batch*, so the per-document
@@ -20,24 +27,28 @@
 //! hands shard `i` batch `n+1` while the merger is still draining batch `n`
 //! ([`ShardedMonitor::drain_batch`]), hiding merge latency behind shard
 //! compute. [`ShardedMonitor::run_pipelined`] wraps the submit/drain dance
-//! for a whole stream.
+//! for a whole stream of pre-stamped documents; the application-facing
+//! [`ShardedMonitor::publish_batch`] drives the same machinery behind the
+//! unified API, chunking by the configured ingest batch size.
 //!
 //! Communication uses `crossbeam` channels; each worker owns its engine
 //! outright (no shared mutable state, no locks on the hot path).
 
+use crate::backend::{MonitorBackend, PublishReceipt};
+use crate::monitor::{ShardSnapshot, Snapshot, SnapshotQuery, SNAPSHOT_VERSION};
 use crate::stats::{CumulativeStats, EventStats};
 use crate::traits::{ContinuousTopK, ResultChange};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc};
+use ctk_common::{DocId, Document, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// A query handle in the sharded monitor: shard index + local id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ShardedQueryId {
-    pub shard: u32,
-    pub local: QueryId,
+/// Internal routing of one public query id.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    shard: u32,
+    local: QueryId,
 }
 
 enum Command {
@@ -49,18 +60,26 @@ enum Command {
     Process(Arc<[Document]>),
     Results(QueryId, Sender<Option<Vec<ScoredDoc>>>),
     Cumulative(Sender<CumulativeStats>),
+    Lambda(Sender<f64>),
+    Landmark(Sender<Timestamp>),
+    RestoreLandmark(Timestamp),
+    /// Tombstone ratio beyond which the worker compacts its index after
+    /// answering a batch (0 disables).
+    SetCompaction(f64),
     Shutdown,
 }
 
 /// Merged outcome of one batch: per-document work counters (summed across
-/// shards) and every result change as `(shard, change)` pairs.
+/// shards) and every result change as `(shard, change)` pairs — changes
+/// carry **public** query ids; the shard tag is provenance only.
 pub type BatchOutcome = (Vec<EventStats>, Vec<(u32, ResultChange)>);
 
 /// One shard's answer to a [`Command::Process`] batch.
 struct BatchReply {
     /// Per-document work counters, aligned with the batch.
     stats: Vec<EventStats>,
-    /// Every result change of the batch, in document order.
+    /// Every result change of the batch, in document order, in the worker's
+    /// *local* id space (translated by the merger).
     changes: Vec<ResultChange>,
 }
 
@@ -76,6 +95,20 @@ pub struct ShardedMonitor {
     next_shard: usize,
     /// Lengths of submitted-but-undrained batches, oldest first.
     in_flight: VecDeque<usize>,
+    /// Registered specs by public query id (`None` after unregistration).
+    specs: Vec<Option<QuerySpec>>,
+    /// Shard routes by public query id.
+    routes: Vec<Option<Route>>,
+    /// Per shard: local id index → public id (append-only; locals are
+    /// allocated monotonically by each worker's engine).
+    global_of_local: Vec<Vec<QueryId>>,
+    live: usize,
+    next_doc: u64,
+    last_arrival: Timestamp,
+    /// `publish_batch` chunk size (0 = whole publish as one batch).
+    ingest_batch: usize,
+    /// Batches kept in flight by `publish_batch` while chunking.
+    ingest_window: usize,
 }
 
 impl ShardedMonitor {
@@ -96,6 +129,7 @@ impl ShardedMonitor {
             let (reply_tx, reply_rx) = unbounded::<BatchReply>();
             let mut engine = make_engine();
             let handle = std::thread::spawn(move || {
+                let mut compact_at = 0.0f64;
                 while let Ok(cmd) = rx.recv() {
                     match cmd {
                         Command::Register(spec, reply) => {
@@ -113,6 +147,11 @@ impl ShardedMonitor {
                             if reply_tx.send(BatchReply { stats, changes }).is_err() {
                                 break; // monitor gone
                             }
+                            // Batch boundary: no event is mid-flight on this
+                            // shard, so the index may reorganize.
+                            if compact_at > 0.0 && engine.tombstone_ratio() >= compact_at {
+                                engine.compact_index();
+                            }
                         }
                         Command::Results(qid, reply) => {
                             let _ = reply.send(engine.results(qid));
@@ -120,13 +159,37 @@ impl ShardedMonitor {
                         Command::Cumulative(reply) => {
                             let _ = reply.send(*engine.cumulative());
                         }
+                        Command::Lambda(reply) => {
+                            let _ = reply.send(engine.lambda());
+                        }
+                        Command::Landmark(reply) => {
+                            let _ = reply.send(engine.landmark());
+                        }
+                        Command::RestoreLandmark(landmark) => {
+                            engine.restore_landmark(landmark);
+                        }
+                        Command::SetCompaction(ratio) => {
+                            compact_at = ratio.max(0.0);
+                        }
                         Command::Shutdown => break,
                     }
                 }
             });
             workers.push(Worker { tx, reply_rx, handle: Some(handle) });
         }
-        ShardedMonitor { workers, next_shard: 0, in_flight: VecDeque::new() }
+        ShardedMonitor {
+            global_of_local: vec![Vec::new(); workers.len()],
+            workers,
+            next_shard: 0,
+            in_flight: VecDeque::new(),
+            specs: Vec::new(),
+            routes: Vec::new(),
+            live: 0,
+            next_doc: 0,
+            last_arrival: 0.0,
+            ingest_batch: 0,
+            ingest_window: 1,
+        }
     }
 
     /// Number of shards.
@@ -134,47 +197,84 @@ impl ShardedMonitor {
         self.workers.len()
     }
 
-    /// Register a query on the least-recently-used shard (round robin).
-    pub fn register(&mut self, spec: QuerySpec) -> ShardedQueryId {
+    /// Enable tombstone compaction on every shard: after answering a batch
+    /// with `tombstone_ratio() >= ratio`, a worker compacts its index and
+    /// rebuilds the affected bound structures. `<= 0.0` disables.
+    pub fn set_compaction_threshold(&mut self, ratio: f64) {
+        for w in &self.workers {
+            w.tx.send(Command::SetCompaction(ratio)).expect("worker alive");
+        }
+    }
+
+    /// Configure how [`ShardedMonitor::publish_batch`] drives the pipeline:
+    /// the publish is split into chunks of `batch_size` documents (0 = one
+    /// chunk) with up to `window` chunks in flight (0 = fully synchronous).
+    pub fn set_ingest_chunking(&mut self, batch_size: usize, window: usize) {
+        self.ingest_batch = batch_size;
+        self.ingest_window = window;
+    }
+
+    /// Register a query on the least-recently-used shard (round robin);
+    /// returns its public id.
+    pub fn register(&mut self, spec: QuerySpec) -> QueryId {
         let shard = self.next_shard;
         self.next_shard = (self.next_shard + 1) % self.workers.len();
         let (reply_tx, reply_rx) = bounded(1);
-        self.workers[shard].tx.send(Command::Register(spec, reply_tx)).expect("worker alive");
-        ShardedQueryId { shard: shard as u32, local: reply_rx.recv().expect("worker reply") }
+        self.workers[shard]
+            .tx
+            .send(Command::Register(spec.clone(), reply_tx))
+            .expect("worker alive");
+        let local = reply_rx.recv().expect("worker reply");
+        debug_assert_eq!(local.index(), self.global_of_local[shard].len());
+
+        let global = QueryId(self.routes.len() as u32);
+        self.global_of_local[shard].push(global);
+        self.routes.push(Some(Route { shard: shard as u32, local }));
+        self.specs.push(Some(spec));
+        self.live += 1;
+        global
     }
 
     /// Remove a query.
-    pub fn unregister(&mut self, qid: ShardedQueryId) -> bool {
+    pub fn unregister(&mut self, qid: QueryId) -> bool {
+        let Some(route) = self.routes.get_mut(qid.index()).and_then(Option::take) else {
+            return false;
+        };
         let (reply_tx, reply_rx) = bounded(1);
-        self.workers[qid.shard as usize]
+        self.workers[route.shard as usize]
             .tx
-            .send(Command::Unregister(qid.local, reply_tx))
+            .send(Command::Unregister(route.local, reply_tx))
             .expect("worker alive");
-        reply_rx.recv().expect("worker reply")
+        let removed = reply_rx.recv().expect("worker reply");
+        debug_assert!(removed, "route table said the query was live");
+        self.specs[qid.index()] = None;
+        self.live -= 1;
+        removed
     }
 
-    /// Warm-start a query (snapshot restore path).
-    pub fn seed_results(&mut self, qid: ShardedQueryId, seeds: Vec<ScoredDoc>) {
-        self.workers[qid.shard as usize]
+    /// Warm-start a query's result set (snapshot restore path).
+    pub fn seed_results(&mut self, qid: QueryId, seeds: &[ScoredDoc]) {
+        let Some(route) = self.routes.get(qid.index()).copied().flatten() else { return };
+        self.workers[route.shard as usize]
             .tx
-            .send(Command::Seed(qid.local, seeds))
+            .send(Command::Seed(route.local, seeds.to_vec()))
             .expect("worker alive");
     }
 
-    /// Process one stream event on all shards in parallel; returns the
-    /// merged work counters and all result changes. This is the batch path
-    /// with a batch of one — latency-oriented callers keep the old API,
-    /// throughput-oriented callers should use [`ShardedMonitor::process_batch`]
-    /// or the submit/drain pipeline.
+    /// Process one pre-stamped stream event on all shards in parallel;
+    /// returns the merged work counters and all result changes. This is the
+    /// batch path with a batch of one — latency-oriented callers keep the
+    /// old API, throughput-oriented callers should use
+    /// [`ShardedMonitor::process_batch`] or the submit/drain pipeline.
     pub fn process(&mut self, doc: Document) -> (EventStats, Vec<(u32, ResultChange)>) {
         let (mut stats, changes) = self.process_batch(vec![doc]);
         (stats.pop().expect("one document in, one stat out"), changes)
     }
 
-    /// Broadcast one batch to every shard and wait for the merged outcome:
-    /// per-document work counters (summed across shards via
-    /// [`EventStats::merge`]) and every result change as `(shard, change)`
-    /// pairs in document order per shard.
+    /// Broadcast one batch of pre-stamped documents to every shard and wait
+    /// for the merged outcome: per-document work counters (summed across
+    /// shards via [`EventStats::merge`]) and every result change as
+    /// `(shard, change)` pairs in document order per shard.
     ///
     /// Must not be interleaved with an open submit/drain pipeline — drain
     /// in-flight batches first.
@@ -193,6 +293,14 @@ impl ShardedMonitor {
     /// order, so keeping one or two batches in flight lets shard `i` score
     /// batch `n+1` while the merger drains batch `n`.
     pub fn submit_batch(&mut self, docs: Vec<Document>) {
+        // Pre-stamped ingestion advances the stream position too, so a
+        // snapshot taken after `process`/`run_pipelined` captures a
+        // consistent `next_doc`/`last_arrival`. The publish path has
+        // already advanced both in `admit`, making this a no-op there.
+        for d in &docs {
+            self.next_doc = self.next_doc.max(d.id.0 + 1);
+            self.last_arrival = self.last_arrival.max(d.arrival);
+        }
         let docs: Arc<[Document]> = docs.into();
         for w in &self.workers {
             w.tx.send(Command::Process(Arc::clone(&docs))).expect("worker alive");
@@ -201,7 +309,8 @@ impl ShardedMonitor {
     }
 
     /// Merge the oldest in-flight batch: blocks until every shard has
-    /// answered it. Returns `None` when nothing is in flight.
+    /// answered it. Returns `None` when nothing is in flight. Shard-local
+    /// query ids in the changes are translated to public ids here.
     pub fn drain_batch(&mut self) -> Option<BatchOutcome> {
         let len = self.in_flight.pop_front()?;
         let mut stats = vec![EventStats::default(); len];
@@ -212,7 +321,11 @@ impl ShardedMonitor {
             for (merged, ev) in stats.iter_mut().zip(&reply.stats) {
                 merged.merge(ev);
             }
-            changes.extend(reply.changes.into_iter().map(|c| (shard as u32, c)));
+            let locals = &self.global_of_local[shard];
+            changes.extend(reply.changes.into_iter().map(|mut c| {
+                c.query = locals[c.query.index()];
+                (shard as u32, c)
+            }));
         }
         Some((stats, changes))
     }
@@ -222,10 +335,10 @@ impl ShardedMonitor {
         self.in_flight.len()
     }
 
-    /// Drive a whole stream of batches through the shards, keeping up to
-    /// `window` batches in flight (0 = fully synchronous, equivalent to
-    /// calling [`ShardedMonitor::process_batch`] per batch). `on_batch`
-    /// receives each batch's merged outcome in stream order.
+    /// Drive a whole stream of pre-stamped batches through the shards,
+    /// keeping up to `window` batches in flight (0 = fully synchronous,
+    /// equivalent to calling [`ShardedMonitor::process_batch`] per batch).
+    /// `on_batch` receives each batch's merged outcome in stream order.
     pub fn run_pipelined<I, F>(&mut self, batches: I, window: usize, mut on_batch: F)
     where
         I: IntoIterator<Item = Vec<Document>>,
@@ -247,14 +360,74 @@ impl ShardedMonitor {
         }
     }
 
+    /// Publish one document through the unified API (a batch of one).
+    pub fn publish(&mut self, pairs: Vec<(TermId, f32)>, arrival: Timestamp) -> PublishReceipt {
+        self.publish_batch(vec![(pairs, arrival)])
+    }
+
+    /// Publish a batch: allocate ids, clamp arrivals monotone, then drive
+    /// the submit/drain pipeline in chunks of the configured ingest batch
+    /// size (whole batch at once by default), keeping up to the configured
+    /// window of chunks in flight.
+    pub fn publish_batch(&mut self, batch: Vec<(Vec<(TermId, f32)>, Timestamp)>) -> PublishReceipt {
+        assert!(
+            self.in_flight.is_empty(),
+            "publish cannot interleave with an open submit/drain pipeline; drain it first"
+        );
+        let docs: Vec<Document> =
+            batch.into_iter().map(|(pairs, arrival)| self.admit(pairs, arrival)).collect();
+        let mut receipt = PublishReceipt {
+            doc_ids: docs.iter().map(|d| d.id).collect(),
+            changes: Vec::new(),
+            stats: Vec::with_capacity(docs.len()),
+        };
+        let chunk = if self.ingest_batch == 0 { docs.len().max(1) } else { self.ingest_batch };
+        let window = self.ingest_window;
+        let drain_into = |m: &mut Self, receipt: &mut PublishReceipt| {
+            let (stats, changes) = m.drain_batch().expect("in-flight batch");
+            receipt.stats.extend(stats);
+            receipt.changes.extend(changes.into_iter().map(|(_, c)| c));
+        };
+        // Split the stamped batch into owned chunks without cloning any
+        // document: `split_off` moves the tail, the head is submitted.
+        let mut rest = docs;
+        while !rest.is_empty() {
+            let tail = rest.split_off(chunk.min(rest.len()));
+            let part = std::mem::replace(&mut rest, tail);
+            self.submit_batch(part);
+            while self.in_flight.len() > window {
+                drain_into(self, &mut receipt);
+            }
+        }
+        while !self.in_flight.is_empty() {
+            drain_into(self, &mut receipt);
+        }
+        receipt
+    }
+
+    /// Stamp one incoming document: next id, monotone-clamped arrival.
+    fn admit(&mut self, pairs: Vec<(TermId, f32)>, arrival: Timestamp) -> Document {
+        let arrival = arrival.max(self.last_arrival);
+        self.last_arrival = arrival;
+        let id = DocId(self.next_doc);
+        self.next_doc += 1;
+        Document::new(id, pairs, arrival)
+    }
+
     /// Current results of a query.
-    pub fn results(&self, qid: ShardedQueryId) -> Option<Vec<ScoredDoc>> {
+    pub fn results(&self, qid: QueryId) -> Option<Vec<ScoredDoc>> {
+        let route = self.routes.get(qid.index()).copied().flatten()?;
         let (reply_tx, reply_rx) = bounded(1);
-        self.workers[qid.shard as usize]
+        self.workers[route.shard as usize]
             .tx
-            .send(Command::Results(qid.local, reply_tx))
+            .send(Command::Results(route.local, reply_tx))
             .expect("worker alive");
         reply_rx.recv().expect("worker reply")
+    }
+
+    /// Number of live queries across all shards.
+    pub fn num_queries(&self) -> usize {
+        self.live
     }
 
     /// Lifetime work counters of every shard's engine, shard order. The
@@ -270,6 +443,100 @@ impl ShardedMonitor {
                 reply_rx.recv().expect("worker reply")
             })
             .collect()
+    }
+
+    fn shard_landmark(&self, shard: usize) -> Timestamp {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.workers[shard].tx.send(Command::Landmark(reply_tx)).expect("worker alive");
+        reply_rx.recv().expect("worker reply")
+    }
+
+    /// Capture the full monitor state: one [`ShardSnapshot`] section per
+    /// shard, each with its own landmark and its resident queries (public
+    /// ids). Must not be called with batches in flight.
+    pub fn snapshot(&self) -> Snapshot {
+        assert!(self.in_flight.is_empty(), "snapshot requires a quiesced pipeline; drain first");
+        let mut sections: Vec<ShardSnapshot> = (0..self.workers.len())
+            .map(|s| ShardSnapshot { landmark: self.shard_landmark(s), queries: Vec::new() })
+            .collect();
+        for (i, spec) in self.specs.iter().enumerate() {
+            let Some(spec) = spec else { continue };
+            let qid = QueryId(i as u32);
+            let route = self.routes[i].expect("spec implies route");
+            sections[route.shard as usize].queries.push(SnapshotQuery {
+                qid: qid.0,
+                spec: spec.clone(),
+                results: self.results(qid).unwrap_or_default(),
+            });
+        }
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            lambda: self.lambda(),
+            next_doc: self.next_doc,
+            last_arrival: self.last_arrival,
+            shards: sections,
+        }
+    }
+
+    /// The decay parameter the shard engines were built with.
+    pub fn lambda(&self) -> f64 {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.workers[0].tx.send(Command::Lambda(reply_tx)).expect("worker alive");
+        reply_rx.recv().expect("worker reply")
+    }
+}
+
+impl MonitorBackend for ShardedMonitor {
+    fn register(&mut self, spec: QuerySpec) -> QueryId {
+        ShardedMonitor::register(self, spec)
+    }
+
+    fn unregister(&mut self, qid: QueryId) -> bool {
+        ShardedMonitor::unregister(self, qid)
+    }
+
+    fn publish(&mut self, pairs: Vec<(TermId, f32)>, arrival: Timestamp) -> PublishReceipt {
+        ShardedMonitor::publish(self, pairs, arrival)
+    }
+
+    fn publish_batch(&mut self, batch: Vec<(Vec<(TermId, f32)>, Timestamp)>) -> PublishReceipt {
+        ShardedMonitor::publish_batch(self, batch)
+    }
+
+    fn results(&self, qid: QueryId) -> Option<Vec<ScoredDoc>> {
+        ShardedMonitor::results(self, qid)
+    }
+
+    fn num_queries(&self) -> usize {
+        ShardedMonitor::num_queries(self)
+    }
+
+    fn shards(&self) -> usize {
+        ShardedMonitor::shards(self)
+    }
+
+    fn lambda(&self) -> f64 {
+        ShardedMonitor::lambda(self)
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        ShardedMonitor::snapshot(self)
+    }
+
+    fn restore_landmark(&mut self, landmark: Timestamp) {
+        // FIFO per worker: the landmark lands before any subsequent seed.
+        for w in &self.workers {
+            w.tx.send(Command::RestoreLandmark(landmark)).expect("worker alive");
+        }
+    }
+
+    fn restore_stream_position(&mut self, next_doc: u64, last_arrival: Timestamp) {
+        self.next_doc = next_doc;
+        self.last_arrival = last_arrival;
+    }
+
+    fn seed_results(&mut self, qid: QueryId, seeds: &[ScoredDoc]) {
+        ShardedMonitor::seed_results(self, qid, seeds)
     }
 }
 
@@ -289,9 +556,10 @@ impl Drop for ShardedMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::monitor::Monitor;
     use crate::mrio::MrioSeg;
     use crate::naive::Naive;
-    use ctk_common::{DocId, TermId};
+    use ctk_common::TermId;
 
     fn spec(terms: &[u32], k: usize) -> QuerySpec {
         QuerySpec::uniform(&terms.iter().map(|&t| TermId(t)).collect::<Vec<_>>(), k).unwrap()
@@ -308,17 +576,18 @@ mod tests {
 
         let specs: Vec<QuerySpec> =
             (0..30).map(|i| spec(&[i % 7, 7 + i % 4], 2 + (i % 3) as usize)).collect();
-        let sharded_ids: Vec<ShardedQueryId> =
-            specs.iter().map(|s| sharded.register(s.clone())).collect();
+        let sharded_ids: Vec<QueryId> = specs.iter().map(|s| sharded.register(s.clone())).collect();
         let single_ids: Vec<QueryId> = specs.iter().map(|s| single.register(s.clone())).collect();
+        // Public ids are one monotone space, identical to the single engine's.
+        assert_eq!(sharded_ids, single_ids);
 
         for i in 0..60u64 {
             let d = doc(i, &[((i % 7) as u32, 1.0), ((7 + i % 4) as u32, 0.6)], i as f64);
             sharded.process(d.clone());
             single.process(&d);
         }
-        for (sid, qid) in sharded_ids.iter().zip(&single_ids) {
-            assert_eq!(sharded.results(*sid), single.results(*qid));
+        for qid in &sharded_ids {
+            assert_eq!(sharded.results(*qid), single.results(*qid));
         }
     }
 
@@ -328,10 +597,14 @@ mod tests {
         let a = m.register(spec(&[1], 1));
         let b = m.register(spec(&[1], 1));
         let c = m.register(spec(&[1], 1));
-        assert_eq!(a.shard, 0);
-        assert_eq!(b.shard, 1);
-        assert_eq!(c.shard, 0);
+        assert_eq!((a, b, c), (QueryId(0), QueryId(1), QueryId(2)));
         assert_eq!(m.shards(), 2);
+        assert_eq!(m.num_queries(), 3);
+        // Placement is observable through the snapshot's sections.
+        let snap = m.snapshot();
+        let per_shard: Vec<Vec<u32>> =
+            snap.shards.iter().map(|s| s.queries.iter().map(|q| q.qid).collect()).collect();
+        assert_eq!(per_shard, vec![vec![0, 2], vec![1]]);
     }
 
     #[test]
@@ -342,18 +615,25 @@ mod tests {
         let b = m.register(spec(&[1], 2));
         let (_, changes) = m.process(doc(0, &[(1, 1.0)], 0.0));
         assert_eq!(changes.len(), 2, "both shards report an insertion");
+        // Changes speak public ids, whatever shard they came from.
+        let mut qids: Vec<QueryId> = changes.iter().map(|(_, c)| c.query).collect();
+        qids.sort();
+        assert_eq!(qids, vec![a, b]);
         assert!(m.unregister(a));
+        assert!(!m.unregister(a), "double unregister is a no-op");
         let (_, changes) = m.process(doc(1, &[(1, 2.0)], 1.0));
         assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].1.query, b);
         assert!(m.results(b).is_some());
         assert!(m.results(a).is_none());
+        assert_eq!(m.num_queries(), 1);
     }
 
     #[test]
     fn batch_path_matches_per_doc_path() {
         let mk = || {
             let mut m = ShardedMonitor::new(3, || MrioSeg::new(0.001));
-            let ids: Vec<ShardedQueryId> = (0..20)
+            let ids: Vec<QueryId> = (0..20)
                 .map(|i| m.register(spec(&[i % 5, 5 + i % 3], 1 + (i % 2) as usize)))
                 .collect();
             (m, ids)
@@ -402,7 +682,7 @@ mod tests {
     fn pipelined_ingestion_matches_synchronous() {
         let mk = || {
             let mut m = ShardedMonitor::new(2, || MrioSeg::new(0.0));
-            let ids: Vec<ShardedQueryId> = (0..10).map(|i| m.register(spec(&[i % 4], 2))).collect();
+            let ids: Vec<QueryId> = (0..10).map(|i| m.register(spec(&[i % 4], 2))).collect();
             (m, ids)
         };
         let batches: Vec<Vec<Document>> = (0..8u64)
@@ -436,6 +716,74 @@ mod tests {
         for (a, b) in ids_a.iter().zip(&ids_b) {
             assert_eq!(sync_m.results(*a), pipe_m.results(*b));
         }
+    }
+
+    #[test]
+    fn publish_path_matches_single_monitor() {
+        // The same publish sequence through a Monitor and a ShardedMonitor
+        // (including a chunked, pipelined configuration) yields identical
+        // receipts up to change order, and identical results.
+        let specs: Vec<QuerySpec> = (0..12).map(|i| spec(&[i % 4, 4 + i % 3], 2)).collect();
+        let mut single = Monitor::new(Naive::new(0.01));
+        let mut sharded = ShardedMonitor::new(3, || Naive::new(0.01));
+        sharded.set_ingest_chunking(4, 2);
+        for s in &specs {
+            let a = single.register(s.clone());
+            let b = ShardedMonitor::register(&mut sharded, s.clone());
+            assert_eq!(a, b);
+        }
+
+        let batch: Vec<(Vec<(TermId, f32)>, Timestamp)> = (0..30u32)
+            .map(|i| (vec![(TermId(i % 4), 1.0), (TermId(4 + i % 3), 0.7)], i as f64))
+            .collect();
+        let ra = single.publish_batch(batch.clone());
+        let rb = sharded.publish_batch(batch);
+
+        assert_eq!(ra.doc_ids, rb.doc_ids);
+        // Index-traversal counters differ by construction (each shard owns
+        // its own lists), but insertions are insertions wherever the query
+        // lives: per-document update counts must agree exactly.
+        let upd = |r: &PublishReceipt| r.stats.iter().map(|e| e.updates).collect::<Vec<u64>>();
+        assert_eq!(upd(&ra), upd(&rb), "insertions per document match the single engine");
+        let sort = |mut v: Vec<ResultChange>| {
+            v.sort_by_key(|c| (c.query, c.inserted.doc));
+            v
+        };
+        assert_eq!(sort(ra.changes), sort(rb.changes));
+        for i in 0..specs.len() as u32 {
+            assert_eq!(single.results(QueryId(i)), sharded.results(QueryId(i)));
+        }
+
+        // And single publishes keep allocating from the same id space.
+        let r1 = single.publish(vec![(TermId(0), 1.0)], 31.0);
+        let r2 = sharded.publish(vec![(TermId(0), 1.0)], 31.0);
+        assert_eq!(r1.doc_id(), DocId(30));
+        assert_eq!(r1.doc_ids, r2.doc_ids);
+    }
+
+    #[test]
+    fn snapshot_after_prestamped_ingestion_captures_the_stream_position() {
+        // `process`/`run_pipelined` take pre-stamped documents and bypass
+        // `admit`; the snapshot must still record where the stream got to,
+        // or a restore would re-allocate ids colliding with the seeded
+        // result sets.
+        let mut m = ShardedMonitor::new(2, || MrioSeg::new(0.0));
+        let q = m.register(spec(&[1, 2], 3));
+        for i in 0..5u64 {
+            // Single-term documents: cosine 1/√2 against the two-term query.
+            m.process(doc(i, &[(1, 1.0)], i as f64));
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.next_doc, 5);
+        assert_eq!(snap.last_arrival, 4.0);
+
+        let mut restored = ShardedMonitor::new(3, || MrioSeg::new(0.0));
+        let mapping = snap.restore_into(&mut restored);
+        // A perfect match (cosine 1) published after the restore must beat
+        // the seeded history and carry the next id.
+        let receipt = restored.publish(vec![(TermId(1), 1.0), (TermId(2), 1.0)], 10.0);
+        assert_eq!(receipt.doc_id(), DocId(5), "ids continue past the capture");
+        assert!(restored.results(mapping[&q]).unwrap().iter().any(|sd| sd.doc == DocId(5)));
     }
 
     #[test]

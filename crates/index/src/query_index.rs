@@ -14,7 +14,7 @@ use ctk_common::{FxHashMap, QueryId, SparseVector, TermId};
 #[derive(Debug, Clone, Copy)]
 pub struct RecordEntry {
     pub term: TermId,
-    /// Dense list index in [`QueryIndex::lists`].
+    /// Dense list index inside the [`QueryIndex`]'s list table.
     pub list: u32,
     /// Position of this query's entry inside the list.
     pub pos: u32,
@@ -38,6 +38,10 @@ pub struct QueryIndex {
     term_map: FxHashMap<TermId, u32>,
     records: Vec<Option<QueryRecord>>,
     live_queries: usize,
+    /// Running totals across all lists, so [`QueryIndex::tombstone_ratio`]
+    /// is O(1) — compaction policies probe it at every batch boundary.
+    total_postings: usize,
+    total_tombstones: usize,
 }
 
 impl QueryIndex {
@@ -89,6 +93,7 @@ impl QueryIndex {
             list.push(qid, weight);
             entries.push(RecordEntry { term, list: list_idx, pos, weight });
         }
+        self.total_postings += entries.len();
         self.records.push(Some(QueryRecord { entries, k }));
         self.live_queries += 1;
         qid
@@ -103,6 +108,7 @@ impl QueryIndex {
         for e in &record.entries {
             self.lists[e.list as usize].tombstone(e.pos as usize);
         }
+        self.total_tombstones += record.entries.len();
         self.live_queries -= 1;
         Some(record)
     }
@@ -132,14 +138,17 @@ impl QueryIndex {
     }
 
     /// Fraction of tombstoned slots across all lists, used to decide when a
-    /// compaction pass pays off.
+    /// compaction pass pays off. O(1): maintained incrementally.
     pub fn tombstone_ratio(&self) -> f64 {
-        let total: usize = self.lists.iter().map(|l| l.len()).sum();
-        if total == 0 {
-            return 0.0;
+        if self.total_postings == 0 {
+            0.0
+        } else {
+            debug_assert_eq!(
+                self.total_tombstones,
+                self.lists.iter().map(|l| l.tombstones()).sum::<usize>()
+            );
+            self.total_tombstones as f64 / self.total_postings as f64
         }
-        let dead: usize = self.lists.iter().map(|l| l.tombstones()).sum();
-        dead as f64 / total as f64
     }
 
     /// Drop all tombstones and refresh the cached positions in every record.
@@ -152,6 +161,9 @@ impl QueryIndex {
                 continue;
             }
             changed.push(idx as u32);
+            let removed = list.tombstones();
+            self.total_postings -= removed;
+            self.total_tombstones -= removed;
             let survivors = list.compact();
             // Refresh positions: walk the compacted list once.
             for (new_pos, p) in survivors.iter().enumerate() {

@@ -4,7 +4,7 @@
 //! articles, wiki pages, social posts) into the sparse term vectors the
 //! monitoring engines consume.
 //!
-//! * [`tokenize`] — lowercasing word tokenizer;
+//! * [`mod@tokenize`] — lowercasing word tokenizer;
 //! * [`stem`] — a from-scratch Porter (1980) stemmer;
 //! * [`stopwords`] — standard English stopword filtering;
 //! * [`vocab`] — string ⇄ [`ctk_common::TermId`] interning;

@@ -1,10 +1,11 @@
 //! High-rate ingestion: drink the stream in batches instead of sips.
 //!
-//! Two front-ends for the same firehose:
-//! * a single-engine [`Monitor`] fed through `publish_batch` (one renorm
-//!   check and changes buffer per batch instead of per document);
-//! * a [`ShardedMonitor`] ingesting pipelined batches — shards score batch
-//!   `n+1` while the merger drains batch `n`.
+//! One ingestion loop, two configurations of the same [`MonitorBackend`]:
+//! a single-engine monitor fed through `publish_batch` (one renorm check
+//! and changes buffer per batch instead of per document), and a sharded
+//! monitor whose `publish_batch` pipelines chunks through its workers —
+//! shards score chunk `n+1` while the merger drains chunk `n`. The
+//! application code cannot tell them apart.
 //!
 //! ```text
 //! cargo run --release --example firehose
@@ -12,6 +13,46 @@
 
 use continuous_topk::prelude::*;
 use std::time::Instant;
+
+const BATCH: usize = 256;
+const BATCHES: usize = 12;
+
+/// The whole ingestion path, config-agnostic: register, drink, report.
+fn drink(label: &str, config: &MonitorBuilder, specs: &[QuerySpec], corpus: &CorpusConfig) {
+    let mut monitor = config.build();
+    let qids: Vec<QueryId> = specs.iter().map(|s| monitor.register(s.clone())).collect();
+
+    let mut driver = StreamDriver::new(corpus.clone(), ArrivalClock::unit());
+    let start = Instant::now();
+    let mut published = 0usize;
+    let mut changed = 0usize;
+    let mut updates = 0u64;
+    for batch in driver.by_ref().take(BATCH * BATCHES).collect::<Vec<_>>().chunks(BATCH) {
+        let items: Vec<_> = batch.iter().map(|d| (d.vector.iter().collect(), d.arrival)).collect();
+        let receipt = monitor.publish_batch(items);
+        published += receipt.doc_ids.len();
+        changed += receipt.changes.len();
+        updates += receipt.merged_stats().updates;
+    }
+    let dps = published as f64 / start.elapsed().as_secs_f64();
+    assert_eq!(changed as u64, updates, "every update surfaces as exactly one change");
+    println!(
+        "{label}: {published} docs in batches of {BATCH} -> {dps:.0} docs/sec, \
+         {changed} result changes"
+    );
+
+    // Exact per-query state either way; show one query's view.
+    if let Some(top) = monitor.results(qids[0]) {
+        println!(
+            "  query 0 ({} shard(s)): top-{} scores {:?}",
+            monitor.shards(),
+            top.len(),
+            top.iter()
+                .map(|sd| (sd.doc.0, (sd.score.get() * 1e3).round() / 1e3))
+                .collect::<Vec<_>>()
+        );
+    }
+}
 
 fn main() {
     let lambda = 1e-3;
@@ -21,57 +62,17 @@ fn main() {
     let mut qgen = QueryGenerator::new(workload, &corpus);
     let specs: Vec<QuerySpec> = (0..2_000).map(|_| qgen.generate()).collect();
 
-    const BATCH: usize = 256;
-    const BATCHES: usize = 12;
+    let base = MonitorBuilder::new(EngineKind::Mrio).lambda(lambda);
+    // At least 2 so the sharded path is exercised even on one core.
+    let shards = std::thread::available_parallelism().map(|p| p.get().clamp(2, 4)).unwrap_or(2);
 
-    // --- Single engine, batched publishes.
-    let mut monitor = Monitor::new(MrioSeg::new(lambda));
-    for spec in &specs {
-        monitor.register(spec.clone());
-    }
-    let mut driver = StreamDriver::new(corpus.clone(), ArrivalClock::unit());
-    let start = Instant::now();
-    let mut published = 0usize;
-    let mut changed = 0usize;
-    for batch in driver.by_ref().take(BATCH * BATCHES).collect::<Vec<_>>().chunks(BATCH) {
-        let items: Vec<_> = batch.iter().map(|d| (d.vector.iter().collect(), d.arrival)).collect();
-        let (ids, changes) = monitor.publish_batch(items);
-        published += ids.len();
-        changed += changes.len();
-    }
-    let dps = published as f64 / start.elapsed().as_secs_f64();
-    println!(
-        "single engine : {published} docs in batches of {BATCH} -> {dps:.0} docs/sec, \
-         {changed} result changes"
+    drink("single engine ", &base, &specs, &corpus);
+    drink(
+        &format!("sharded x{shards}"),
+        // Each 256-doc publish is pipelined through the shards as four
+        // 64-doc chunks, one chunk in flight behind the merger.
+        &base.clone().shards(shards).batch_size(BATCH / 4).pipeline_window(1),
+        &specs,
+        &corpus,
     );
-
-    // --- Sharded monitor, pipelined batches.
-    let shards = std::thread::available_parallelism().map(|p| p.get().min(4)).unwrap_or(2);
-    let mut sharded = ShardedMonitor::new(shards, || MrioSeg::new(lambda));
-    let ids: Vec<ShardedQueryId> = specs.iter().map(|s| sharded.register(s.clone())).collect();
-    let driver = StreamDriver::new(corpus, ArrivalClock::unit());
-    let start = Instant::now();
-    let mut merged_updates = 0u64;
-    sharded.run_pipelined(driver.batches(BATCH).take(BATCHES), 1, |stats, _changes| {
-        merged_updates += stats.iter().map(|ev| ev.updates).sum::<u64>();
-    });
-    let total = BATCH * BATCHES;
-    let dps = total as f64 / start.elapsed().as_secs_f64();
-    println!(
-        "sharded x{shards}: {total} docs in pipelined batches of {BATCH} -> {dps:.0} docs/sec, \
-         {merged_updates} result updates"
-    );
-
-    // Both paths kept exact per-query state; show one query's view.
-    let sample = ids[0];
-    if let Some(top) = sharded.results(sample) {
-        println!(
-            "query 0 (shard {}): top-{} scores {:?}",
-            sample.shard,
-            top.len(),
-            top.iter()
-                .map(|sd| (sd.doc.0, (sd.score.get() * 1e3).round() / 1e3))
-                .collect::<Vec<_>>()
-        );
-    }
 }

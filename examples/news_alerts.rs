@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 fn main() {
     let mut analyzer = Analyzer::new();
-    let mut monitor = Monitor::new(MrioSeg::new(0.05));
+    let mut monitor = MonitorBuilder::new(EngineKind::Mrio).lambda(0.05).build();
 
     // Users subscribe with plain keyword strings; note inflected forms.
     let subscriptions = [
@@ -41,19 +41,21 @@ fn main() {
     println!("\n--- stream ---");
     for (i, headline) in headlines.iter().enumerate() {
         let pairs = analyzer.term_pairs(headline);
-        let (doc_id, changes) = monitor.publish(pairs, i as f64);
+        let receipt = monitor.publish(pairs, i as f64);
         println!("[t={i}] {headline}");
-        for change in &changes {
-            let user = names[&change.query];
-            match change.evicted {
-                Some(old) => println!(
-                    "   ALERT {user}: doc {} (score {:.3}) replaces doc {}",
-                    doc_id, change.inserted.score, old.doc
-                ),
-                None => println!(
-                    "   ALERT {user}: doc {} enters top-k (score {:.3})",
-                    doc_id, change.inserted.score
-                ),
+        for (qid, changes) in receipt.changes_by_query() {
+            let user = names[&qid];
+            for change in &changes {
+                match change.evicted {
+                    Some(old) => println!(
+                        "   ALERT {user}: doc {} (score {:.3}) replaces doc {}",
+                        change.inserted.doc, change.inserted.score, old.doc
+                    ),
+                    None => println!(
+                        "   ALERT {user}: doc {} enters top-k (score {:.3})",
+                        change.inserted.doc, change.inserted.score
+                    ),
+                }
             }
         }
     }

@@ -1,5 +1,5 @@
 //! Crash recovery without replaying the stream: snapshot the full monitor
-//! state (queries + result sets) to JSON, restore it into a fresh engine,
+//! state (queries + result sets) to JSON, restore it into a fresh backend,
 //! and keep monitoring from where it stopped.
 //!
 //! ```text
@@ -16,7 +16,8 @@ fn main() {
 
     // A monitor that has been running for a while...
     let mut qgen = QueryGenerator::new(workload, &corpus);
-    let mut monitor = Monitor::new(MrioSeg::new(lambda));
+    let config = MonitorBuilder::new(EngineKind::Mrio).lambda(lambda);
+    let mut monitor = config.build();
     let qids: Vec<QueryId> = (0..200).map(|_| monitor.register(qgen.generate())).collect();
     let mut driver = StreamDriver::new(corpus.clone(), ArrivalClock::unit());
     for doc in driver.take_batch(300) {
@@ -27,15 +28,16 @@ fn main() {
     let snapshot = monitor.snapshot();
     let json = snapshot.to_json().expect("serializable");
     println!(
-        "snapshot: {} queries, {} bytes of JSON, stream position doc #{}",
-        snapshot.queries.len(),
+        "snapshot: v{} format, {} queries, {} bytes of JSON, stream position doc #{}",
+        snapshot.version,
+        snapshot.num_queries(),
         json.len(),
         snapshot.next_doc
     );
 
     // ... the process dies, a new one restores without replaying anything.
     let parsed = Snapshot::from_json(&json).expect("parse back");
-    let (mut restored, mapping) = Monitor::restore(MrioSeg::new(lambda), &parsed);
+    let (mut restored, mapping) = config.restore(&parsed);
 
     // Every result set survived bit-for-bit.
     let mut preserved = 0;
@@ -48,9 +50,10 @@ fn main() {
     // And it keeps processing: stream a few more documents into both; they
     // stay in lockstep.
     for doc in driver.take_batch(50) {
-        let (_, a) = monitor.publish(doc.vector.iter().collect(), doc.arrival);
-        let (_, b) = restored.publish(doc.vector.iter().collect(), doc.arrival);
-        assert_eq!(a.len(), b.len());
+        let a = monitor.publish(doc.vector.iter().collect(), doc.arrival);
+        let b = restored.publish(doc.vector.iter().collect(), doc.arrival);
+        assert_eq!(a.doc_ids, b.doc_ids);
+        assert_eq!(a.changes.len(), b.changes.len());
     }
     println!("both monitors processed 50 more events in lockstep — recovery complete");
 }

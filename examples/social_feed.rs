@@ -1,6 +1,8 @@
 //! High-rate social-feed monitoring with the sharded parallel monitor:
 //! millions of users could never be served by one core, so queries shard
-//! across worker threads and every post fans out to all shards.
+//! across worker threads and every post fans out to all shards — behind
+//! the same `MonitorBackend` API as the single-engine monitor, so the
+//! shard count is a config value in the loop below, nothing more.
 //!
 //! ```text
 //! cargo run --release --example social_feed
@@ -25,7 +27,8 @@ fn main() {
     let specs = qgen.generate_batch(num_queries);
 
     for shards in [1usize, 2, 4] {
-        let mut monitor = ShardedMonitor::new(shards, || MrioSeg::new(lambda));
+        let mut monitor =
+            MonitorBuilder::new(EngineKind::Mrio).lambda(lambda).shards(shards).build();
         let mut ids = Vec::with_capacity(specs.len());
         for spec in &specs {
             ids.push(monitor.register(spec.clone()));
@@ -37,9 +40,8 @@ fn main() {
         let start = Instant::now();
         let mut total_updates = 0u64;
         for doc in batch {
-            let (stats, changes) = monitor.process(doc);
-            total_updates += stats.updates;
-            let _ = changes;
+            let receipt = monitor.publish(doc.vector.iter().collect(), doc.arrival);
+            total_updates += receipt.merged_stats().updates;
         }
         let elapsed = start.elapsed().as_secs_f64();
         println!(

@@ -1,0 +1,253 @@
+//! The one construction path for monitor backends.
+//!
+//! [`MonitorBuilder`] assembles any supported configuration — every engine
+//! of the paper plus the published baselines, single-engine or sharded,
+//! with optional ingest chunking and tombstone compaction — behind the
+//! uniform [`MonitorBackend`] API. The examples, the benchmark harness and
+//! the integration tests all construct through it, so a configuration is
+//! one value, not a code path.
+
+use ctk_baselines::{Rta, SortQuer, Tps};
+use ctk_common::{FxHashMap, QueryId};
+use ctk_core::{
+    ContinuousTopK, Monitor, MonitorBackend, MrioBlock, MrioSeg, MrioSuffix, Naive, Rio,
+    ShardedMonitor, Snapshot,
+};
+
+/// Every engine a monitor can run on: the paper's algorithms, the three
+/// published baselines, and the exhaustive oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// RTA (Mouratidis & Pang) — frequency-ordered threshold algorithm.
+    Rta,
+    /// RIO — reverse ID-ordering with global per-list bounds (paper Eq. 2).
+    Rio,
+    /// MRIO with exact segment-tree zone maxima (the paper's default).
+    Mrio,
+    /// MRIO with block-max zone maxima.
+    MrioBlock,
+    /// MRIO with suffix-snapshot zone maxima.
+    MrioSuffix,
+    /// SortQuer (Vouzoukidou et al.) — score-sorted query lists.
+    SortQuer,
+    /// TPS (Shraer et al.) — top-k publish/subscribe.
+    Tps,
+    /// The exhaustive term-filtered oracle (exact by construction).
+    Naive,
+}
+
+impl EngineKind {
+    /// All engines, report order.
+    pub const ALL: [EngineKind; 8] = [
+        EngineKind::Rta,
+        EngineKind::Rio,
+        EngineKind::Mrio,
+        EngineKind::MrioBlock,
+        EngineKind::MrioSuffix,
+        EngineKind::SortQuer,
+        EngineKind::Tps,
+        EngineKind::Naive,
+    ];
+
+    /// The five methods of the paper's Figure 1, in its legend order.
+    pub const PAPER: [EngineKind; 5] =
+        [EngineKind::Rta, EngineKind::Rio, EngineKind::Mrio, EngineKind::SortQuer, EngineKind::Tps];
+
+    /// The report name, identical to the engine's `ContinuousTopK::name`.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Rta => "RTA",
+            EngineKind::Rio => "RIO",
+            EngineKind::Mrio => "MRIO",
+            EngineKind::MrioBlock => "MRIO-block",
+            EngineKind::MrioSuffix => "MRIO-suffix",
+            EngineKind::SortQuer => "SortQuer",
+            EngineKind::Tps => "TPS",
+            EngineKind::Naive => "Naive",
+        }
+    }
+
+    /// Parse a report name back into a kind.
+    pub fn from_name(name: &str) -> Option<EngineKind> {
+        EngineKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Construct a boxed engine of this kind.
+    pub fn build_engine(self, lambda: f64) -> Box<dyn ContinuousTopK + Send> {
+        match self {
+            EngineKind::Rta => Box::new(Rta::new(lambda)),
+            EngineKind::Rio => Box::new(Rio::new(lambda)),
+            EngineKind::Mrio => Box::new(MrioSeg::new(lambda)),
+            EngineKind::MrioBlock => Box::new(MrioBlock::new(lambda)),
+            EngineKind::MrioSuffix => Box::new(MrioSuffix::new(lambda)),
+            EngineKind::SortQuer => Box::new(SortQuer::new(lambda)),
+            EngineKind::Tps => Box::new(Tps::new(lambda)),
+            EngineKind::Naive => Box::new(Naive::new(lambda)),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EngineKind::from_name(s).ok_or_else(|| format!("unknown engine name: {s}"))
+    }
+}
+
+/// Builder for any [`MonitorBackend`] configuration.
+///
+/// ```
+/// use continuous_topk::prelude::*;
+///
+/// let mut monitor = MonitorBuilder::new(EngineKind::Mrio).lambda(0.001).build();
+/// let q = monitor.register(QuerySpec::uniform(&[TermId(7)], 3).unwrap());
+/// let receipt = monitor.publish(vec![(TermId(7), 1.0)], 0.0);
+/// assert_eq!(receipt.changes_for(q).count(), 1);
+/// assert_eq!(monitor.results(q).unwrap().len(), 1);
+/// ```
+///
+/// The same configuration value, pointed at more shards, serves the same
+/// API (and bit-identical results — see `tests/backend_api.rs`):
+///
+/// ```
+/// use continuous_topk::prelude::*;
+///
+/// let mut monitor =
+///     MonitorBuilder::new(EngineKind::Mrio).lambda(0.001).shards(4).build();
+/// let q = monitor.register(QuerySpec::uniform(&[TermId(7)], 3).unwrap());
+/// monitor.publish_batch(vec![
+///     (vec![(TermId(7), 1.0)], 0.0),
+///     (vec![(TermId(9), 1.0)], 1.0),
+/// ]);
+/// assert_eq!(monitor.shards(), 4);
+/// assert_eq!(monitor.results(q).unwrap().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MonitorBuilder {
+    kind: EngineKind,
+    lambda: f64,
+    shards: usize,
+    batch_size: usize,
+    pipeline_window: usize,
+    compaction_threshold: f64,
+}
+
+impl MonitorBuilder {
+    /// A builder for `kind` with λ = 0, one shard, whole-publish batches
+    /// and compaction disabled.
+    pub fn new(kind: EngineKind) -> Self {
+        MonitorBuilder {
+            kind,
+            lambda: 0.0,
+            shards: 1,
+            batch_size: 0,
+            pipeline_window: 1,
+            compaction_threshold: 0.0,
+        }
+    }
+
+    /// The decay parameter λ (per time unit).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Number of worker shards. 1 (the default) builds the single-engine
+    /// [`Monitor`]; more builds a [`ShardedMonitor`] with the query
+    /// population spread round-robin.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "a monitor needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Ingest chunk size for sharded `publish_batch` calls: the publish is
+    /// split into chunks of this many documents and pipelined. 0 (the
+    /// default) sends each publish as one batch.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// How many ingest chunks a sharded `publish_batch` keeps in flight
+    /// (0 = fully synchronous). Default 1: shards score chunk *n+1* while
+    /// the merger drains chunk *n*.
+    pub fn pipeline_window(mut self, window: usize) -> Self {
+        self.pipeline_window = window;
+        self
+    }
+
+    /// Enable tombstone compaction: at batch boundaries where the engine's
+    /// index has `tombstone_ratio() >= ratio`, dead postings are compacted
+    /// and the affected bound structures rebuilt. `<= 0.0` (the default)
+    /// disables the policy.
+    pub fn compact_at(mut self, ratio: f64) -> Self {
+        self.compaction_threshold = ratio;
+        self
+    }
+
+    /// Build the configured backend.
+    pub fn build(&self) -> Box<dyn MonitorBackend + Send> {
+        if self.shards == 1 {
+            Box::new(
+                Monitor::new(self.kind.build_engine(self.lambda))
+                    .with_compaction(self.compaction_threshold),
+            )
+        } else {
+            let mut sharded =
+                ShardedMonitor::new(self.shards, || self.kind.build_engine(self.lambda));
+            sharded.set_ingest_chunking(self.batch_size, self.pipeline_window);
+            if self.compaction_threshold > 0.0 {
+                sharded.set_compaction_threshold(self.compaction_threshold);
+            }
+            Box::new(sharded)
+        }
+    }
+
+    /// Build the configured backend and restore a [`Snapshot`] into it.
+    /// The snapshot's λ overrides the builder's, and its shard sections are
+    /// rebalanced onto this configuration's shard count. Returns the
+    /// backend and the captured-id → new-id mapping.
+    pub fn restore(
+        &self,
+        snapshot: &Snapshot,
+    ) -> (Box<dyn MonitorBackend + Send>, FxHashMap<QueryId, QueryId>) {
+        let mut backend = self.clone().lambda(snapshot.lambda).build();
+        let mapping = snapshot.restore_into(&mut *backend);
+        (backend, mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_kind_names_round_trip() {
+        for kind in EngineKind::ALL {
+            let engine = kind.build_engine(0.001);
+            assert_eq!(engine.name(), kind.name());
+            assert_eq!(engine.lambda(), 0.001);
+            assert_eq!(EngineKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.name().parse::<EngineKind>().unwrap(), kind);
+        }
+        assert!(EngineKind::from_name("WAND2000").is_none());
+    }
+
+    #[test]
+    fn builder_picks_the_front_end_by_shard_count() {
+        let single = MonitorBuilder::new(EngineKind::Mrio).lambda(0.5).build();
+        assert_eq!(single.shards(), 1);
+        assert_eq!(single.lambda(), 0.5);
+        let sharded = MonitorBuilder::new(EngineKind::Mrio).lambda(0.5).shards(3).build();
+        assert_eq!(sharded.shards(), 3);
+        assert_eq!(sharded.lambda(), 0.5);
+    }
+}

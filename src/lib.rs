@@ -15,25 +15,80 @@
 //!
 //! ## Quickstart
 //!
+//! Applications construct a monitor through [`MonitorBuilder`] and talk to
+//! it through the [`MonitorBackend`] trait — the same API whether one
+//! engine does the work or a shard pool does:
+//!
 //! ```
 //! use continuous_topk::prelude::*;
 //!
 //! // An MRIO monitor with decay λ = 0.001 per time unit.
-//! let mut engine = MrioSeg::new(0.001);
+//! let mut monitor = MonitorBuilder::new(EngineKind::Mrio).lambda(0.001).build();
 //!
 //! // Register a user's continuous query: keywords + k.
-//! let q = engine.register(QuerySpec::uniform(&[TermId(10), TermId(42)], 5).unwrap());
+//! let q = monitor.register(QuerySpec::uniform(&[TermId(10), TermId(42)], 5).unwrap());
 //!
-//! // Feed the stream.
-//! engine.process(&Document::new(DocId(0), vec![(TermId(42), 1.0)], 0.0));
+//! // Publish stream documents; the receipt reports ids, changes and work.
+//! let receipt = monitor.publish(vec![(TermId(42), 1.0)], 0.0);
+//! assert_eq!(receipt.doc_id(), DocId(0));
+//! assert_eq!(receipt.changes_for(q).count(), 1);
 //!
 //! // Read the continuously maintained top-k.
-//! let top = engine.results(q).unwrap();
+//! let top = monitor.results(q).unwrap();
 //! assert_eq!(top[0].doc, DocId(0));
 //! ```
 //!
-//! See `examples/` for end-to-end scenarios and `crates/bench` for the
-//! harness regenerating the paper's figures.
+//! Scaling out is a builder knob, not an API change — and a snapshot taken
+//! from any configuration restores into any other (the shard sections are
+//! rebalanced on restore):
+//!
+//! ```
+//! use continuous_topk::prelude::*;
+//!
+//! let config = MonitorBuilder::new(EngineKind::Mrio).lambda(0.001).shards(4);
+//! let mut monitor = config.build();
+//! let q = monitor.register(QuerySpec::uniform(&[TermId(3)], 2).unwrap());
+//! monitor.publish_batch(vec![
+//!     (vec![(TermId(3), 1.0)], 0.0),
+//!     (vec![(TermId(3), 0.5), (TermId(8), 0.5)], 1.0),
+//! ]);
+//!
+//! // snapshot → JSON → restore onto a *different* shard count.
+//! let json = monitor.snapshot().to_json().unwrap();
+//! let snapshot = Snapshot::from_json(&json).unwrap();
+//! let (restored, mapping) = MonitorBuilder::new(EngineKind::Mrio).shards(2).restore(&snapshot);
+//! assert_eq!(restored.results(mapping[&q]), monitor.results(q));
+//! ```
+//!
+//! ## Migrating from `Monitor<E>` / `ShardedMonitor`
+//!
+//! Both front-ends still exist (and now both implement [`MonitorBackend`]);
+//! what changed is the surface:
+//!
+//! * `Monitor::publish` / `publish_batch` return a [`PublishReceipt`]
+//!   (`receipt.doc_ids`, `receipt.changes`, `receipt.stats`) instead of
+//!   `(DocId, Vec<ResultChange>)` tuples.
+//! * `ShardedMonitor` speaks plain [`QueryId`]s — `ShardedQueryId` is gone;
+//!   the shard route is internal, and result changes are translated to the
+//!   public ids during the merge.
+//! * Snapshots are versioned (`version: 2`, per-shard sections); v1 and
+//!   pre-landmark captures still parse via [`Snapshot::from_json`].
+//!   `Monitor::restore` remains as a thin wrapper over
+//!   [`Snapshot::restore_into`], which works on any backend.
+//!
+//! See `examples/` for end-to-end scenarios (`restartable` exercises the
+//! sharded snapshot → kill → restore → continue cycle) and `crates/bench`
+//! for the harness regenerating the paper's figures.
+//!
+//! [`QueryId`]: ctk_common::QueryId
+//! [`PublishReceipt`]: ctk_core::PublishReceipt
+//! [`MonitorBackend`]: ctk_core::MonitorBackend
+//! [`Snapshot::from_json`]: ctk_core::Snapshot::from_json
+//! [`Snapshot::restore_into`]: ctk_core::Snapshot::restore_into
+
+pub mod builder;
+
+pub use builder::{EngineKind, MonitorBuilder};
 
 pub use ctk_baselines as baselines;
 pub use ctk_common as common;
@@ -44,14 +99,16 @@ pub use ctk_text as text;
 
 /// The types most applications need.
 pub mod prelude {
+    pub use crate::builder::{EngineKind, MonitorBuilder};
     pub use ctk_baselines::{Rta, SortQuer, Tps};
     pub use ctk_common::{
         DocId, Document, OrdF64, Query, QueryId, QuerySpec, ScoredDoc, SparseVector, TermId,
         Timestamp,
     };
     pub use ctk_core::{
-        ContinuousTopK, CumulativeStats, DecayModel, EventStats, Monitor, Mrio, MrioBlock, MrioSeg,
-        MrioSuffix, Naive, ResultChange, Rio, ShardedMonitor, ShardedQueryId, Snapshot,
+        ContinuousTopK, CumulativeStats, DecayModel, EventStats, Monitor, MonitorBackend, Mrio,
+        MrioBlock, MrioSeg, MrioSuffix, Naive, PublishReceipt, ResultChange, Rio, ShardSnapshot,
+        ShardedMonitor, Snapshot, SnapshotQuery, SNAPSHOT_VERSION,
     };
     pub use ctk_stream::{
         ArrivalClock, CorpusConfig, CorpusModel, DocumentGenerator, QueryGenerator, QueryWorkload,

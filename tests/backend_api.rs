@@ -1,0 +1,193 @@
+//! The unified `MonitorBackend` contract, end to end.
+//!
+//! One test body — registrations with churn, single publishes, batched
+//! publishes, receipt bookkeeping — parameterized **only** by a
+//! [`MonitorBuilder`] configuration, runs against the `Naive` oracle for
+//! the single-engine monitor and the sharded monitor alike: same public
+//! query ids, same document ids, the same changes (as sets), bit-identical
+//! results. Plus the sharded snapshot → restore cycle across *different*
+//! shard counts, verified against an oracle that never went down.
+
+use continuous_topk::prelude::*;
+
+fn corpus(seed: u64) -> CorpusConfig {
+    CorpusConfig { vocab_size: 2_000, avg_tokens: 50, seed, ..CorpusConfig::default() }
+}
+
+fn specs(n: usize, seed: u64) -> Vec<QuerySpec> {
+    let cfg = WorkloadConfig {
+        workload: QueryWorkload::Connected,
+        terms_min: 2,
+        terms_max: 4,
+        k: 4,
+        seed,
+    };
+    QueryGenerator::new(cfg, &corpus(seed)).generate_batch(n)
+}
+
+fn sorted_changes(mut changes: Vec<ResultChange>) -> Vec<ResultChange> {
+    changes.sort_by_key(|c| (c.query, c.inserted.doc));
+    changes
+}
+
+/// The shared test body: everything it does goes through `dyn
+/// MonitorBackend`, so the only degree of freedom is the builder config.
+fn backend_matches_oracle(config: MonitorBuilder, lambda: f64) {
+    let mut backend = config.lambda(lambda).build();
+    let mut oracle = MonitorBuilder::new(EngineKind::Naive).lambda(lambda).build();
+
+    let all_specs = specs(60, 42);
+    let mut qids: Vec<QueryId> = Vec::new();
+    for s in &all_specs {
+        let qid = backend.register(s.clone());
+        assert_eq!(qid, oracle.register(s.clone()), "one monotone public id space");
+        qids.push(qid);
+    }
+
+    let mut driver = StreamDriver::new(corpus(42), ArrivalClock::unit());
+    for round in 0..4u32 {
+        // Churn a few queries between batches.
+        for q in (round * 12)..(round * 12 + 5) {
+            assert!(backend.unregister(QueryId(q)));
+            assert!(oracle.unregister(QueryId(q)));
+        }
+        let fresh = specs(2, 1000 + round as u64);
+        for s in fresh {
+            let qid = backend.register(s.clone());
+            assert_eq!(qid, oracle.register(s));
+            qids.push(qid);
+        }
+
+        // A batched publish...
+        let batch: Vec<(Vec<(TermId, f32)>, Timestamp)> = driver
+            .take_batch(40)
+            .into_iter()
+            .map(|d| (d.vector.iter().collect(), d.arrival))
+            .collect();
+        let ra = backend.publish_batch(batch.clone());
+        let rb = oracle.publish_batch(batch);
+        assert_eq!(ra.doc_ids, rb.doc_ids, "same id allocation, round {round}");
+        assert_eq!(
+            sorted_changes(ra.changes),
+            sorted_changes(rb.changes),
+            "same change set, round {round}"
+        );
+        assert_eq!(
+            ra.stats.iter().map(|e| e.updates).collect::<Vec<_>>(),
+            rb.stats.iter().map(|e| e.updates).collect::<Vec<_>>(),
+            "same per-document insertion counts, round {round}"
+        );
+
+        // ...and a few single publishes through the same surface.
+        for d in driver.take_batch(5) {
+            let pairs: Vec<(TermId, f32)> = d.vector.iter().collect();
+            let ra = backend.publish(pairs.clone(), d.arrival);
+            let rb = oracle.publish(pairs, d.arrival);
+            assert_eq!(ra.doc_ids, rb.doc_ids);
+            assert_eq!(sorted_changes(ra.changes), sorted_changes(rb.changes));
+        }
+    }
+
+    // Bit-identical results for every query, live or gone.
+    for qid in &qids {
+        assert_eq!(backend.results(*qid), oracle.results(*qid), "query {qid}");
+    }
+    assert_eq!(backend.num_queries(), oracle.num_queries());
+}
+
+#[test]
+fn single_engine_backend_matches_oracle() {
+    backend_matches_oracle(MonitorBuilder::new(EngineKind::Mrio), 1e-3);
+}
+
+#[test]
+fn sharded_backend_matches_oracle() {
+    backend_matches_oracle(MonitorBuilder::new(EngineKind::Mrio).shards(4), 1e-3);
+}
+
+#[test]
+fn sharded_pipelined_chunked_backend_matches_oracle() {
+    backend_matches_oracle(
+        MonitorBuilder::new(EngineKind::Mrio).shards(4).batch_size(7).pipeline_window(2),
+        1e-3,
+    );
+}
+
+#[test]
+fn backend_matches_oracle_across_renormalization() {
+    // λ = 0.5 with the default headroom of 60 renormalizes once arrivals
+    // pass 120 — the 180 unit-clock documents cross it on every backend.
+    backend_matches_oracle(MonitorBuilder::new(EngineKind::Mrio).shards(2), 0.5);
+}
+
+#[test]
+fn compacting_backend_matches_oracle() {
+    // The churn in the shared body leaves ~30% tombstones; a 0.15 threshold
+    // forces several compactions without changing any result.
+    backend_matches_oracle(MonitorBuilder::new(EngineKind::Mrio).shards(2).compact_at(0.15), 1e-3);
+}
+
+/// Snapshot on one shard count, restore on another, verified against an
+/// oracle that never restarted — including on the continuation stream.
+fn snapshot_rebalances_across_shard_counts(from_shards: usize, to_shards: usize) {
+    let lambda = 1e-3;
+    let mut source =
+        MonitorBuilder::new(EngineKind::Mrio).lambda(lambda).shards(from_shards).build();
+    let mut oracle = MonitorBuilder::new(EngineKind::Naive).lambda(lambda).build();
+
+    let all_specs = specs(80, 7);
+    let qids: Vec<QueryId> = all_specs
+        .iter()
+        .map(|s| {
+            let qid = source.register(s.clone());
+            assert_eq!(qid, oracle.register(s.clone()));
+            qid
+        })
+        .collect();
+
+    let mut driver = StreamDriver::new(corpus(7), ArrivalClock::unit());
+    let batch: Vec<(Vec<(TermId, f32)>, Timestamp)> = driver
+        .take_batch(250)
+        .into_iter()
+        .map(|d| (d.vector.iter().collect(), d.arrival))
+        .collect();
+    source.publish_batch(batch.clone());
+    oracle.publish_batch(batch);
+
+    // Capture → JSON → restore into the other shard count.
+    let snap = source.snapshot();
+    assert_eq!(snap.shards.len(), from_shards, "one section per shard");
+    assert_eq!(snap.num_queries(), all_specs.len());
+    let parsed = Snapshot::from_json(&snap.to_json().unwrap()).unwrap();
+    let (mut restored, mapping) =
+        MonitorBuilder::new(EngineKind::Mrio).shards(to_shards).restore(&parsed);
+    assert_eq!(restored.shards(), to_shards);
+    assert_eq!(restored.num_queries(), all_specs.len());
+
+    for qid in &qids {
+        assert_eq!(restored.results(mapping[qid]), oracle.results(*qid), "restored query {qid}");
+    }
+
+    // The restored, re-partitioned deployment continues bit-identically.
+    let tail: Vec<(Vec<(TermId, f32)>, Timestamp)> = driver
+        .take_batch(100)
+        .into_iter()
+        .map(|d| (d.vector.iter().collect(), d.arrival))
+        .collect();
+    let ra = restored.publish_batch(tail.clone());
+    let rb = oracle.publish_batch(tail);
+    assert_eq!(ra.doc_ids, rb.doc_ids, "id allocation resumes from the snapshot position");
+    for qid in &qids {
+        assert_eq!(restored.results(mapping[qid]), oracle.results(*qid), "continued query {qid}");
+    }
+}
+
+#[test]
+fn snapshot_restores_from_one_shard_to_four() {
+    snapshot_rebalances_across_shard_counts(1, 4);
+}
+
+#[test]
+fn snapshot_restores_from_four_shards_to_two() {
+    snapshot_rebalances_across_shard_counts(4, 2);
+}

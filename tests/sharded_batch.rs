@@ -7,6 +7,10 @@
 //! registration record, so partitioning queries across shards must not
 //! change a single bit of any result.)
 //!
+//! Since the sharded monitor allocates public ids from one monotone space,
+//! the same registration sequence yields the *same* `QueryId`s on both
+//! front-ends — the test addresses both with one handle.
+//!
 //! The merged-stat invariant is checked alongside: every document visits
 //! every shard exactly once, so the summed per-shard event counters equal
 //! `documents × shards`.
@@ -49,12 +53,14 @@ proptest! {
     ) {
         let mut sharded = ShardedMonitor::new(shards, || Naive::new(lambda));
         let mut single = Naive::new(lambda);
-        // Live queries as (sharded handle, single-engine id) pairs.
-        let mut live: Vec<(ShardedQueryId, QueryId)> = Vec::new();
+        // Live queries: one public id addresses both front-ends.
+        let mut live: Vec<QueryId> = Vec::new();
 
         for (terms, k) in &initial {
             if let Some(spec) = make_spec(terms, *k) {
-                live.push((sharded.register(spec.clone()), single.register(spec)));
+                let qid = sharded.register(spec.clone());
+                prop_assert_eq!(qid, single.register(spec), "one monotone public id space");
+                live.push(qid);
             }
         }
         prop_assume!(!live.is_empty());
@@ -64,13 +70,15 @@ proptest! {
         for (doc_batches, (reg_terms, reg_k), reg_gate, unreg_slot) in &rounds {
             let slot = unreg_slot % (live.len() + 1);
             if slot < live.len() {
-                let (sid, qid) = live.remove(slot);
-                prop_assert!(sharded.unregister(sid));
+                let qid = live.remove(slot);
+                prop_assert!(sharded.unregister(qid));
                 prop_assert!(single.unregister(qid));
             }
             if *reg_gate > 0 {
                 if let Some(spec) = make_spec(reg_terms, *reg_k) {
-                    live.push((sharded.register(spec.clone()), single.register(spec)));
+                    let qid = sharded.register(spec.clone());
+                    prop_assert_eq!(qid, single.register(spec));
+                    live.push(qid);
                 }
             }
 
@@ -98,13 +106,11 @@ proptest! {
         }
 
         // Bit-identical results for every surviving query.
-        for (sid, qid) in &live {
+        for qid in &live {
             prop_assert_eq!(
-                sharded.results(*sid),
+                sharded.results(*qid),
                 single.results(*qid),
-                "shard {} local {:?} vs single {:?}",
-                sid.shard,
-                sid.local,
+                "query {:?}",
                 qid
             );
         }

@@ -1,0 +1,99 @@
+//! Snapshot format migration: v1 (PR-2, flat with `landmark`) and v0
+//! (pre-PR-2, flat without `landmark`) captures — checked in as fixtures in
+//! the exact on-disk bytes those builds wrote — must keep parsing, migrate
+//! into the v2 in-memory form, and restore bit-identically to restoring
+//! their own v2 re-serialization.
+
+use continuous_topk::prelude::*;
+
+/// Written by the PR-2 build: flat layout, top-level `landmark` (the
+/// capture renormalized at arrival 610 before being taken).
+const V1_FIXTURE: &str = include_str!("fixtures/snapshot_v1.json");
+
+/// Written by a pre-PR-2 build: flat layout, no `landmark` field (those
+/// builds never persisted one). λ = 0, so `landmark = 0` is exact.
+const V0_FIXTURE: &str = include_str!("fixtures/snapshot_pre_pr2.json");
+
+/// Restore a snapshot and return each captured query's restored results,
+/// in captured-id order.
+fn restored_results(snap: &Snapshot, kind: EngineKind) -> Vec<Vec<ScoredDoc>> {
+    let (backend, mapping) = MonitorBuilder::new(kind).restore(snap);
+    let mut captured: Vec<u32> = snap.queries().map(|q| q.qid).collect();
+    captured.sort_unstable();
+    captured
+        .into_iter()
+        .map(|qid| backend.results(mapping[&QueryId(qid)]).expect("restored query is live"))
+        .collect()
+}
+
+#[test]
+fn v1_fixture_migrates_with_its_landmark() {
+    let snap = Snapshot::from_json(V1_FIXTURE).expect("v1 parses");
+    assert_eq!(snap.version, SNAPSHOT_VERSION, "migrated into the current version");
+    assert_eq!(snap.shards.len(), 1, "flat capture becomes one section");
+    assert_eq!(snap.landmark(), 610.0, "the persisted landmark survives migration");
+    assert_eq!(snap.lambda, 0.1);
+    assert_eq!(snap.num_queries(), 2);
+    assert_eq!(snap.next_doc, 71);
+
+    // The capture's stored result sets come back exactly on restore.
+    for (stored, restored) in
+        snap.queries().map(|q| &q.results).zip(restored_results(&snap, EngineKind::Mrio))
+    {
+        assert_eq!(stored, &restored);
+    }
+}
+
+#[test]
+fn v0_fixture_migrates_with_landmark_zero() {
+    let snap = Snapshot::from_json(V0_FIXTURE).expect("v0 parses");
+    assert_eq!(snap.version, SNAPSHOT_VERSION);
+    assert_eq!(snap.shards.len(), 1);
+    assert_eq!(snap.landmark(), 0.0, "absent landmark migrates to 0");
+    assert_eq!(snap.lambda, 0.0);
+    assert_eq!(snap.num_queries(), 2);
+
+    for (stored, restored) in
+        snap.queries().map(|q| &q.results).zip(restored_results(&snap, EngineKind::Mrio))
+    {
+        assert_eq!(stored, &restored);
+    }
+}
+
+/// Both legacy fixtures restore **bit-identically** to restoring their own
+/// v2 re-serialization — i.e. migration is exactly "rewrite in v2".
+#[test]
+fn legacy_fixtures_restore_bit_identically_to_v2() {
+    for (name, fixture) in [("v1", V1_FIXTURE), ("v0", V0_FIXTURE)] {
+        let migrated = Snapshot::from_json(fixture).expect("legacy parses");
+        let v2_text = migrated.to_json().expect("serializes as v2");
+        assert!(v2_text.contains("\"version\": 2"), "{name}: re-serialization is tagged v2");
+        let reparsed = Snapshot::from_json(&v2_text).expect("v2 parses");
+
+        assert_eq!(reparsed.lambda, migrated.lambda);
+        assert_eq!(reparsed.landmark(), migrated.landmark());
+        assert_eq!(reparsed.next_doc, migrated.next_doc);
+        assert_eq!(reparsed.last_arrival, migrated.last_arrival);
+        for kind in [EngineKind::Mrio, EngineKind::Rio] {
+            assert_eq!(
+                restored_results(&migrated, kind),
+                restored_results(&reparsed, kind),
+                "{name} via {kind}: legacy restore differs from v2 restore"
+            );
+        }
+    }
+}
+
+#[test]
+fn future_versions_are_rejected_not_misparsed() {
+    let v2 = Snapshot::from_json(V1_FIXTURE).unwrap().to_json().unwrap();
+    let v3 = v2.replace("\"version\": 2", "\"version\": 3");
+    let err = Snapshot::from_json(&v3).expect_err("a future format must not silently parse");
+    assert!(err.to_string().contains("version"), "unhelpful error: {err}");
+}
+
+#[test]
+fn garbage_is_an_error_not_a_panic() {
+    assert!(Snapshot::from_json("{\"hello\": 1}").is_err());
+    assert!(Snapshot::from_json("not json").is_err());
+}

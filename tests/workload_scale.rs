@@ -97,8 +97,14 @@ fn sharded_monitor_matches_oracle_on_generated_workload() {
 
     let mut sharded = ShardedMonitor::new(4, || MrioSeg::new(lambda));
     let mut oracle = Naive::new(lambda);
-    let pairs: Vec<(ShardedQueryId, QueryId)> =
-        specs.iter().map(|s| (sharded.register(s.clone()), oracle.register(s.clone()))).collect();
+    let qids: Vec<QueryId> = specs
+        .iter()
+        .map(|s| {
+            let qid = sharded.register(s.clone());
+            assert_eq!(qid, oracle.register(s.clone()), "one monotone public id space");
+            qid
+        })
+        .collect();
 
     let mut driver = StreamDriver::new(corpus(11), ArrivalClock::Poisson { rate: 2.0 });
     let mut total_changes = 0usize;
@@ -107,13 +113,17 @@ fn sharded_monitor_matches_oracle_on_generated_workload() {
         let (stats, changes) = sharded.process(doc.clone());
         let oracle_ev = oracle.process(&doc);
         assert_eq!(stats.updates, oracle_ev.updates, "same insertions per event");
+        // Changes come back in the public id space, not shard-local ids.
+        for (_, change) in &changes {
+            assert!(qids.contains(&change.query));
+        }
         total_changes += changes.len();
         total_updates += oracle_ev.updates;
     }
     assert_eq!(total_changes as u64, total_updates);
 
-    for (sid, qid) in &pairs {
-        assert_eq!(sharded.results(*sid), oracle.results(*qid));
+    for qid in &qids {
+        assert_eq!(sharded.results(*qid), oracle.results(*qid));
     }
 }
 
@@ -143,9 +153,9 @@ fn snapshot_restores_across_engine_types() {
 
     // Both keep evolving identically on the same continuation stream.
     for doc in driver.take_batch(80) {
-        let (_, a) = source.publish(doc.vector.iter().collect(), doc.arrival);
-        let (_, b) = restored.publish(doc.vector.iter().collect(), doc.arrival);
-        assert_eq!(a.len(), b.len());
+        let a = source.publish(doc.vector.iter().collect(), doc.arrival);
+        let b = restored.publish(doc.vector.iter().collect(), doc.arrival);
+        assert_eq!(a.changes.len(), b.changes.len());
     }
     for qid in &qids {
         let a = source.results(*qid).unwrap();
