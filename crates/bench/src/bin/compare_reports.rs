@@ -1,0 +1,176 @@
+//! CI perf-regression gate over `sweep_shards` reports.
+//!
+//! ```text
+//! cargo run -p ctk-bench --release --bin compare_reports -- \
+//!     --baseline results/sweep_shards_baseline.json \
+//!     --current  results/sweep_shards.json \
+//!     [--tolerance 0.30] [--absolute]
+//! ```
+//!
+//! Joins the two reports on `(mode, shards, batch)` and fails (exit 1)
+//! when any cell's throughput dropped by more than `tolerance` (default
+//! 30%) versus the baseline. By default the compared metric is the
+//! **normalized** throughput `docs_per_sec / single_docs_per_sec` of each
+//! report — CI runners and developer machines differ wildly in absolute
+//! speed, but each report carries its own single-threaded reference
+//! measured in the same process on the same workload, so the ratio is the
+//! noise-tolerant signal: it regresses only when the *sharded path itself*
+//! got slower relative to the engine. `--absolute` switches to raw
+//! docs/sec (useful when baseline and current come from the same machine).
+//!
+//! Exit codes: `0` pass, `1` regression, `2` unusable input (missing file,
+//! unrecognized schema version, or reports measured under different
+//! workload configurations — those deltas would be meaningless).
+
+use ctk_bench::report::format_sig;
+use ctk_bench::SWEEP_SHARDS_SCHEMA_VERSION;
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+struct Cell {
+    mode: String,
+    shards: usize,
+    batch: usize,
+    docs_per_sec: f64,
+}
+
+#[derive(Deserialize)]
+struct Report {
+    schema_version: u32,
+    num_queries: usize,
+    measured_docs: usize,
+    window: usize,
+    single_docs_per_sec: f64,
+    cells: Vec<Cell>,
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("compare_reports: {msg}");
+    eprintln!(
+        "usage: compare_reports --baseline <report.json> --current <report.json> \
+         [--tolerance 0.30] [--absolute]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Report {
+    let contents = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage_exit(&format!("cannot read {path}: {e}")));
+    let report: Report = serde_json::from_str(&contents)
+        .unwrap_or_else(|e| usage_exit(&format!("{path} is not a sweep_shards report: {e}")));
+    if report.schema_version != SWEEP_SHARDS_SCHEMA_VERSION {
+        usage_exit(&format!(
+            "{path} has schema_version {} (this gate understands {}); \
+             regenerate it with the current sweep_shards binary",
+            report.schema_version, SWEEP_SHARDS_SCHEMA_VERSION
+        ));
+    }
+    report
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path =
+        arg_value(&args, "--baseline").unwrap_or_else(|| usage_exit("--baseline is required"));
+    let current_path =
+        arg_value(&args, "--current").unwrap_or_else(|| usage_exit("--current is required"));
+    let tolerance: f64 = match arg_value(&args, "--tolerance") {
+        None => 0.30,
+        Some(s) => match s.parse() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => usage_exit("--tolerance must be a fraction in [0, 1)"),
+        },
+    };
+    let absolute = args.iter().any(|a| a == "--absolute");
+
+    let base = load(&baseline_path);
+    let cur = load(&current_path);
+
+    // Deltas are only meaningful at equal workload configuration.
+    let base_cfg = (base.num_queries, base.measured_docs, base.window);
+    let cur_cfg = (cur.num_queries, cur.measured_docs, cur.window);
+    if base_cfg != cur_cfg {
+        usage_exit(&format!(
+            "workload configs differ: baseline (queries, docs, window) = {base_cfg:?}, \
+             current = {cur_cfg:?}; regenerate the baseline at the gate's configuration"
+        ));
+    }
+
+    let metric = |report: &Report, cell: &Cell| {
+        if absolute {
+            cell.docs_per_sec
+        } else {
+            cell.docs_per_sec / report.single_docs_per_sec
+        }
+    };
+    let metric_name = if absolute { "docs/sec" } else { "docs/sec vs single" };
+
+    println!("### Perf gate: {metric_name}, tolerance -{:.0}%\n", tolerance * 100.0);
+    println!("| mode | shards | batch | baseline | current | delta | status |");
+    println!("|---|---|---|---|---|---|---|");
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    for bc in &base.cells {
+        let Some(cc) = cur
+            .cells
+            .iter()
+            .find(|c| c.mode == bc.mode && c.shards == bc.shards && c.batch == bc.batch)
+        else {
+            println!("| {} | {} | {} | — | — | — | MISSING |", bc.mode, bc.shards, bc.batch);
+            missing += 1;
+            continue;
+        };
+        let (b, c) = (metric(&base, bc), metric(&cur, cc));
+        let delta = c / b - 1.0;
+        let regressed = delta < -tolerance;
+        if regressed {
+            regressions += 1;
+        }
+        println!(
+            "| {} | {} | {} | {} | {} | {:+.1}% | {} |",
+            bc.mode,
+            bc.shards,
+            bc.batch,
+            format_sig(b),
+            format_sig(c),
+            delta * 100.0,
+            if regressed { "REGRESSION" } else { "ok" }
+        );
+    }
+    for cc in &cur.cells {
+        let known = base
+            .cells
+            .iter()
+            .any(|b| b.mode == cc.mode && b.shards == cc.shards && b.batch == cc.batch);
+        if !known {
+            println!(
+                "| {} | {} | {} | — | {} | — | new (no baseline) |",
+                cc.mode,
+                cc.shards,
+                cc.batch,
+                format_sig(metric(&cur, cc))
+            );
+        }
+    }
+    println!();
+
+    if missing > 0 {
+        eprintln!(
+            "compare_reports: {missing} baseline cell(s) absent from the current report — \
+             the gate cannot vouch for them; align the sweep configurations"
+        );
+        std::process::exit(2);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "compare_reports: {regressions} cell(s) regressed more than {:.0}% on {metric_name}",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("compare_reports: all {} cells within tolerance", base.cells.len());
+}

@@ -1,33 +1,53 @@
-//! Batched sharded-ingestion throughput: docs/sec as a function of shard
-//! count and batch size, against two fixed references on the *same*
-//! workload — the single-threaded engine and the per-document sharded path
-//! (batch size 1, the pre-batching design).
+//! Sharded-ingestion throughput: docs/sec as a function of **sharding
+//! mode** × shard count × batch size, against two fixed references on the
+//! *same* workload — the single-threaded engine and each mode's
+//! per-document sharded path (batch size 1, the pre-batching design).
 //!
 //! ```text
 //! cargo run -p ctk-bench --release --bin sweep_shards \
-//!     [-- --scale smoke|laptop|full] [--shards 1,2,4] [--batches 1,64,256] \
-//!     [--window 1] [--docs N]
+//!     [-- --scale smoke|laptop|full] [--mode query|doc|both] \
+//!     [--shards 1,2,4] [--batches 1,64,256] [--window 1] [--docs N] \
+//!     [--repeat N]
 //! ```
 //!
-//! Prints a markdown table and writes the machine-readable report to
-//! `results/sweep_shards.json` (archived by CI as a build artifact).
+//! `--repeat N` (default 1) measures every cell — and the single-threaded
+//! reference — N times from identical cold state (fresh monitor, same
+//! registration/seed/warmup prologue) and keeps the best run. Transient
+//! interference (CPU steal on shared CI runners, frequency ramps) only
+//! ever *slows* a run, so best-of-N converges on the machine's true
+//! throughput; the CI perf gate uses `--repeat 3` to keep its sub-second
+//! smoke cells out of the noise floor.
 //!
-//! Interpreting speedups: batching removes the per-document channel
-//! allocation + cross-shard barrier, so `batch ≥ 64` vs `batch 1` shows the
+//! Prints a markdown table and writes the machine-readable report
+//! (`schema_version` 2 — cells carry the `mode` axis) to
+//! `results/sweep_shards.json`, which CI archives as a build artifact and
+//! gates against `results/sweep_shards_baseline.json` with the
+//! `compare_reports` binary. The writer refuses to clobber a report whose
+//! schema version it does not recognize.
+//!
+//! Interpreting the numbers: batching removes the per-document channel
+//! send + cross-shard merge, so `batch ≥ 64` vs `batch 1` shows the
 //! coordination overhead; `shards > 1` vs the single engine additionally
 //! needs physical cores to pay off — the report records the machine's
 //! available parallelism so a 1-core CI runner is not mistaken for a
-//! scaling regression.
+//! scaling regression. The `--mode` axis exposes the query-vs-doc
+//! crossover: query sharding pays the matched-list walk once per shard
+//! (wins at large query populations), document sharding pays it once in
+//! total (wins at small populations / high stream rates).
 
 use ctk_bench::report::format_sig;
-use ctk_bench::{prepare, write_json_report, ExperimentConfig, Scale, Table};
-use ctk_core::{ContinuousTopK, MrioSeg, ShardedMonitor};
+use ctk_bench::{
+    existing_report_schema, make_sharded, prepare, write_json_report, ExperimentConfig, Scale,
+    Table, SWEEP_SHARDS_SCHEMA_VERSION,
+};
+use ctk_core::{ContinuousTopK, MrioSeg, ShardingMode};
 use ctk_stream::QueryWorkload;
 use serde::Serialize;
 use std::time::Instant;
 
 #[derive(Serialize)]
 struct Cell {
+    mode: String,
     shards: usize,
     batch: usize,
     docs_per_sec: f64,
@@ -37,6 +57,7 @@ struct Cell {
 
 #[derive(Serialize)]
 struct SweepReport {
+    schema_version: u32,
     engine: String,
     scale: String,
     num_queries: usize,
@@ -58,17 +79,48 @@ fn parse_list(s: &str) -> Vec<usize> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = arg_value(&args, "--scale").and_then(|s| Scale::parse(&s)).unwrap_or(Scale::Laptop);
+    let modes: Vec<ShardingMode> = match arg_value(&args, "--mode").as_deref() {
+        None | Some("both") => ShardingMode::ALL.to_vec(),
+        Some(s) => match s.parse() {
+            Ok(mode) => vec![mode],
+            Err(e) => {
+                eprintln!("sweep_shards: {e} (or 'both')");
+                std::process::exit(2);
+            }
+        },
+    };
     let shard_counts =
         arg_value(&args, "--shards").map(|s| parse_list(&s)).unwrap_or_else(|| vec![1, 2, 4]);
     let batch_sizes =
         arg_value(&args, "--batches").map(|s| parse_list(&s)).unwrap_or_else(|| vec![1, 64, 256]);
     let window: usize = arg_value(&args, "--window").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let repeat: usize =
+        arg_value(&args, "--repeat").and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
     let measured_docs: usize =
         arg_value(&args, "--docs").and_then(|s| s.parse().ok()).unwrap_or(match scale {
             Scale::Smoke => 2_000,
             Scale::Laptop => 8_000,
             Scale::Full => 20_000,
         });
+
+    // Never clobber a report written in a format this binary does not
+    // understand (e.g. by a newer checkout) — regeneration must be a
+    // conscious `rm`, not a silent downgrade.
+    match existing_report_schema("sweep_shards") {
+        Ok(Some(v)) if v != 1 && v != SWEEP_SHARDS_SCHEMA_VERSION => {
+            eprintln!(
+                "sweep_shards: refusing to overwrite results/sweep_shards.json: \
+                 its schema_version {v} is unknown to this binary \
+                 (understands 1 and {SWEEP_SHARDS_SCHEMA_VERSION}); delete it to regenerate"
+            );
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("sweep_shards: cannot inspect existing report: {e}");
+            std::process::exit(2);
+        }
+        _ => {}
+    }
 
     let n = scale.query_counts()[scale.query_counts().len() / 2];
     let mut cfg = ExperimentConfig::fig1(QueryWorkload::Connected, n, scale);
@@ -86,8 +138,12 @@ fn main() {
         );
     }
 
+    // Best-of-N from identical cold state: interference only slows runs,
+    // so the fastest repetition is the least-perturbed estimate.
+    let best_of = |measure: &dyn Fn() -> f64| (0..repeat).map(|_| measure()).fold(0.0, f64::max);
+
     // Reference 1: the single-threaded engine.
-    let single_dps = {
+    let single_dps = best_of(&|| {
         let mut engine = MrioSeg::new(cfg.lambda);
         wl.install(&mut engine);
         for doc in &wl.warmup {
@@ -98,81 +154,92 @@ fn main() {
             engine.process(doc);
         }
         wl.measured.len() as f64 / start.elapsed().as_secs_f64()
-    };
-    eprintln!("  single-threaded MRIO: {} docs/sec", format_sig(single_dps));
+    });
+    eprintln!("  single-threaded MRIO: {} docs/sec (best of {repeat})", format_sig(single_dps));
 
     let mut table = Table::new(
-        "Batched sharded ingestion throughput (MRIO)",
-        "shards x batch",
+        "Sharded ingestion throughput (MRIO single reference)",
+        "mode x shards x batch",
         &["docs/sec", "vs single", "vs per-doc sharded"],
         "docs/sec",
     );
     let mut cells = Vec::new();
-    for &shards in &shard_counts {
-        // Reference 2: this shard count fed one document at a time through
-        // the blocking `process` call — the old one-doc-one-barrier design.
-        // Always swept first (as the batch-1 cell, without pipelining) and
-        // exactly once, whatever --batches says.
-        let mut batches = vec![1usize];
-        for &b in &batch_sizes {
-            if b > 1 && !batches.contains(&b) {
-                batches.push(b);
-            }
-        }
-        let mut per_doc_dps = f64::NAN;
-        for &batch in &batches {
-            let mut monitor = ShardedMonitor::new(shards, || MrioSeg::new(cfg.lambda));
-            let mut ids = Vec::with_capacity(wl.specs.len());
-            for spec in &wl.specs {
-                ids.push(monitor.register(spec.clone()));
-            }
-            for (i, seeds) in wl.seeds.iter().enumerate() {
-                if !seeds.is_empty() {
-                    monitor.seed_results(ids[i], seeds);
+    for &mode in &modes {
+        for &shards in &shard_counts {
+            // Reference 2: this mode × shard count fed one document at a
+            // time through the blocking `process` call — the
+            // one-doc-one-barrier design. Always swept first (as the
+            // batch-1 cell, without pipelining) and exactly once, whatever
+            // --batches says.
+            let mut batches = vec![1usize];
+            for &b in &batch_sizes {
+                if b > 1 && !batches.contains(&b) {
+                    batches.push(b);
                 }
             }
-            for chunk in wl.warmup.chunks(batch.max(1)) {
-                monitor.process_batch(chunk.to_vec());
-            }
+            let mut per_doc_dps = f64::NAN;
+            for &batch in &batches {
+                let dps = best_of(&|| {
+                    let mut monitor = make_sharded(mode, shards, "MRIO", cfg.lambda);
+                    let mut ids = Vec::with_capacity(wl.specs.len());
+                    for spec in &wl.specs {
+                        ids.push(monitor.register(spec.clone()));
+                    }
+                    for (i, seeds) in wl.seeds.iter().enumerate() {
+                        if !seeds.is_empty() {
+                            monitor.seed_results(ids[i], seeds);
+                        }
+                    }
+                    for chunk in wl.warmup.chunks(batch.max(1)) {
+                        monitor.process_batch(chunk.to_vec());
+                    }
 
-            let start = Instant::now();
-            if batch == 1 {
-                // The per-document reference must pay the historical cost:
-                // one blocking broadcast + merge per document, no window.
-                for doc in &wl.measured {
-                    monitor.process(doc.clone());
+                    let start = Instant::now();
+                    if batch == 1 {
+                        // The per-document reference must pay the historical
+                        // cost: one blocking dispatch + merge per document.
+                        for doc in &wl.measured {
+                            monitor.process(doc.clone());
+                        }
+                    } else {
+                        monitor.run_pipelined(
+                            wl.measured.chunks(batch).map(<[_]>::to_vec),
+                            window,
+                            |_, _| {},
+                        );
+                    }
+                    wl.measured.len() as f64 / start.elapsed().as_secs_f64()
+                });
+                if batch == 1 {
+                    per_doc_dps = dps;
                 }
-            } else {
-                monitor.run_pipelined(
-                    wl.measured.chunks(batch).map(<[_]>::to_vec),
-                    window,
-                    |_, _| {},
+                let vs_per_doc = dps / per_doc_dps;
+                eprintln!(
+                    "  mode={mode} shards={shards} batch={batch}: {} docs/sec \
+                     ({:.2}x single, {:.2}x per-doc)",
+                    format_sig(dps),
+                    dps / single_dps,
+                    vs_per_doc
                 );
+                table.push_row(
+                    format!("{mode} x {shards} x {batch}"),
+                    vec![dps, dps / single_dps, vs_per_doc],
+                );
+                cells.push(Cell {
+                    mode: mode.name().to_string(),
+                    shards,
+                    batch,
+                    docs_per_sec: dps,
+                    speedup_vs_single: dps / single_dps,
+                    speedup_vs_per_doc_sharded: vs_per_doc,
+                });
             }
-            let dps = wl.measured.len() as f64 / start.elapsed().as_secs_f64();
-            if batch == 1 {
-                per_doc_dps = dps;
-            }
-            let vs_per_doc = dps / per_doc_dps;
-            eprintln!(
-                "  shards={shards} batch={batch}: {} docs/sec ({:.2}x single, {:.2}x per-doc)",
-                format_sig(dps),
-                dps / single_dps,
-                vs_per_doc
-            );
-            table.push_row(format!("{shards} x {batch}"), vec![dps, dps / single_dps, vs_per_doc]);
-            cells.push(Cell {
-                shards,
-                batch,
-                docs_per_sec: dps,
-                speedup_vs_single: dps / single_dps,
-                speedup_vs_per_doc_sharded: vs_per_doc,
-            });
         }
     }
 
     println!("{}", table.to_markdown());
     let report = SweepReport {
+        schema_version: SWEEP_SHARDS_SCHEMA_VERSION,
         engine: "MRIO".to_string(),
         scale: format!("{scale:?}"),
         num_queries: n,

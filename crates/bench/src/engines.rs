@@ -5,7 +5,7 @@
 //! builder uses, so a new engine kind lands everywhere at once.
 
 use continuous_topk::EngineKind;
-use ctk_core::ContinuousTopK;
+use ctk_core::{ContinuousTopK, ShardedMonitor, ShardingMode};
 
 /// The five methods of the paper's Figure 1, in its legend order.
 pub const PAPER_ALGOS: [&str; 5] = ["RTA", "RIO", "MRIO", "SortQuer", "TPS"];
@@ -19,6 +19,22 @@ pub const ALL_ALGOS: [&str; 8] =
 pub fn make_engine(name: &str, lambda: f64) -> Box<dyn ContinuousTopK + Send> {
     let kind: EngineKind = name.parse().unwrap_or_else(|e| panic!("{e}"));
     kind.build_engine(lambda)
+}
+
+/// Construct a sharded monitor in either sharding mode. Query mode runs one
+/// engine of the named kind per shard; document mode shares one index epoch
+/// across scorer workers (the engine name is irrelevant there — the
+/// shared-epoch walk is exact for every kind).
+pub fn make_sharded(
+    mode: ShardingMode,
+    shards: usize,
+    engine: &str,
+    lambda: f64,
+) -> ShardedMonitor {
+    match mode {
+        ShardingMode::Queries => ShardedMonitor::new(shards, || make_engine(engine, lambda)),
+        ShardingMode::Documents => ShardedMonitor::new_doc_parallel(shards, lambda),
+    }
 }
 
 #[cfg(test)]
@@ -44,5 +60,15 @@ mod tests {
     #[should_panic]
     fn unknown_name_panics() {
         let _ = make_engine("WAND2000", 0.0);
+    }
+
+    #[test]
+    fn sharded_factory_builds_both_modes() {
+        for mode in ShardingMode::ALL {
+            let m = make_sharded(mode, 2, "MRIO", 0.001);
+            assert_eq!(m.mode(), mode);
+            assert_eq!(m.shards(), 2);
+            assert_eq!(m.lambda(), 0.001);
+        }
     }
 }

@@ -13,8 +13,9 @@
 //!
 //! Binaries (`src/bin/*.rs`): `fig1`, `optimality`, `ablation_zonemax`,
 //! `sweep_k`, `sweep_lambda`, `sweep_doclen`, `scaling_threads`,
-//! `sweep_shards` (batched sharded-ingestion throughput). Criterion
-//! micro-benches live in `benches/`.
+//! `sweep_shards` (sharded-ingestion throughput, `--mode query|doc|both`),
+//! `compare_reports` (the CI perf-regression gate over two `sweep_shards`
+//! reports). Criterion micro-benches live in `benches/`.
 
 pub mod config;
 pub mod engines;
@@ -23,7 +24,10 @@ pub mod runner;
 pub mod workload;
 
 pub use config::{ExperimentConfig, Scale};
-pub use engines::{make_engine, PAPER_ALGOS};
-pub use report::{write_csv, write_json, write_json_report, Table};
+pub use engines::{make_engine, make_sharded, PAPER_ALGOS};
+pub use report::{
+    existing_report_schema, write_csv, write_json, write_json_report, Table,
+    SWEEP_SHARDS_SCHEMA_VERSION,
+};
 pub use runner::{run_engine, RunResult};
 pub use workload::{prepare, PreparedWorkload};

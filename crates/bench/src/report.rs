@@ -122,6 +122,36 @@ pub fn write_json_report<T: serde::Serialize>(
     Ok(path)
 }
 
+/// Schema version of the `sweep_shards` report format.
+///
+/// * **v2** (current): `schema_version` tag; cells carry a `mode` axis
+///   (`"query"` / `"doc"`) alongside `shards × batch`.
+/// * **v1**: untagged (no `schema_version` field), query mode only.
+///
+/// The writer refuses to overwrite a report tagged with a version it does
+/// not recognize (see [`existing_report_schema`]), so a future format never
+/// gets silently clobbered by an old binary.
+pub const SWEEP_SHARDS_SCHEMA_VERSION: u32 = 2;
+
+/// The `schema_version` of an existing `results/<name>.json` report:
+/// `None` when the file does not exist, `Some(1)` for pre-versioned
+/// (untagged) reports, `Some(v)` for tagged ones. Writers compare this
+/// against the versions they understand before overwriting.
+pub fn existing_report_schema(name: &str) -> std::io::Result<Option<u32>> {
+    let path = Path::new("results").join(format!("{name}.json"));
+    let contents = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    #[derive(serde::Deserialize)]
+    struct Probe {
+        schema_version: u32,
+    }
+    // Untagged (or unparseable) files predate versioning: treat as v1.
+    Ok(Some(serde_json::from_str::<Probe>(&contents).map(|p| p.schema_version).unwrap_or(1)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +182,20 @@ mod tests {
     fn row_arity_checked() {
         let mut t = Table::new("x", "r", &["a", "b"], "ms");
         t.push_row("1", vec![1.0]);
+    }
+
+    #[test]
+    fn report_schema_probe_reads_tagged_untagged_and_absent() {
+        assert_eq!(existing_report_schema("no_such_report_ever").unwrap(), None);
+
+        let dir = Path::new("results");
+        std::fs::create_dir_all(dir).unwrap();
+        let name = "schema_probe_test";
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, r#"{"cells": []}"#).unwrap();
+        assert_eq!(existing_report_schema(name).unwrap(), Some(1), "untagged reads as v1");
+        std::fs::write(&path, r#"{"schema_version": 7, "cells": []}"#).unwrap();
+        assert_eq!(existing_report_schema(name).unwrap(), Some(7));
+        std::fs::remove_file(&path).unwrap();
     }
 }

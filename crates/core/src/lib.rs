@@ -27,7 +27,7 @@ pub mod stats;
 pub mod topk;
 pub mod traits;
 
-pub use backend::{MonitorBackend, PublishReceipt};
+pub use backend::{MonitorBackend, PublishReceipt, ShardingMode};
 pub use monitor::{Monitor, ShardSnapshot, Snapshot, SnapshotQuery, SNAPSHOT_VERSION};
 pub use mrio::{Mrio, MrioBlock, MrioSeg, MrioSuffix};
 pub use naive::Naive;

@@ -13,15 +13,87 @@ use crate::traits::{ContinuousTopK, ResultChange};
 use ctk_common::{Document, FxHashMap, QueryId, QuerySpec, ScoredDoc, TermId};
 use ctk_index::QueryIndex;
 
+/// Reusable scratch for [`collect_scored_candidates`]: the per-event
+/// document-weight map and the epoch-stamped dedup array.
+#[derive(Debug, Default)]
+pub(crate) struct MatchScratch {
+    doc_weights: FxHashMap<TermId, f64>,
+    seen: Vec<u32>,
+    epoch: u32,
+}
+
+/// The term-filtered exhaustive walk: collect every live query sharing at
+/// least one term with `doc` (via the ID-ordered lists), ascending query
+/// id, together with its **exact raw cosine** (f64 accumulation over the
+/// query's registration record, in record order), updating the walk
+/// counters in `ev`.
+///
+/// This single function is the arithmetic that both the [`Naive`] oracle
+/// and the doc-parallel monitor's scorer workers run — sharing it is what
+/// makes "bit-identical across sharding modes" a structural property
+/// rather than two copies that must be kept in sync by hand.
+pub(crate) fn collect_scored_candidates(
+    index: &QueryIndex,
+    doc: &Document,
+    s: &mut MatchScratch,
+    ev: &mut EventStats,
+    out: &mut Vec<(QueryId, f64)>,
+) {
+    out.clear();
+    s.doc_weights.clear();
+    for (t, f) in doc.vector.iter() {
+        s.doc_weights.insert(t, f as f64);
+    }
+    if s.seen.len() < index.num_slots() {
+        s.seen.resize(index.num_slots(), 0);
+    }
+    s.epoch = s.epoch.wrapping_add(1);
+    if s.epoch == 0 {
+        // u32 wrap: stale marks could alias the new epoch.
+        s.seen.iter_mut().for_each(|e| *e = 0);
+        s.epoch = 1;
+    }
+
+    // Union of matching queries via the live postings.
+    for (term, _) in doc.vector.iter() {
+        let Some(li) = index.list_of_term(term) else { continue };
+        let list = index.list(li);
+        if list.live() == 0 {
+            continue;
+        }
+        ev.matched_lists += 1;
+        for p in list.iter_live() {
+            ev.postings_accessed += 1;
+            let slot = p.qid.index();
+            if s.seen[slot] != s.epoch {
+                s.seen[slot] = s.epoch;
+                out.push((p.qid, 0.0));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|&(qid, _)| qid);
+
+    for (qid, dot) in out.iter_mut() {
+        let rec = index.record(*qid).expect("live posting implies record");
+        let mut acc = 0.0f64;
+        for e in &rec.entries {
+            if let Some(&f) = s.doc_weights.get(&e.term) {
+                acc += f * e.weight as f64;
+            }
+        }
+        *dot = acc;
+        ev.full_evaluations += 1;
+        ev.iterations += 1;
+    }
+}
+
 /// Term-filtered exhaustive continuous top-k.
 pub struct Naive {
     base: EngineBase,
     index: QueryIndex,
     // Reused per-event buffers.
-    doc_weights: FxHashMap<TermId, f64>,
-    candidates: Vec<QueryId>,
-    seen_epoch: Vec<u32>,
-    epoch: u32,
+    scratch: MatchScratch,
+    scored: Vec<(QueryId, f64)>,
 }
 
 impl Naive {
@@ -29,24 +101,9 @@ impl Naive {
         Naive {
             base: EngineBase::new(lambda),
             index: QueryIndex::new(),
-            doc_weights: FxHashMap::default(),
-            candidates: Vec::new(),
-            seen_epoch: Vec::new(),
-            epoch: 0,
+            scratch: MatchScratch::default(),
+            scored: Vec::new(),
         }
-    }
-
-    /// Exact raw cosine contribution of `doc` to query `qid` (both vectors
-    /// are unit-normalized, so this is the cosine similarity).
-    fn raw_dot(&self, qid: QueryId) -> f64 {
-        let rec = self.index.record(qid).expect("live query");
-        let mut dot = 0.0;
-        for e in &rec.entries {
-            if let Some(&f) = self.doc_weights.get(&e.term) {
-                dot += f * e.weight as f64;
-            }
-        }
-        dot
     }
 }
 
@@ -58,7 +115,6 @@ impl ContinuousTopK for Naive {
     fn register(&mut self, spec: QuerySpec) -> QueryId {
         let qid = self.index.register(&spec.vector, spec.k as u32);
         self.base.push_state(spec.k as u32);
-        self.seen_epoch.push(0);
         qid
     }
 
@@ -79,42 +135,14 @@ impl ContinuousTopK for Naive {
         let (_theta, amp, _renorm) = self.base.begin_event(doc.arrival);
         let mut ev = EventStats::default();
 
-        self.doc_weights.clear();
-        for (t, f) in doc.vector.iter() {
-            self.doc_weights.insert(t, f as f64);
-        }
-
-        // Union of matching queries via the postings lists.
-        self.epoch += 1;
-        self.candidates.clear();
-        for (term, _) in doc.vector.iter() {
-            let Some(li) = self.index.list_of_term(term) else { continue };
-            let list = self.index.list(li);
-            if list.live() == 0 {
-                continue;
-            }
-            ev.matched_lists += 1;
-            for p in list.iter_live() {
-                ev.postings_accessed += 1;
-                let slot = p.qid.index();
-                if self.seen_epoch[slot] != self.epoch {
-                    self.seen_epoch[slot] = self.epoch;
-                    self.candidates.push(p.qid);
-                }
-            }
-        }
-        self.candidates.sort_unstable();
-
-        let candidates = std::mem::take(&mut self.candidates);
-        for &qid in &candidates {
-            let dot = self.raw_dot(qid);
-            ev.full_evaluations += 1;
-            ev.iterations += 1;
+        let mut scored = std::mem::take(&mut self.scored);
+        collect_scored_candidates(&self.index, doc, &mut self.scratch, &mut ev, &mut scored);
+        for &(qid, dot) in &scored {
             if self.base.offer(qid, doc, dot, amp) {
                 ev.updates += 1;
             }
         }
-        self.candidates = candidates;
+        self.scored = scored;
 
         ev.accumulate_into(&mut self.base.cum);
         ev

@@ -1,50 +1,81 @@
-//! Sharded parallel monitor with batched, pipelined ingestion.
+//! Sharded parallel monitor with batched, pipelined ingestion — in two
+//! partitioning modes.
 //!
 //! The paper's goal is "large numbers of users and high stream rates"; a
-//! single engine is single-threaded. Queries partition cleanly (each result
-//! set depends only on its own query), so the monitor shards the query
-//! population across worker threads and broadcasts stream documents to all
-//! shards.
+//! single engine is single-threaded. There are two clean ways to cut the
+//! work across worker threads, and the monitor implements both behind one
+//! front-end (selected by [`ShardingMode`], a [`crate::MonitorBackend`]
+//! construction knob — not a new API):
 //!
-//! The front-end speaks the same [`MonitorBackend`] contract as the
+//! * **Query sharding** ([`ShardingMode::Queries`], the original mode):
+//!   queries partition cleanly (each result set depends only on its own
+//!   query), so the query population is spread round-robin across workers
+//!   and every stream document is broadcast to all shards. Each worker owns
+//!   a full engine; the per-document matched-list walk is paid once *per
+//!   shard*.
+//! * **Document sharding** ([`ShardingMode::Documents`]): each ingest batch
+//!   is split across workers that walk one **shared, read-only index
+//!   epoch** (`Arc<QueryIndex>`), fully scoring their slice's candidate
+//!   queries in parallel; the per-worker candidate lists are then merged
+//!   **serially in stream order** against a single authoritative result
+//!   store. The walk — the expensive part of an event — is paid once in
+//!   total, so this mode scales where query-sharding replicates work:
+//!   small query populations under high stream rates.
+//!
+//! Document mode stays bit-identical to the single-threaded oracle because
+//! the parallel phase is pure scoring: workers compute each candidate's raw
+//! cosine with exactly the oracle's arithmetic (same index records, same
+//! accumulation order) and the serial merge applies insertions in document
+//! order through the same offer path. Workers additionally prune candidates
+//! against a submit-time snapshot of every query's threshold `S_k`:
+//! thresholds only rise while a batch is in flight (registration churn is
+//! fenced to batch boundaries), so the snapshot admits a superset of the
+//! true insertions and the merge rejects the rest — no false negatives. The
+//! filter is disabled for any batch that could trigger a decay landmark
+//! renormalization mid-flight (the score frames would no longer be
+//! comparable bit-for-bit); such batches are merged unfiltered, which is
+//! merely slower, never wrong.
+//!
+//! Both modes speak the same [`MonitorBackend`] contract as the
 //! single-engine [`crate::Monitor`]: applications register with plain
-//! [`QueryId`]s and never see the shard routing. Internally each public id
-//! maps to a `(shard, local id)` route; result changes coming back from a
-//! shard are translated to public ids during the merge, so every receipt,
-//! change and snapshot is expressed in one id space.
+//! [`QueryId`]s and never see the routing. In query mode each public id
+//! maps to a `(shard, local id)` route and changes are translated to public
+//! ids during the merge; in document mode the shared index *is* the public
+//! id space.
 //!
-//! Ingestion is **batch-first**: the unit of work sent to a shard is an
-//! `Arc<[Document]>` batch, not a single document. One channel send, one
-//! reply and one cross-shard merge are paid per *batch*, so the per-document
-//! coordination cost shrinks linearly with the batch size — the
-//! one-doc-one-barrier behaviour of the original design is now just the
-//! degenerate `process` wrapper with a batch of one.
-//!
-//! Replies flow over **persistent per-worker channels** created once at
-//! spawn (the old design allocated a fresh rendezvous channel per call).
-//! Because each worker answers batches in submission order, the monitor can
-//! keep a window of batches **in flight**: [`ShardedMonitor::submit_batch`]
-//! hands shard `i` batch `n+1` while the merger is still draining batch `n`
+//! Ingestion is **batch-first** in both modes: the unit of work sent to a
+//! shard is an `Arc`-shared batch (query mode broadcasts the whole batch,
+//! document mode sends each worker a disjoint slice), so per-document
+//! coordination cost shrinks linearly with the batch size. Replies flow
+//! over persistent per-worker channels created once at spawn, and each
+//! worker answers in submission order, so the monitor can keep a window of
+//! batches **in flight**: [`ShardedMonitor::submit_batch`] hands out batch
+//! `n+1` while the merger is still draining batch `n`
 //! ([`ShardedMonitor::drain_batch`]), hiding merge latency behind shard
 //! compute. [`ShardedMonitor::run_pipelined`] wraps the submit/drain dance
 //! for a whole stream of pre-stamped documents; the application-facing
 //! [`ShardedMonitor::publish_batch`] drives the same machinery behind the
 //! unified API, chunking by the configured ingest batch size.
 //!
-//! Communication uses `crossbeam` channels; each worker owns its engine
-//! outright (no shared mutable state, no locks on the hot path).
+//! Communication uses `crossbeam` channels; query-mode workers own their
+//! engines outright, document-mode workers share only an immutable epoch
+//! (no locks on the hot path in either mode).
 
-use crate::backend::{MonitorBackend, PublishReceipt};
+use crate::backend::{MonitorBackend, PublishReceipt, ShardingMode};
+use crate::engine::EngineBase;
 use crate::monitor::{ShardSnapshot, Snapshot, SnapshotQuery, SNAPSHOT_VERSION};
+use crate::naive::{collect_scored_candidates, MatchScratch};
+use crate::score::DecayModel;
 use crate::stats::{CumulativeStats, EventStats};
 use crate::traits::{ContinuousTopK, ResultChange};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use ctk_common::{DocId, Document, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
+use ctk_index::QueryIndex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Internal routing of one public query id.
+/// Internal routing of one public query id (query mode only).
 #[derive(Debug, Clone, Copy)]
 struct Route {
     shard: u32,
@@ -70,11 +101,12 @@ enum Command {
 }
 
 /// Merged outcome of one batch: per-document work counters (summed across
-/// shards) and every result change as `(shard, change)` pairs — changes
-/// carry **public** query ids; the shard tag is provenance only.
+/// shards in query mode; produced by the owning shard in document mode) and
+/// every result change as `(shard, change)` pairs — changes carry **public**
+/// query ids; the shard tag is provenance only.
 pub type BatchOutcome = (Vec<EventStats>, Vec<(u32, ResultChange)>);
 
-/// One shard's answer to a [`Command::Process`] batch.
+/// One query-mode shard's answer to a [`Command::Process`] batch.
 struct BatchReply {
     /// Per-document work counters, aligned with the batch.
     stats: Vec<EventStats>,
@@ -89,19 +121,142 @@ struct Worker {
     handle: Option<JoinHandle<()>>,
 }
 
-/// A monitor that fans stream events out to `S` single-threaded engines.
-pub struct ShardedMonitor {
+/// Query-mode runtime: one engine per worker, queries spread round-robin.
+struct QueryShards {
     workers: Vec<Worker>,
     next_shard: usize,
     /// Lengths of submitted-but-undrained batches, oldest first.
     in_flight: VecDeque<usize>,
-    /// Registered specs by public query id (`None` after unregistration).
-    specs: Vec<Option<QuerySpec>>,
     /// Shard routes by public query id.
     routes: Vec<Option<Route>>,
     /// Per shard: local id index → public id (append-only; locals are
     /// allocated monotonically by each worker's engine).
     global_of_local: Vec<Vec<QueryId>>,
+}
+
+/// Submit-time candidate filter for document-mode workers: the decay frame
+/// and every query's threshold `S_k` frozen at submission. Thresholds only
+/// rise while the batch is in flight, so `score >= threshold` admits a
+/// superset of the true insertions — the serial merge rejects the rest.
+#[derive(Clone)]
+struct CandidateFilter {
+    decay: DecayModel,
+    /// Landmark-frame `S_k` per query slot (0.0 for unfilled or dead).
+    thresholds: Arc<[f64]>,
+}
+
+/// One slice of a batch handed to a document-mode scorer worker.
+struct DocJob {
+    /// The shared read-only index epoch this slice is scored against.
+    index: Arc<QueryIndex>,
+    docs: Arc<[Document]>,
+    start: usize,
+    len: usize,
+    /// `None` when a renormalization could fire before the merge — the
+    /// worker then forwards every candidate unfiltered.
+    filter: Option<CandidateFilter>,
+}
+
+enum DocCommand {
+    Score(DocJob),
+    Shutdown,
+}
+
+/// A document-mode worker's answer to one [`DocJob`]: per-document walk
+/// counters and the surviving `(query, raw cosine)` candidates, ascending
+/// query id per document.
+struct DocReply {
+    stats: Vec<EventStats>,
+    candidates: Vec<Vec<(QueryId, f64)>>,
+}
+
+struct DocWorker {
+    tx: Sender<DocCommand>,
+    reply_rx: Receiver<DocReply>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Split bookkeeping of one in-flight document-mode batch: which worker got
+/// how many documents, in stream order.
+struct PendingDocBatch {
+    docs: Arc<[Document]>,
+    /// `(worker, count)` slices in stream order; counts sum to `docs.len()`.
+    slices: Vec<(u32, usize)>,
+}
+
+/// Document-mode runtime: scorer workers over a shared index epoch plus the
+/// single authoritative result store the merge applies into.
+struct DocShards {
+    workers: Vec<DocWorker>,
+    /// The current index epoch. Registration churn mutates it copy-on-write
+    /// (`Arc::make_mut`), so in-flight batches keep scoring their epoch.
+    index: Arc<QueryIndex>,
+    /// Authoritative decay model, result states, changes and counters —
+    /// only ever touched by the (serial) merge.
+    base: EngineBase,
+    /// Submitted-but-undrained batches, oldest first.
+    pending: VecDeque<PendingDocBatch>,
+    /// Per-worker lifetime counters of the documents each worker scored.
+    worker_cum: Vec<CumulativeStats>,
+    /// Tombstone ratio beyond which batch boundaries compact the epoch
+    /// index (0 disables).
+    compact_at: f64,
+    /// Rotates which worker receives the first slice, so tiny batches do
+    /// not pin all work to worker 0.
+    next_start: usize,
+    /// Memoized candidate filter, shared (`Arc`) with submitted jobs.
+    /// Invalidated whenever a threshold could have moved — registration
+    /// churn, seeding, a merge that inserted anything, a renormalization —
+    /// so quiet stretches of the stream (the common steady state) submit
+    /// batch after batch without re-materializing the O(queries) snapshot.
+    filter_cache: Option<CandidateFilter>,
+}
+
+/// Score one slice of a batch against an index epoch: the term-filtered
+/// exhaustive walk — literally [`collect_scored_candidates`], the same
+/// function (same arithmetic, same counter semantics) the [`crate::Naive`]
+/// oracle runs — followed by the optional threshold filter. Pure: the only
+/// engine state it reads is the immutable epoch.
+fn score_slice(
+    job: &DocJob,
+    scratch: &mut MatchScratch,
+    scored: &mut Vec<(QueryId, f64)>,
+) -> DocReply {
+    let index = &*job.index;
+    let mut stats = Vec::with_capacity(job.len);
+    let mut candidates = Vec::with_capacity(job.len);
+    for doc in &job.docs[job.start..job.start + job.len] {
+        let mut ev = EventStats::default();
+        collect_scored_candidates(index, doc, scratch, &mut ev, scored);
+        let kept = match &job.filter {
+            None => scored.clone(),
+            Some(f) => {
+                // One exp() per document, not per candidate.
+                let amp = f.decay.amplification(doc.arrival);
+                scored
+                    .iter()
+                    .filter(|&&(qid, dot)| dot * amp >= f.thresholds[qid.index()])
+                    .copied()
+                    .collect()
+            }
+        };
+        stats.push(ev);
+        candidates.push(kept);
+    }
+    DocReply { stats, candidates }
+}
+
+enum Runtime {
+    Queries(QueryShards),
+    Documents(Box<DocShards>),
+}
+
+/// A monitor that spreads stream work across `S` worker threads, in either
+/// sharding mode (see the module docs and [`ShardingMode`]).
+pub struct ShardedMonitor {
+    runtime: Runtime,
+    /// Registered specs by public query id (`None` after unregistration).
+    specs: Vec<Option<QuerySpec>>,
     live: usize,
     next_doc: u64,
     last_arrival: Timestamp,
@@ -112,8 +267,8 @@ pub struct ShardedMonitor {
 }
 
 impl ShardedMonitor {
-    /// Spawn `shards` workers, each owning an engine built by `make_engine`
-    /// (e.g. `|| MrioSeg::new(lambda)`).
+    /// Spawn `shards` query-mode workers, each owning an engine built by
+    /// `make_engine` (e.g. `|| MrioSeg::new(lambda)`).
     pub fn new<E, F>(shards: usize, make_engine: F) -> Self
     where
         E: ContinuousTopK + Send + 'static,
@@ -178,12 +333,61 @@ impl ShardedMonitor {
             workers.push(Worker { tx, reply_rx, handle: Some(handle) });
         }
         ShardedMonitor {
-            global_of_local: vec![Vec::new(); workers.len()],
-            workers,
-            next_shard: 0,
-            in_flight: VecDeque::new(),
+            runtime: Runtime::Queries(QueryShards {
+                global_of_local: vec![Vec::new(); workers.len()],
+                workers,
+                next_shard: 0,
+                in_flight: VecDeque::new(),
+                routes: Vec::new(),
+            }),
             specs: Vec::new(),
-            routes: Vec::new(),
+            live: 0,
+            next_doc: 0,
+            last_arrival: 0.0,
+            ingest_batch: 0,
+            ingest_window: 1,
+        }
+    }
+
+    /// Spawn `shards` document-mode scorer workers sharing one index epoch.
+    /// `lambda` is the decay parameter of the (single, authoritative) decay
+    /// model; scoring uses the exact term-filtered walk, so results are
+    /// bit-identical to any engine kind.
+    pub fn new_doc_parallel(shards: usize, lambda: f64) -> Self {
+        assert!(shards >= 1);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = unbounded::<DocCommand>();
+            let (reply_tx, reply_rx) = unbounded::<DocReply>();
+            let handle = std::thread::spawn(move || {
+                let mut scratch = MatchScratch::default();
+                let mut scored: Vec<(QueryId, f64)> = Vec::new();
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        DocCommand::Score(job) => {
+                            let reply = score_slice(&job, &mut scratch, &mut scored);
+                            if reply_tx.send(reply).is_err() {
+                                break; // monitor gone
+                            }
+                        }
+                        DocCommand::Shutdown => break,
+                    }
+                }
+            });
+            workers.push(DocWorker { tx, reply_rx, handle: Some(handle) });
+        }
+        ShardedMonitor {
+            runtime: Runtime::Documents(Box::new(DocShards {
+                worker_cum: vec![CumulativeStats::default(); workers.len()],
+                workers,
+                index: Arc::new(QueryIndex::new()),
+                base: EngineBase::new(lambda),
+                pending: VecDeque::new(),
+                compact_at: 0.0,
+                next_start: 0,
+                filter_cache: None,
+            })),
+            specs: Vec::new(),
             live: 0,
             next_doc: 0,
             last_arrival: 0.0,
@@ -194,15 +398,34 @@ impl ShardedMonitor {
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.workers.len()
+        match &self.runtime {
+            Runtime::Queries(rt) => rt.workers.len(),
+            Runtime::Documents(rt) => rt.workers.len(),
+        }
     }
 
-    /// Enable tombstone compaction on every shard: after answering a batch
-    /// with `tombstone_ratio() >= ratio`, a worker compacts its index and
-    /// rebuilds the affected bound structures. `<= 0.0` disables.
+    /// How this monitor partitions its work.
+    pub fn mode(&self) -> ShardingMode {
+        match &self.runtime {
+            Runtime::Queries(_) => ShardingMode::Queries,
+            Runtime::Documents(_) => ShardingMode::Documents,
+        }
+    }
+
+    /// Enable tombstone compaction: after a batch boundary where the
+    /// (per-shard in query mode, shared in document mode) index has
+    /// `tombstone_ratio() >= ratio`, it is compacted and the affected bound
+    /// structures rebuilt. `<= 0.0` disables.
     pub fn set_compaction_threshold(&mut self, ratio: f64) {
-        for w in &self.workers {
-            w.tx.send(Command::SetCompaction(ratio)).expect("worker alive");
+        match &mut self.runtime {
+            Runtime::Queries(rt) => {
+                for w in &rt.workers {
+                    w.tx.send(Command::SetCompaction(ratio)).expect("worker alive");
+                }
+            }
+            Runtime::Documents(rt) => {
+                rt.compact_at = ratio.max(0.0);
+            }
         }
     }
 
@@ -214,22 +437,37 @@ impl ShardedMonitor {
         self.ingest_window = window;
     }
 
-    /// Register a query on the least-recently-used shard (round robin);
-    /// returns its public id.
+    /// Register a query; returns its public id. Query mode places it on the
+    /// least-recently-used shard (round robin); document mode adds it to
+    /// the shared index epoch (which must be quiesced — no batches in
+    /// flight — so in-flight scoring never races registration churn).
     pub fn register(&mut self, spec: QuerySpec) -> QueryId {
-        let shard = self.next_shard;
-        self.next_shard = (self.next_shard + 1) % self.workers.len();
-        let (reply_tx, reply_rx) = bounded(1);
-        self.workers[shard]
-            .tx
-            .send(Command::Register(spec.clone(), reply_tx))
-            .expect("worker alive");
-        let local = reply_rx.recv().expect("worker reply");
-        debug_assert_eq!(local.index(), self.global_of_local[shard].len());
-
-        let global = QueryId(self.routes.len() as u32);
-        self.global_of_local[shard].push(global);
-        self.routes.push(Some(Route { shard: shard as u32, local }));
+        let global = QueryId(self.specs.len() as u32);
+        match &mut self.runtime {
+            Runtime::Queries(rt) => {
+                let shard = rt.next_shard;
+                rt.next_shard = (rt.next_shard + 1) % rt.workers.len();
+                let (reply_tx, reply_rx) = bounded(1);
+                rt.workers[shard]
+                    .tx
+                    .send(Command::Register(spec.clone(), reply_tx))
+                    .expect("worker alive");
+                let local = reply_rx.recv().expect("worker reply");
+                debug_assert_eq!(local.index(), rt.global_of_local[shard].len());
+                rt.global_of_local[shard].push(global);
+                rt.routes.push(Some(Route { shard: shard as u32, local }));
+            }
+            Runtime::Documents(rt) => {
+                assert!(
+                    rt.pending.is_empty(),
+                    "doc-parallel registration requires a quiesced pipeline; drain first"
+                );
+                let qid = Arc::make_mut(&mut rt.index).register(&spec.vector, spec.k as u32);
+                debug_assert_eq!(qid, global, "shared index allocates the public id space");
+                rt.base.push_state(spec.k as u32);
+                rt.filter_cache = None;
+            }
+        }
         self.specs.push(Some(spec));
         self.live += 1;
         global
@@ -237,60 +475,94 @@ impl ShardedMonitor {
 
     /// Remove a query.
     pub fn unregister(&mut self, qid: QueryId) -> bool {
-        let Some(route) = self.routes.get_mut(qid.index()).and_then(Option::take) else {
+        if self.specs.get(qid.index()).is_none_or(Option::is_none) {
             return false;
-        };
-        let (reply_tx, reply_rx) = bounded(1);
-        self.workers[route.shard as usize]
-            .tx
-            .send(Command::Unregister(route.local, reply_tx))
-            .expect("worker alive");
-        let removed = reply_rx.recv().expect("worker reply");
-        debug_assert!(removed, "route table said the query was live");
+        }
+        match &mut self.runtime {
+            Runtime::Queries(rt) => {
+                let route = rt.routes[qid.index()].take().expect("spec implies route");
+                let (reply_tx, reply_rx) = bounded(1);
+                rt.workers[route.shard as usize]
+                    .tx
+                    .send(Command::Unregister(route.local, reply_tx))
+                    .expect("worker alive");
+                let removed = reply_rx.recv().expect("worker reply");
+                debug_assert!(removed, "route table said the query was live");
+            }
+            Runtime::Documents(rt) => {
+                assert!(
+                    rt.pending.is_empty(),
+                    "doc-parallel unregistration requires a quiesced pipeline; drain first"
+                );
+                let removed = Arc::make_mut(&mut rt.index).unregister(qid).is_some();
+                debug_assert!(removed, "spec table said the query was live");
+                rt.base.drop_state(qid);
+                rt.filter_cache = None;
+            }
+        }
         self.specs[qid.index()] = None;
         self.live -= 1;
-        removed
+        true
     }
 
     /// Warm-start a query's result set (snapshot restore path).
     pub fn seed_results(&mut self, qid: QueryId, seeds: &[ScoredDoc]) {
-        let Some(route) = self.routes.get(qid.index()).copied().flatten() else { return };
-        self.workers[route.shard as usize]
-            .tx
-            .send(Command::Seed(route.local, seeds.to_vec()))
-            .expect("worker alive");
+        if self.specs.get(qid.index()).is_none_or(Option::is_none) {
+            return;
+        }
+        match &mut self.runtime {
+            Runtime::Queries(rt) => {
+                let route = rt.routes[qid.index()].expect("spec implies route");
+                rt.workers[route.shard as usize]
+                    .tx
+                    .send(Command::Seed(route.local, seeds.to_vec()))
+                    .expect("worker alive");
+            }
+            Runtime::Documents(rt) => {
+                // Same fence as register/unregister: query mode FIFO-orders
+                // a seed behind in-flight batches, so applying it eagerly
+                // here would reorder it *ahead* of them and break the
+                // modes' bit-identical contract.
+                assert!(
+                    rt.pending.is_empty(),
+                    "doc-parallel seeding requires a quiesced pipeline; drain first"
+                );
+                rt.base.seed(qid, seeds);
+                rt.filter_cache = None;
+            }
+        }
     }
 
-    /// Process one pre-stamped stream event on all shards in parallel;
-    /// returns the merged work counters and all result changes. This is the
-    /// batch path with a batch of one — latency-oriented callers keep the
-    /// old API, throughput-oriented callers should use
+    /// Process one pre-stamped stream event; returns the merged work
+    /// counters and all result changes. This is the batch path with a batch
+    /// of one — latency-oriented callers keep the old API,
+    /// throughput-oriented callers should use
     /// [`ShardedMonitor::process_batch`] or the submit/drain pipeline.
     pub fn process(&mut self, doc: Document) -> (EventStats, Vec<(u32, ResultChange)>) {
         let (mut stats, changes) = self.process_batch(vec![doc]);
         (stats.pop().expect("one document in, one stat out"), changes)
     }
 
-    /// Broadcast one batch of pre-stamped documents to every shard and wait
-    /// for the merged outcome: per-document work counters (summed across
-    /// shards via [`EventStats::merge`]) and every result change as
-    /// `(shard, change)` pairs in document order per shard.
+    /// Hand one batch of pre-stamped documents to the shards and wait for
+    /// the merged outcome: per-document work counters and every result
+    /// change as `(shard, change)` pairs.
     ///
     /// Must not be interleaved with an open submit/drain pipeline — drain
     /// in-flight batches first.
     pub fn process_batch(&mut self, docs: Vec<Document>) -> BatchOutcome {
         assert!(
-            self.in_flight.is_empty(),
+            self.in_flight() == 0,
             "process_batch cannot run while submitted batches are in flight; drain them first"
         );
         self.submit_batch(docs);
         self.drain_batch().expect("batch just submitted")
     }
 
-    /// Hand one batch to every shard **without waiting**: the single
-    /// allocation is the `Arc<[Document]>` the shards share. Pair with
+    /// Hand one batch to the shards **without waiting**: query mode
+    /// broadcasts the `Arc`-shared batch to every worker, document mode
+    /// sends each worker a disjoint slice. Pair with
     /// [`ShardedMonitor::drain_batch`]; replies come back in submission
-    /// order, so keeping one or two batches in flight lets shard `i` score
+    /// order, so keeping one or two batches in flight lets the shards score
     /// batch `n+1` while the merger drains batch `n`.
     pub fn submit_batch(&mut self, docs: Vec<Document>) {
         // Pre-stamped ingestion advances the stream position too, so a
@@ -302,37 +574,144 @@ impl ShardedMonitor {
             self.last_arrival = self.last_arrival.max(d.arrival);
         }
         let docs: Arc<[Document]> = docs.into();
-        for w in &self.workers {
-            w.tx.send(Command::Process(Arc::clone(&docs))).expect("worker alive");
+        match &mut self.runtime {
+            Runtime::Queries(rt) => {
+                for w in &rt.workers {
+                    w.tx.send(Command::Process(Arc::clone(&docs))).expect("worker alive");
+                }
+                rt.in_flight.push_back(docs.len());
+            }
+            Runtime::Documents(rt) => {
+                let n = docs.len();
+                let s = rt.workers.len();
+                // Candidate filter: exact only while the decay frame is
+                // stable. `last_arrival` bounds every submitted arrival, so
+                // if it does not warrant a renormalization, no in-flight
+                // merge can move the landmark under this batch's snapshot.
+                // The snapshot itself is memoized: every invalidation point
+                // (churn, seeds, insertions, renorms) clears `filter_cache`,
+                // so a still-cached filter is exactly the current state and
+                // quiet streams pay the O(queries) materialization only
+                // after something actually moved a threshold.
+                let filter = if rt.base.decay.needs_renorm(self.last_arrival) {
+                    rt.filter_cache = None;
+                    None
+                } else {
+                    if rt.filter_cache.is_none() {
+                        let thresholds: Arc<[f64]> = (0..rt.index.num_slots())
+                            .map(|i| rt.base.threshold_of(QueryId(i as u32)))
+                            .collect();
+                        rt.filter_cache =
+                            Some(CandidateFilter { decay: rt.base.decay.clone(), thresholds });
+                    }
+                    rt.filter_cache.clone()
+                };
+                // Contiguous slices in stream order, rotating the first
+                // worker per batch so small batches spread across shards.
+                let mut slices = Vec::with_capacity(s);
+                let (chunk, rem) = (n / s, n % s);
+                let mut start = 0usize;
+                for i in 0..s {
+                    let count = chunk + usize::from(i < rem);
+                    if count == 0 {
+                        continue;
+                    }
+                    let w = (rt.next_start + i) % s;
+                    rt.workers[w]
+                        .tx
+                        .send(DocCommand::Score(DocJob {
+                            index: Arc::clone(&rt.index),
+                            docs: Arc::clone(&docs),
+                            start,
+                            len: count,
+                            filter: filter.clone(),
+                        }))
+                        .expect("worker alive");
+                    slices.push((w as u32, count));
+                    start += count;
+                }
+                rt.next_start = (rt.next_start + 1) % s;
+                rt.pending.push_back(PendingDocBatch { docs, slices });
+            }
         }
-        self.in_flight.push_back(docs.len());
     }
 
-    /// Merge the oldest in-flight batch: blocks until every shard has
-    /// answered it. Returns `None` when nothing is in flight. Shard-local
-    /// query ids in the changes are translated to public ids here.
+    /// Merge the oldest in-flight batch: blocks until every involved shard
+    /// has answered it. Returns `None` when nothing is in flight.
+    ///
+    /// Query mode translates shard-local query ids to public ids here;
+    /// document mode applies the per-worker candidates to the authoritative
+    /// result store serially, in stream order — this is where insertions,
+    /// result changes and decay renormalizations actually happen.
     pub fn drain_batch(&mut self) -> Option<BatchOutcome> {
-        let len = self.in_flight.pop_front()?;
-        let mut stats = vec![EventStats::default(); len];
-        let mut changes = Vec::new();
-        for (shard, w) in self.workers.iter().enumerate() {
-            let reply = w.reply_rx.recv().expect("worker reply");
-            debug_assert_eq!(reply.stats.len(), len, "shard answered a different batch");
-            for (merged, ev) in stats.iter_mut().zip(&reply.stats) {
-                merged.merge(ev);
+        match &mut self.runtime {
+            Runtime::Queries(rt) => {
+                let len = rt.in_flight.pop_front()?;
+                let mut stats = vec![EventStats::default(); len];
+                let mut changes = Vec::new();
+                for (shard, w) in rt.workers.iter().enumerate() {
+                    let reply = w.reply_rx.recv().expect("worker reply");
+                    debug_assert_eq!(reply.stats.len(), len, "shard answered a different batch");
+                    for (merged, ev) in stats.iter_mut().zip(&reply.stats) {
+                        merged.merge(ev);
+                    }
+                    let locals = &rt.global_of_local[shard];
+                    changes.extend(reply.changes.into_iter().map(|mut c| {
+                        c.query = locals[c.query.index()];
+                        (shard as u32, c)
+                    }));
+                }
+                Some((stats, changes))
             }
-            let locals = &self.global_of_local[shard];
-            changes.extend(reply.changes.into_iter().map(|mut c| {
-                c.query = locals[c.query.index()];
-                (shard as u32, c)
-            }));
+            Runtime::Documents(rt) => {
+                let pending = rt.pending.pop_front()?;
+                let mut stats = Vec::with_capacity(pending.docs.len());
+                let mut changes: Vec<(u32, ResultChange)> = Vec::new();
+                let mut doc_i = 0usize;
+                let mut thresholds_moved = false;
+                for &(w, count) in &pending.slices {
+                    let reply = rt.workers[w as usize].reply_rx.recv().expect("worker reply");
+                    debug_assert_eq!(reply.stats.len(), count, "worker answered a different slice");
+                    for (mut ev, cands) in reply.stats.into_iter().zip(reply.candidates) {
+                        let doc = &pending.docs[doc_i];
+                        let (_theta, amp, renorm) = rt.base.begin_event(doc.arrival);
+                        thresholds_moved |= renorm.is_some();
+                        for (qid, raw_dot) in cands {
+                            if rt.base.offer(qid, doc, raw_dot, amp) {
+                                ev.updates += 1;
+                                thresholds_moved = true;
+                            }
+                        }
+                        changes.extend(rt.base.changes.iter().map(|c| (w, *c)));
+                        ev.accumulate_into(&mut rt.base.cum);
+                        ev.accumulate_into(&mut rt.worker_cum[w as usize]);
+                        stats.push(ev);
+                        doc_i += 1;
+                    }
+                }
+                debug_assert_eq!(doc_i, pending.docs.len(), "slices must cover the batch");
+                if thresholds_moved {
+                    // An insertion or renormalization moved some `S_k` (or
+                    // the frame): the memoized submit-time filter is stale.
+                    rt.filter_cache = None;
+                }
+                // Batch boundary: compact the epoch when dead postings pile
+                // up. In-flight batches keep their (pre-compaction) epoch —
+                // copy-on-write makes this safe even mid-pipeline.
+                if rt.compact_at > 0.0 && rt.index.tombstone_ratio() >= rt.compact_at {
+                    Arc::make_mut(&mut rt.index).compact();
+                }
+                Some((stats, changes))
+            }
         }
-        Some((stats, changes))
     }
 
     /// Number of submitted batches not yet drained.
     pub fn in_flight(&self) -> usize {
-        self.in_flight.len()
+        match &self.runtime {
+            Runtime::Queries(rt) => rt.in_flight.len(),
+            Runtime::Documents(rt) => rt.pending.len(),
+        }
     }
 
     /// Drive a whole stream of pre-stamped batches through the shards,
@@ -350,7 +729,7 @@ impl ShardedMonitor {
             // most `window` batches are in flight while the iterator
             // produces the next one (window 0: drained before we return to
             // the iterator — synchronous).
-            while self.in_flight.len() > window {
+            while self.in_flight() > window {
                 let (stats, changes) = self.drain_batch().expect("in-flight batch");
                 on_batch(stats, changes);
             }
@@ -371,7 +750,7 @@ impl ShardedMonitor {
     /// window of chunks in flight.
     pub fn publish_batch(&mut self, batch: Vec<(Vec<(TermId, f32)>, Timestamp)>) -> PublishReceipt {
         assert!(
-            self.in_flight.is_empty(),
+            self.in_flight() == 0,
             "publish cannot interleave with an open submit/drain pipeline; drain it first"
         );
         let docs: Vec<Document> =
@@ -395,11 +774,11 @@ impl ShardedMonitor {
             let tail = rest.split_off(chunk.min(rest.len()));
             let part = std::mem::replace(&mut rest, tail);
             self.submit_batch(part);
-            while self.in_flight.len() > window {
+            while self.in_flight() > window {
                 drain_into(self, &mut receipt);
             }
         }
-        while !self.in_flight.is_empty() {
+        while self.in_flight() > 0 {
             drain_into(self, &mut receipt);
         }
         receipt
@@ -414,15 +793,24 @@ impl ShardedMonitor {
         Document::new(id, pairs, arrival)
     }
 
-    /// Current results of a query.
+    /// Current results of a query. In document mode this reads the
+    /// authoritative store, which reflects **drained** batches only —
+    /// quiesce an open pipeline first for an up-to-date answer (query mode
+    /// orders the read after in-flight batches via the worker's FIFO).
     pub fn results(&self, qid: QueryId) -> Option<Vec<ScoredDoc>> {
-        let route = self.routes.get(qid.index()).copied().flatten()?;
-        let (reply_tx, reply_rx) = bounded(1);
-        self.workers[route.shard as usize]
-            .tx
-            .send(Command::Results(route.local, reply_tx))
-            .expect("worker alive");
-        reply_rx.recv().expect("worker reply")
+        self.specs.get(qid.index()).and_then(Option::as_ref)?;
+        match &self.runtime {
+            Runtime::Queries(rt) => {
+                let route = rt.routes[qid.index()].expect("spec implies route");
+                let (reply_tx, reply_rx) = bounded(1);
+                rt.workers[route.shard as usize]
+                    .tx
+                    .send(Command::Results(route.local, reply_tx))
+                    .expect("worker alive");
+                reply_rx.recv().expect("worker reply")
+            }
+            Runtime::Documents(rt) => rt.base.results(qid),
+        }
     }
 
     /// Number of live queries across all shards.
@@ -430,40 +818,62 @@ impl ShardedMonitor {
         self.live
     }
 
-    /// Lifetime work counters of every shard's engine, shard order. The
-    /// invariant checked by the equivalence tests: after `n` documents,
-    /// every shard reports `events == n` (each document visits each shard
-    /// exactly once), so the summed counters equal `n × shards`.
+    /// Lifetime work counters of every shard, shard order.
+    ///
+    /// The invariant checked by the equivalence tests depends on the mode:
+    /// in query mode every document visits every shard exactly once, so
+    /// after `n` documents every shard reports `events == n` (summed:
+    /// `n × shards`); in document mode every document visits exactly *one*
+    /// shard, so the per-shard counters **sum** to `n`.
     pub fn shard_cumulative(&self) -> Vec<CumulativeStats> {
-        self.workers
-            .iter()
-            .map(|w| {
-                let (reply_tx, reply_rx) = bounded(1);
-                w.tx.send(Command::Cumulative(reply_tx)).expect("worker alive");
-                reply_rx.recv().expect("worker reply")
-            })
-            .collect()
+        match &self.runtime {
+            Runtime::Queries(rt) => rt
+                .workers
+                .iter()
+                .map(|w| {
+                    let (reply_tx, reply_rx) = bounded(1);
+                    w.tx.send(Command::Cumulative(reply_tx)).expect("worker alive");
+                    reply_rx.recv().expect("worker reply")
+                })
+                .collect(),
+            Runtime::Documents(rt) => rt.worker_cum.clone(),
+        }
     }
 
-    fn shard_landmark(&self, shard: usize) -> Timestamp {
+    fn shard_landmark(&self, rt: &QueryShards, shard: usize) -> Timestamp {
         let (reply_tx, reply_rx) = bounded(1);
-        self.workers[shard].tx.send(Command::Landmark(reply_tx)).expect("worker alive");
+        rt.workers[shard].tx.send(Command::Landmark(reply_tx)).expect("worker alive");
         reply_rx.recv().expect("worker reply")
     }
 
-    /// Capture the full monitor state: one [`ShardSnapshot`] section per
-    /// shard, each with its own landmark and its resident queries (public
-    /// ids). Must not be called with batches in flight.
+    /// Capture the full monitor state. Query mode writes one
+    /// [`ShardSnapshot`] section per shard, each with its own landmark and
+    /// resident queries (public ids); document mode — whose queries are not
+    /// partitioned — writes a single section. Either capture restores onto
+    /// either mode (and any shard count): [`Snapshot::restore_into`]
+    /// re-registers through the public API. Must not be called with batches
+    /// in flight.
     pub fn snapshot(&self) -> Snapshot {
-        assert!(self.in_flight.is_empty(), "snapshot requires a quiesced pipeline; drain first");
-        let mut sections: Vec<ShardSnapshot> = (0..self.workers.len())
-            .map(|s| ShardSnapshot { landmark: self.shard_landmark(s), queries: Vec::new() })
-            .collect();
+        assert!(self.in_flight() == 0, "snapshot requires a quiesced pipeline; drain first");
+        let mut sections: Vec<ShardSnapshot> = match &self.runtime {
+            Runtime::Queries(rt) => (0..rt.workers.len())
+                .map(|s| ShardSnapshot {
+                    landmark: self.shard_landmark(rt, s),
+                    queries: Vec::new(),
+                })
+                .collect(),
+            Runtime::Documents(rt) => {
+                vec![ShardSnapshot { landmark: rt.base.decay.landmark(), queries: Vec::new() }]
+            }
+        };
         for (i, spec) in self.specs.iter().enumerate() {
             let Some(spec) = spec else { continue };
             let qid = QueryId(i as u32);
-            let route = self.routes[i].expect("spec implies route");
-            sections[route.shard as usize].queries.push(SnapshotQuery {
+            let section = match &self.runtime {
+                Runtime::Queries(rt) => rt.routes[i].expect("spec implies route").shard as usize,
+                Runtime::Documents(_) => 0,
+            };
+            sections[section].queries.push(SnapshotQuery {
                 qid: qid.0,
                 spec: spec.clone(),
                 results: self.results(qid).unwrap_or_default(),
@@ -478,11 +888,16 @@ impl ShardedMonitor {
         }
     }
 
-    /// The decay parameter the shard engines were built with.
+    /// The decay parameter the monitor was built with.
     pub fn lambda(&self) -> f64 {
-        let (reply_tx, reply_rx) = bounded(1);
-        self.workers[0].tx.send(Command::Lambda(reply_tx)).expect("worker alive");
-        reply_rx.recv().expect("worker reply")
+        match &self.runtime {
+            Runtime::Queries(rt) => {
+                let (reply_tx, reply_rx) = bounded(1);
+                rt.workers[0].tx.send(Command::Lambda(reply_tx)).expect("worker alive");
+                reply_rx.recv().expect("worker reply")
+            }
+            Runtime::Documents(rt) => rt.base.decay.lambda(),
+        }
     }
 }
 
@@ -515,6 +930,10 @@ impl MonitorBackend for ShardedMonitor {
         ShardedMonitor::shards(self)
     }
 
+    fn sharding_mode(&self) -> ShardingMode {
+        ShardedMonitor::mode(self)
+    }
+
     fn lambda(&self) -> f64 {
         ShardedMonitor::lambda(self)
     }
@@ -524,9 +943,17 @@ impl MonitorBackend for ShardedMonitor {
     }
 
     fn restore_landmark(&mut self, landmark: Timestamp) {
-        // FIFO per worker: the landmark lands before any subsequent seed.
-        for w in &self.workers {
-            w.tx.send(Command::RestoreLandmark(landmark)).expect("worker alive");
+        match &mut self.runtime {
+            Runtime::Queries(rt) => {
+                // FIFO per worker: the landmark lands before any later seed.
+                for w in &rt.workers {
+                    w.tx.send(Command::RestoreLandmark(landmark)).expect("worker alive");
+                }
+            }
+            Runtime::Documents(rt) => {
+                rt.base.decay.restore_landmark(landmark);
+                rt.filter_cache = None;
+            }
         }
     }
 
@@ -542,12 +969,26 @@ impl MonitorBackend for ShardedMonitor {
 
 impl Drop for ShardedMonitor {
     fn drop(&mut self) {
-        for w in &self.workers {
-            let _ = w.tx.send(Command::Shutdown);
-        }
-        for w in &mut self.workers {
-            if let Some(handle) = w.handle.take() {
-                let _ = handle.join();
+        match &mut self.runtime {
+            Runtime::Queries(rt) => {
+                for w in &rt.workers {
+                    let _ = w.tx.send(Command::Shutdown);
+                }
+                for w in &mut rt.workers {
+                    if let Some(handle) = w.handle.take() {
+                        let _ = handle.join();
+                    }
+                }
+            }
+            Runtime::Documents(rt) => {
+                for w in &rt.workers {
+                    let _ = w.tx.send(DocCommand::Shutdown);
+                }
+                for w in &mut rt.workers {
+                    if let Some(handle) = w.handle.take() {
+                        let _ = handle.join();
+                    }
+                }
             }
         }
     }
@@ -599,6 +1040,7 @@ mod tests {
         let c = m.register(spec(&[1], 1));
         assert_eq!((a, b, c), (QueryId(0), QueryId(1), QueryId(2)));
         assert_eq!(m.shards(), 2);
+        assert_eq!(m.mode(), ShardingMode::Queries);
         assert_eq!(m.num_queries(), 3);
         // Placement is observable through the snapshot's sections.
         let snap = m.snapshot();
@@ -791,5 +1233,193 @@ mod tests {
         let mut m = ShardedMonitor::new(2, || MrioSeg::new(0.0));
         assert!(m.drain_batch().is_none());
         assert_eq!(m.in_flight(), 0);
+    }
+
+    // --- document-parallel mode ---
+
+    /// Drive the same registration/stream sequence through a doc-parallel
+    /// monitor and a single Naive engine; everything must be bit-identical.
+    fn doc_mode_against_naive(shards: usize, lambda: f64, batch: usize, window: usize) {
+        let mut sharded = ShardedMonitor::new_doc_parallel(shards, lambda);
+        let mut single = Naive::new(lambda);
+        let ids: Vec<QueryId> = (0..24)
+            .map(|i| {
+                let s = spec(&[i % 6, 6 + i % 5], 1 + (i % 3) as usize);
+                let qid = sharded.register(s.clone());
+                assert_eq!(qid, single.register(s), "one monotone public id space");
+                qid
+            })
+            .collect();
+
+        let docs: Vec<Document> = (0..80u64)
+            .map(|i| doc(i, &[((i % 6) as u32, 1.0), ((6 + i % 5) as u32, 0.5)], i as f64 * 3.0))
+            .collect();
+        let mut single_stats = Vec::new();
+        let mut single_changes = Vec::new();
+        for d in &docs {
+            single_stats.push(single.process(d));
+            single_changes.extend_from_slice(single.last_changes());
+        }
+
+        let mut sharded_stats = Vec::new();
+        let mut sharded_changes = Vec::new();
+        sharded.run_pipelined(docs.chunks(batch).map(<[_]>::to_vec), window, |evs, ch| {
+            sharded_stats.extend(evs);
+            sharded_changes.extend(ch.into_iter().map(|(_, c)| c));
+        });
+
+        // Bit-identical per-document work counters: the doc-mode walk *is*
+        // the oracle's walk, parallelized (updates included — the filter
+        // only drops candidates the merge would reject anyway).
+        assert_eq!(single_stats, sharded_stats);
+        // Changes come out in stream order in both cases.
+        assert_eq!(single_changes, sharded_changes);
+        for qid in &ids {
+            assert_eq!(sharded.results(*qid), single.results(*qid), "query {qid}");
+        }
+        // Each document visits exactly one shard: per-shard events sum to n.
+        let per_shard = sharded.shard_cumulative();
+        assert_eq!(per_shard.iter().map(|c| c.events).sum::<u64>(), docs.len() as u64);
+    }
+
+    #[test]
+    fn doc_mode_matches_naive_synchronous() {
+        doc_mode_against_naive(4, 0.001, 16, 0);
+    }
+
+    #[test]
+    fn doc_mode_matches_naive_pipelined() {
+        doc_mode_against_naive(3, 0.001, 8, 2);
+    }
+
+    #[test]
+    fn doc_mode_matches_naive_across_renormalization() {
+        // λ = 0.5 over arrivals up to ~240 crosses the renorm headroom (60)
+        // several times: the filter must disable itself on the crossing
+        // batches and the merge must renormalize exactly like the oracle.
+        doc_mode_against_naive(2, 0.5, 8, 1);
+    }
+
+    #[test]
+    fn doc_mode_single_shard_still_pipelines() {
+        doc_mode_against_naive(1, 0.01, 4, 2);
+    }
+
+    #[test]
+    fn doc_mode_unregister_and_results() {
+        let mut m = ShardedMonitor::new_doc_parallel(2, 0.0);
+        assert_eq!(m.mode(), ShardingMode::Documents);
+        let a = m.register(spec(&[1], 2));
+        let b = m.register(spec(&[1], 2));
+        let (ev, changes) = m.process(doc(0, &[(1, 1.0)], 0.0));
+        assert_eq!(ev.updates, 2, "one insertion per query");
+        assert_eq!(changes.len(), 2);
+        assert!(m.unregister(a));
+        assert!(!m.unregister(a), "double unregister is a no-op");
+        let (_, changes) = m.process(doc(1, &[(1, 2.0)], 1.0));
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].1.query, b);
+        assert!(m.results(b).is_some());
+        assert!(m.results(a).is_none());
+        assert_eq!(m.num_queries(), 1);
+    }
+
+    #[test]
+    fn doc_mode_threshold_filter_prunes_without_changing_results() {
+        // A full result set with a high threshold: weak documents must be
+        // filtered worker-side (no update), strong ones must still land.
+        let mut m = ShardedMonitor::new_doc_parallel(2, 0.0);
+        let q = m.register(spec(&[1, 2], 1));
+        m.process(doc(0, &[(1, 1.0), (2, 1.0)], 0.0)); // cosine 1.0, fills k
+        let (_, changes) = m.process(doc(1, &[(1, 1.0), (9, 3.0)], 1.0)); // weak
+        assert!(changes.is_empty());
+        let (_, changes) = m.process(doc(2, &[(1, 1.0), (2, 1.0)], 2.0)); // tie
+                                                                          // Equal score, larger doc id: the incumbent stays.
+        assert!(changes.is_empty());
+        assert_eq!(m.results(q).unwrap()[0].doc, DocId(0));
+    }
+
+    #[test]
+    fn doc_mode_snapshot_writes_one_section_and_restores_onto_query_mode() {
+        let mut m = ShardedMonitor::new_doc_parallel(3, 0.001);
+        let ids: Vec<QueryId> = (0..9).map(|i| m.register(spec(&[i % 4], 2))).collect();
+        for i in 0..20u64 {
+            m.process(doc(i, &[((i % 4) as u32, 1.0)], i as f64));
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.shards.len(), 1, "doc mode does not partition queries");
+        assert_eq!(snap.num_queries(), 9);
+
+        // Doc-parallel capture → query-sharded restore...
+        let mut onto_query = ShardedMonitor::new(2, || MrioSeg::new(0.001));
+        let mapping = snap.restore_into(&mut onto_query);
+        for qid in &ids {
+            assert_eq!(onto_query.results(mapping[qid]), m.results(*qid));
+        }
+        // ...and a query-sharded capture restores onto doc mode.
+        let back = onto_query.snapshot();
+        assert_eq!(back.shards.len(), 2);
+        let mut onto_doc = ShardedMonitor::new_doc_parallel(4, 0.001);
+        let mapping2 = back.restore_into(&mut onto_doc);
+        for qid in &ids {
+            assert_eq!(onto_doc.results(mapping2[&mapping[qid]]), m.results(*qid));
+        }
+    }
+
+    #[test]
+    fn doc_mode_compaction_keeps_results_and_shrinks_the_epoch() {
+        let mk = |ratio: f64| {
+            let mut m = ShardedMonitor::new_doc_parallel(2, 0.0);
+            m.set_compaction_threshold(ratio);
+            let ids: Vec<QueryId> =
+                (0..30).map(|i| m.register(spec(&[i % 5, 5 + i % 3], 2))).collect();
+            (m, ids)
+        };
+        let (mut compacting, ids_a) = mk(0.2);
+        let (mut lazy, ids_b) = mk(0.0);
+        for round in 0..3u64 {
+            for q in (round * 8)..(round * 8 + 5) {
+                assert!(compacting.unregister(QueryId(q as u32)));
+                assert!(lazy.unregister(QueryId(q as u32)));
+            }
+            let batch: Vec<Document> = (0..15u64)
+                .map(|i| {
+                    let id = round * 15 + i;
+                    doc(id, &[((id % 5) as u32, 1.0), ((5 + id % 3) as u32, 0.5)], id as f64)
+                })
+                .collect();
+            let (_, ca) = compacting.process_batch(batch.clone());
+            let (_, cb) = lazy.process_batch(batch);
+            let strip = |v: Vec<(u32, ResultChange)>| -> Vec<ResultChange> {
+                v.into_iter().map(|(_, c)| c).collect()
+            };
+            assert_eq!(strip(ca), strip(cb), "round {round}");
+        }
+        for (a, b) in ids_a.iter().zip(&ids_b) {
+            assert_eq!(compacting.results(*a), lazy.results(*b));
+        }
+    }
+
+    #[test]
+    fn doc_mode_batches_smaller_than_the_shard_count() {
+        let mut m = ShardedMonitor::new_doc_parallel(4, 0.0);
+        let q = m.register(spec(&[1], 3));
+        // 2-document batches on 4 shards: only some workers get slices.
+        let (stats, _) = m.process_batch(vec![doc(0, &[(1, 1.0)], 0.0), doc(1, &[(1, 2.0)], 1.0)]);
+        assert_eq!(stats.len(), 2);
+        let (stats, _) = m.process_batch(vec![doc(2, &[(1, 3.0)], 2.0)]);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(m.results(q).unwrap().len(), 3);
+        let per_shard = m.shard_cumulative();
+        assert_eq!(per_shard.iter().map(|c| c.events).sum::<u64>(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "quiesced pipeline")]
+    fn doc_mode_register_rejects_open_pipeline() {
+        let mut m = ShardedMonitor::new_doc_parallel(2, 0.0);
+        m.register(spec(&[1], 1));
+        m.submit_batch(vec![doc(0, &[(1, 1.0)], 0.0)]);
+        m.register(spec(&[2], 1)); // must panic: batch in flight
     }
 }

@@ -31,7 +31,12 @@ pub struct QueryRecord {
 }
 
 /// The shared ID-ordered query index.
-#[derive(Debug, Default)]
+///
+/// `Clone` supports the doc-parallel monitor's copy-on-write index epochs:
+/// scorer workers hold an `Arc<QueryIndex>` per batch, and registration
+/// churn between batches clones the index only when a worker still holds
+/// the previous epoch (`Arc::make_mut`).
+#[derive(Debug, Clone, Default)]
 pub struct QueryIndex {
     lists: Vec<PostingsList>,
     list_terms: Vec<TermId>,

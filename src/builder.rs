@@ -11,7 +11,7 @@ use ctk_baselines::{Rta, SortQuer, Tps};
 use ctk_common::{FxHashMap, QueryId};
 use ctk_core::{
     ContinuousTopK, Monitor, MonitorBackend, MrioBlock, MrioSeg, MrioSuffix, Naive, Rio,
-    ShardedMonitor, Snapshot,
+    ShardedMonitor, ShardingMode, Snapshot,
 };
 
 /// Every engine a monitor can run on: the paper's algorithms, the three
@@ -129,11 +129,64 @@ impl std::str::FromStr for EngineKind {
 /// assert_eq!(monitor.shards(), 4);
 /// assert_eq!(monitor.results(q).unwrap().len(), 1);
 /// ```
+///
+/// # Choosing a sharding mode
+///
+/// With more than one shard, [`MonitorBuilder::sharding`] picks how the
+/// work is partitioned — both modes serve the identical API and produce
+/// bit-identical results (checked in `tests/backend_api.rs`), so this is
+/// purely a throughput decision:
+///
+/// * [`ShardingMode::Queries`] (default) splits the **query population**:
+///   every worker owns a full engine (of the configured [`EngineKind`])
+///   over its slice of the queries, and every document is broadcast to all
+///   shards. The per-document matched-list walk is therefore paid once per
+///   shard — worth it when the query population is large enough that each
+///   shard's slice still dominates the walk (the paper's regime of millions
+///   of CTQDs).
+/// * [`ShardingMode::Documents`] splits each **ingest batch**: workers walk
+///   one shared, read-only index epoch (the exact term-filtered walk with
+///   submit-time threshold pruning — the engine kind does not change
+///   document-mode results or scoring work), and candidates are merged
+///   serially in stream order. The walk is paid once in total, so this mode
+///   keeps scaling where query-sharding degenerates into S redundant
+///   probes: small-to-medium query populations under high stream rates.
+///
+/// The crossover is measurable with the `sweep_shards` bench binary
+/// (`--mode query|doc|both`), which records docs/sec per
+/// `mode × shards × batch` cell. Indicatively, in the checked-in
+/// `results/sweep_shards.json` (4 000 queries, smoke scale, 1-core
+/// container, best of 3), doc mode at 2 shards × batch 8 sustains
+/// ~7 400 docs/sec against ~4 100 for query mode at the same
+/// configuration (~1.8×, and ~1.7× the single-threaded engine even
+/// without a second core) — the walk is paid once instead of per shard —
+/// while with hundreds of thousands of queries per shard the
+/// replicated-walk cost amortizes and query mode's pruning engines
+/// (MRIO) win back the lead. Measure with your own workload shape before
+/// committing a deployment to either mode.
+///
+/// ```
+/// use continuous_topk::prelude::*;
+///
+/// let mut monitor = MonitorBuilder::new(EngineKind::Mrio)
+///     .lambda(0.001)
+///     .shards(4)
+///     .sharding(ShardingMode::Documents)
+///     .build();
+/// let q = monitor.register(QuerySpec::uniform(&[TermId(7)], 3).unwrap());
+/// monitor.publish_batch(vec![
+///     (vec![(TermId(7), 1.0)], 0.0),
+///     (vec![(TermId(9), 1.0)], 1.0),
+/// ]);
+/// assert_eq!(monitor.sharding_mode(), ShardingMode::Documents);
+/// assert_eq!(monitor.results(q).unwrap().len(), 1);
+/// ```
 #[derive(Debug, Clone)]
 pub struct MonitorBuilder {
     kind: EngineKind,
     lambda: f64,
     shards: usize,
+    sharding: ShardingMode,
     batch_size: usize,
     pipeline_window: usize,
     compaction_threshold: f64,
@@ -147,6 +200,7 @@ impl MonitorBuilder {
             kind,
             lambda: 0.0,
             shards: 1,
+            sharding: ShardingMode::Queries,
             batch_size: 0,
             pipeline_window: 1,
             compaction_threshold: 0.0,
@@ -159,12 +213,25 @@ impl MonitorBuilder {
         self
     }
 
-    /// Number of worker shards. 1 (the default) builds the single-engine
-    /// [`Monitor`]; more builds a [`ShardedMonitor`] with the query
-    /// population spread round-robin.
+    /// Number of worker shards. In the default query-sharding mode, 1 (the
+    /// default) builds the single-engine [`Monitor`] and more builds a
+    /// [`ShardedMonitor`] with the query population spread round-robin; in
+    /// document mode every count (including 1) builds the doc-parallel
+    /// [`ShardedMonitor`], whose single-shard form still pipelines scoring
+    /// against merging.
     pub fn shards(mut self, shards: usize) -> Self {
         assert!(shards >= 1, "a monitor needs at least one shard");
         self.shards = shards;
+        self
+    }
+
+    /// How the shards partition the work (see "Choosing a sharding mode"
+    /// above). Defaults to [`ShardingMode::Queries`]. In
+    /// [`ShardingMode::Documents`] the engine kind does not affect scoring:
+    /// workers run the exact shared-epoch walk, so results stay
+    /// bit-identical to every engine.
+    pub fn sharding(mut self, mode: ShardingMode) -> Self {
+        self.sharding = mode;
         self
     }
 
@@ -195,19 +262,28 @@ impl MonitorBuilder {
 
     /// Build the configured backend.
     pub fn build(&self) -> Box<dyn MonitorBackend + Send> {
-        if self.shards == 1 {
-            Box::new(
+        match self.sharding {
+            ShardingMode::Queries if self.shards == 1 => Box::new(
                 Monitor::new(self.kind.build_engine(self.lambda))
                     .with_compaction(self.compaction_threshold),
-            )
-        } else {
-            let mut sharded =
-                ShardedMonitor::new(self.shards, || self.kind.build_engine(self.lambda));
-            sharded.set_ingest_chunking(self.batch_size, self.pipeline_window);
-            if self.compaction_threshold > 0.0 {
-                sharded.set_compaction_threshold(self.compaction_threshold);
+            ),
+            ShardingMode::Queries => {
+                let mut sharded =
+                    ShardedMonitor::new(self.shards, || self.kind.build_engine(self.lambda));
+                sharded.set_ingest_chunking(self.batch_size, self.pipeline_window);
+                if self.compaction_threshold > 0.0 {
+                    sharded.set_compaction_threshold(self.compaction_threshold);
+                }
+                Box::new(sharded)
             }
-            Box::new(sharded)
+            ShardingMode::Documents => {
+                let mut sharded = ShardedMonitor::new_doc_parallel(self.shards, self.lambda);
+                sharded.set_ingest_chunking(self.batch_size, self.pipeline_window);
+                if self.compaction_threshold > 0.0 {
+                    sharded.set_compaction_threshold(self.compaction_threshold);
+                }
+                Box::new(sharded)
+            }
         }
     }
 
@@ -246,8 +322,35 @@ mod tests {
         let single = MonitorBuilder::new(EngineKind::Mrio).lambda(0.5).build();
         assert_eq!(single.shards(), 1);
         assert_eq!(single.lambda(), 0.5);
+        assert_eq!(single.sharding_mode(), ShardingMode::Queries);
         let sharded = MonitorBuilder::new(EngineKind::Mrio).lambda(0.5).shards(3).build();
         assert_eq!(sharded.shards(), 3);
         assert_eq!(sharded.lambda(), 0.5);
+        assert_eq!(sharded.sharding_mode(), ShardingMode::Queries);
+    }
+
+    #[test]
+    fn builder_picks_the_front_end_by_sharding_mode() {
+        // Document mode builds the doc-parallel monitor at every shard
+        // count — a single shard still pipelines scoring against merging.
+        for shards in [1usize, 3] {
+            let doc = MonitorBuilder::new(EngineKind::Mrio)
+                .lambda(0.5)
+                .shards(shards)
+                .sharding(ShardingMode::Documents)
+                .build();
+            assert_eq!(doc.shards(), shards);
+            assert_eq!(doc.sharding_mode(), ShardingMode::Documents);
+            assert_eq!(doc.lambda(), 0.5);
+        }
+    }
+
+    #[test]
+    fn sharding_mode_names_round_trip() {
+        for mode in ShardingMode::ALL {
+            assert_eq!(mode.name().parse::<ShardingMode>().unwrap(), mode);
+        }
+        assert_eq!("documents".parse::<ShardingMode>().unwrap(), ShardingMode::Documents);
+        assert!("zigzag".parse::<ShardingMode>().is_err());
     }
 }

@@ -108,7 +108,7 @@ pub mod prelude {
     pub use ctk_core::{
         ContinuousTopK, CumulativeStats, DecayModel, EventStats, Monitor, MonitorBackend, Mrio,
         MrioBlock, MrioSeg, MrioSuffix, Naive, PublishReceipt, ResultChange, Rio, ShardSnapshot,
-        ShardedMonitor, Snapshot, SnapshotQuery, SNAPSHOT_VERSION,
+        ShardedMonitor, ShardingMode, Snapshot, SnapshotQuery, SNAPSHOT_VERSION,
     };
     pub use ctk_stream::{
         ArrivalClock, CorpusConfig, CorpusModel, DocumentGenerator, QueryGenerator, QueryWorkload,

@@ -127,12 +127,53 @@ fn compacting_backend_matches_oracle() {
     backend_matches_oracle(MonitorBuilder::new(EngineKind::Mrio).shards(2).compact_at(0.15), 1e-3);
 }
 
-/// Snapshot on one shard count, restore on another, verified against an
-/// oracle that never restarted — including on the continuation stream.
-fn snapshot_rebalances_across_shard_counts(from_shards: usize, to_shards: usize) {
+// --- the same matrix in document-sharding mode ---
+
+fn doc_mode(shards: usize) -> MonitorBuilder {
+    MonitorBuilder::new(EngineKind::Mrio).sharding(ShardingMode::Documents).shards(shards)
+}
+
+#[test]
+fn doc_sharded_backend_matches_oracle() {
+    backend_matches_oracle(doc_mode(4), 1e-3);
+}
+
+#[test]
+fn doc_sharded_single_shard_backend_matches_oracle() {
+    // One doc-mode shard still pipelines scoring against merging.
+    backend_matches_oracle(doc_mode(1), 1e-3);
+}
+
+#[test]
+fn doc_sharded_pipelined_chunked_backend_matches_oracle() {
+    backend_matches_oracle(doc_mode(4).batch_size(7).pipeline_window(2), 1e-3);
+}
+
+#[test]
+fn doc_backend_matches_oracle_across_renormalization() {
+    // Renormalizations force the submit-time candidate filter off for the
+    // crossing batches; the unfiltered merge must stay exact.
+    backend_matches_oracle(doc_mode(2), 0.5);
+}
+
+#[test]
+fn doc_compacting_backend_matches_oracle() {
+    // Compaction reorganizes the shared epoch copy-on-write at batch
+    // boundaries; results must not move.
+    backend_matches_oracle(doc_mode(2).compact_at(0.15), 1e-3);
+}
+
+/// Snapshot under one configuration, restore under another (different
+/// shard count and/or sharding mode), verified against an oracle that
+/// never restarted — including on the continuation stream.
+fn snapshot_rebalances_across(
+    from: MonitorBuilder,
+    expected_sections: usize,
+    to: MonitorBuilder,
+    to_shards: usize,
+) {
     let lambda = 1e-3;
-    let mut source =
-        MonitorBuilder::new(EngineKind::Mrio).lambda(lambda).shards(from_shards).build();
+    let mut source = from.lambda(lambda).build();
     let mut oracle = MonitorBuilder::new(EngineKind::Naive).lambda(lambda).build();
 
     let all_specs = specs(80, 7);
@@ -154,13 +195,12 @@ fn snapshot_rebalances_across_shard_counts(from_shards: usize, to_shards: usize)
     source.publish_batch(batch.clone());
     oracle.publish_batch(batch);
 
-    // Capture → JSON → restore into the other shard count.
+    // Capture → JSON → restore into the other configuration.
     let snap = source.snapshot();
-    assert_eq!(snap.shards.len(), from_shards, "one section per shard");
+    assert_eq!(snap.shards.len(), expected_sections, "sections mirror the source partitioning");
     assert_eq!(snap.num_queries(), all_specs.len());
     let parsed = Snapshot::from_json(&snap.to_json().unwrap()).unwrap();
-    let (mut restored, mapping) =
-        MonitorBuilder::new(EngineKind::Mrio).shards(to_shards).restore(&parsed);
+    let (mut restored, mapping) = to.restore(&parsed);
     assert_eq!(restored.shards(), to_shards);
     assert_eq!(restored.num_queries(), all_specs.len());
 
@@ -184,10 +224,32 @@ fn snapshot_rebalances_across_shard_counts(from_shards: usize, to_shards: usize)
 
 #[test]
 fn snapshot_restores_from_one_shard_to_four() {
-    snapshot_rebalances_across_shard_counts(1, 4);
+    snapshot_rebalances_across(
+        MonitorBuilder::new(EngineKind::Mrio).shards(1),
+        1,
+        MonitorBuilder::new(EngineKind::Mrio).shards(4),
+        4,
+    );
 }
 
 #[test]
 fn snapshot_restores_from_four_shards_to_two() {
-    snapshot_rebalances_across_shard_counts(4, 2);
+    snapshot_rebalances_across(
+        MonitorBuilder::new(EngineKind::Mrio).shards(4),
+        4,
+        MonitorBuilder::new(EngineKind::Mrio).shards(2),
+        2,
+    );
+}
+
+#[test]
+fn snapshot_restores_from_doc_mode_onto_query_mode() {
+    // A doc-parallel capture (one section — its queries are not
+    // partitioned) restores onto a query-sharded deployment.
+    snapshot_rebalances_across(doc_mode(4), 1, MonitorBuilder::new(EngineKind::Mrio).shards(2), 2);
+}
+
+#[test]
+fn snapshot_restores_from_query_mode_onto_doc_mode() {
+    snapshot_rebalances_across(MonitorBuilder::new(EngineKind::Mrio).shards(4), 4, doc_mode(3), 3);
 }

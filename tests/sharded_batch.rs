@@ -1,19 +1,27 @@
-//! Randomized equivalence of the batched sharded ingestion path.
+//! Randomized equivalence of the batched sharded ingestion path, in both
+//! sharding modes.
 //!
-//! A `ShardedMonitor` built from `Naive` shards, fed through
-//! `process_batch`, must stay **bit-identical** to a single `Naive` engine
-//! fed one document at a time — including while queries register and
-//! unregister mid-stream. (Each query's score accumulates from its own
-//! registration record, so partitioning queries across shards must not
-//! change a single bit of any result.)
+//! A `ShardedMonitor` fed through `process_batch` must stay
+//! **bit-identical** to a single `Naive` engine fed one document at a time
+//! — including while queries register and unregister mid-stream:
+//!
+//! * **query mode** (`Naive` shards): each query's score accumulates from
+//!   its own registration record, so partitioning queries across shards
+//!   must not change a single bit of any result;
+//! * **document mode**: workers walk a shared index epoch and candidates
+//!   are merged serially in stream order, so partitioning the *batch*
+//!   across shards (including through the threshold candidate filter) must
+//!   not change a single bit either.
 //!
 //! Since the sharded monitor allocates public ids from one monotone space,
 //! the same registration sequence yields the *same* `QueryId`s on both
 //! front-ends — the test addresses both with one handle.
 //!
-//! The merged-stat invariant is checked alongside: every document visits
-//! every shard exactly once, so the summed per-shard event counters equal
-//! `documents × shards`.
+//! The merged-stat invariant is checked alongside, and it distinguishes the
+//! modes: in query mode every document visits every shard exactly once
+//! (each shard reports `events == docs`, summed `docs × shards`); in
+//! document mode every document visits exactly one shard (the per-shard
+//! counters sum to `docs`).
 
 use continuous_topk::prelude::*;
 use proptest::prelude::*;
@@ -30,6 +38,7 @@ proptest! {
 
     #[test]
     fn batched_sharded_ingestion_with_churn_matches_naive(
+        mode in prop::sample::select(vec![ShardingMode::Queries, ShardingMode::Documents]),
         shards in 2usize..5,
         batch_size in 1usize..9,
         initial in prop::collection::vec(
@@ -51,7 +60,10 @@ proptest! {
         ),
         lambda in prop::sample::select(vec![0.0, 0.05, 0.8]),
     ) {
-        let mut sharded = ShardedMonitor::new(shards, || Naive::new(lambda));
+        let mut sharded = match mode {
+            ShardingMode::Queries => ShardedMonitor::new(shards, || Naive::new(lambda)),
+            ShardingMode::Documents => ShardedMonitor::new_doc_parallel(shards, lambda),
+        };
         let mut single = Naive::new(lambda);
         // Live queries: one public id addresses both front-ends.
         let mut live: Vec<QueryId> = Vec::new();
@@ -110,18 +122,33 @@ proptest! {
             prop_assert_eq!(
                 sharded.results(*qid),
                 single.results(*qid),
-                "query {:?}",
+                "mode {:?}, query {:?}",
+                mode,
                 qid
             );
         }
 
-        // Merged-stat consistency: every shard processed every document.
+        // Merged-stat consistency, per mode.
         let per_shard = sharded.shard_cumulative();
         prop_assert_eq!(per_shard.len(), shards);
-        for cum in &per_shard {
-            prop_assert_eq!(cum.events, total_docs);
-        }
         let summed: u64 = per_shard.iter().map(|c| c.events).sum();
-        prop_assert_eq!(summed, total_docs * shards as u64);
+        match mode {
+            ShardingMode::Queries => {
+                // Every shard processed every document.
+                for cum in &per_shard {
+                    prop_assert_eq!(cum.events, total_docs);
+                }
+                prop_assert_eq!(summed, total_docs * shards as u64);
+            }
+            ShardingMode::Documents => {
+                // Every document was scored by exactly one shard, and the
+                // authoritative walk counters match the oracle's exactly.
+                prop_assert_eq!(summed, total_docs);
+                let walked: u64 = per_shard.iter().map(|c| c.postings_accessed).sum();
+                prop_assert_eq!(walked, single.cumulative().postings_accessed);
+                let evals: u64 = per_shard.iter().map(|c| c.full_evaluations).sum();
+                prop_assert_eq!(evals, single.cumulative().full_evaluations);
+            }
+        }
     }
 }
