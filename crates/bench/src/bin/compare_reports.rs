@@ -7,16 +7,21 @@
 //!     [--tolerance 0.30] [--absolute]
 //! ```
 //!
-//! Joins the two reports on `(mode, shards, batch)` and fails (exit 1)
-//! when any cell's throughput dropped by more than `tolerance` (default
-//! 30%) versus the baseline. By default the compared metric is the
-//! **normalized** throughput `docs_per_sec / single_docs_per_sec` of each
-//! report — CI runners and developer machines differ wildly in absolute
-//! speed, but each report carries its own single-threaded reference
-//! measured in the same process on the same workload, so the ratio is the
-//! noise-tolerant signal: it regresses only when the *sharded path itself*
-//! got slower relative to the engine. `--absolute` switches to raw
-//! docs/sec (useful when baseline and current come from the same machine).
+//! Joins the two reports on `(mode, queries, shards, batch)` and fails
+//! (exit 1) when any cell's throughput dropped by more than `tolerance`
+//! (default 30%) versus the baseline. By default the compared metric is
+//! the **normalized** throughput `docs_per_sec / single_docs_per_sec(queries)`
+//! of each report — CI runners and developer machines differ wildly in
+//! absolute speed, but each report carries its own single-threaded
+//! reference measured in the same process on the same workload *per query
+//! population*, so the ratio is the noise-tolerant signal: it regresses
+//! only when the *sharded path itself* got slower relative to the engine.
+//! `--absolute` switches to raw docs/sec (useful when baseline and current
+//! come from the same machine).
+//!
+//! Reads schema v3 reports natively and still accepts v2 baselines: a v2
+//! report is treated as a v3 report with a single query-population cell
+//! (`queries = num_queries`, one reference in `singles`).
 //!
 //! Exit codes: `0` pass, `1` regression, `2` unusable input (missing file,
 //! unrecognized schema version, or reports measured under different
@@ -27,7 +32,12 @@ use ctk_bench::SWEEP_SHARDS_SCHEMA_VERSION;
 use serde::Deserialize;
 
 #[derive(Deserialize)]
-struct Cell {
+struct Probe {
+    schema_version: u32,
+}
+
+#[derive(Deserialize)]
+struct CellV2 {
     mode: String,
     shards: usize,
     batch: usize,
@@ -35,13 +45,44 @@ struct Cell {
 }
 
 #[derive(Deserialize)]
-struct Report {
-    schema_version: u32,
+struct ReportV2 {
     num_queries: usize,
     measured_docs: usize,
     window: usize,
     single_docs_per_sec: f64,
+    cells: Vec<CellV2>,
+}
+
+#[derive(Deserialize)]
+struct Single {
+    queries: usize,
+    docs_per_sec: f64,
+}
+
+#[derive(Deserialize)]
+struct Cell {
+    mode: String,
+    queries: usize,
+    shards: usize,
+    batch: usize,
+    docs_per_sec: f64,
+}
+
+#[derive(Deserialize)]
+struct Report {
+    query_counts: Vec<usize>,
+    measured_docs: usize,
+    window: usize,
+    doc_pruning: String,
+    singles: Vec<Single>,
     cells: Vec<Cell>,
+}
+
+impl Report {
+    /// The single-threaded reference for a cell's query population.
+    fn single(&self, queries: usize) -> Option<f64> {
+        self.singles.iter().find(|s| s.queries == queries).map(|s| s.docs_per_sec)
+    }
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -60,16 +101,44 @@ fn usage_exit(msg: &str) -> ! {
 fn load(path: &str) -> Report {
     let contents = std::fs::read_to_string(path)
         .unwrap_or_else(|e| usage_exit(&format!("cannot read {path}: {e}")));
-    let report: Report = serde_json::from_str(&contents)
+    let probe: Probe = serde_json::from_str(&contents)
         .unwrap_or_else(|e| usage_exit(&format!("{path} is not a sweep_shards report: {e}")));
-    if report.schema_version != SWEEP_SHARDS_SCHEMA_VERSION {
-        usage_exit(&format!(
-            "{path} has schema_version {} (this gate understands {}); \
-             regenerate it with the current sweep_shards binary",
-            report.schema_version, SWEEP_SHARDS_SCHEMA_VERSION
-        ));
+    match probe.schema_version {
+        2 => {
+            // Migrate: a v2 report is a v3 report with one population.
+            let v2: ReportV2 = serde_json::from_str(&contents)
+                .unwrap_or_else(|e| usage_exit(&format!("{path} is not a v2 report: {e}")));
+            Report {
+                query_counts: vec![v2.num_queries],
+                measured_docs: v2.measured_docs,
+                window: v2.window,
+                // v2 predates walk pruning: its doc cells always ran the
+                // exhaustive walk.
+                doc_pruning: "off".to_string(),
+                singles: vec![Single {
+                    queries: v2.num_queries,
+                    docs_per_sec: v2.single_docs_per_sec,
+                }],
+                cells: v2
+                    .cells
+                    .into_iter()
+                    .map(|c| Cell {
+                        mode: c.mode,
+                        queries: v2.num_queries,
+                        shards: c.shards,
+                        batch: c.batch,
+                        docs_per_sec: c.docs_per_sec,
+                    })
+                    .collect(),
+            }
+        }
+        v if v == SWEEP_SHARDS_SCHEMA_VERSION => serde_json::from_str(&contents)
+            .unwrap_or_else(|e| usage_exit(&format!("{path} is not a v{v} report: {e}"))),
+        v => usage_exit(&format!(
+            "{path} has schema_version {v} (this gate understands 2 and \
+             {SWEEP_SHARDS_SCHEMA_VERSION}); regenerate it with the current sweep_shards binary"
+        )),
     }
-    report
 }
 
 fn main() {
@@ -90,37 +159,46 @@ fn main() {
     let base = load(&baseline_path);
     let cur = load(&current_path);
 
-    // Deltas are only meaningful at equal workload configuration.
-    let base_cfg = (base.num_queries, base.measured_docs, base.window);
-    let cur_cfg = (cur.num_queries, cur.measured_docs, cur.window);
+    // Deltas are only meaningful at equal workload configuration — the
+    // walk-pruning policy included: a pruned and an unpruned doc cell can
+    // legitimately differ by >2× throughput, which must read as a config
+    // mismatch, not a regression (or worse, mask one).
+    let base_cfg = (&base.query_counts, base.measured_docs, base.window, &base.doc_pruning);
+    let cur_cfg = (&cur.query_counts, cur.measured_docs, cur.window, &cur.doc_pruning);
     if base_cfg != cur_cfg {
         usage_exit(&format!(
-            "workload configs differ: baseline (queries, docs, window) = {base_cfg:?}, \
+            "workload configs differ: baseline (queries, docs, window, pruning) = {base_cfg:?}, \
              current = {cur_cfg:?}; regenerate the baseline at the gate's configuration"
         ));
     }
 
-    let metric = |report: &Report, cell: &Cell| {
+    let metric = |report: &Report, cell: &Cell| -> f64 {
         if absolute {
             cell.docs_per_sec
         } else {
-            cell.docs_per_sec / report.single_docs_per_sec
+            match report.single(cell.queries) {
+                Some(single) => cell.docs_per_sec / single,
+                None => usage_exit(&format!(
+                    "report lacks a single-threaded reference for {} queries",
+                    cell.queries
+                )),
+            }
         }
     };
     let metric_name = if absolute { "docs/sec" } else { "docs/sec vs single" };
 
     println!("### Perf gate: {metric_name}, tolerance -{:.0}%\n", tolerance * 100.0);
-    println!("| mode | shards | batch | baseline | current | delta | status |");
-    println!("|---|---|---|---|---|---|---|");
+    println!("| mode | queries | shards | batch | baseline | current | delta | status |");
+    println!("|---|---|---|---|---|---|---|---|");
     let mut regressions = 0usize;
     let mut missing = 0usize;
+    let key = |c: &Cell| (c.mode.clone(), c.queries, c.shards, c.batch);
     for bc in &base.cells {
-        let Some(cc) = cur
-            .cells
-            .iter()
-            .find(|c| c.mode == bc.mode && c.shards == bc.shards && c.batch == bc.batch)
-        else {
-            println!("| {} | {} | {} | — | — | — | MISSING |", bc.mode, bc.shards, bc.batch);
+        let Some(cc) = cur.cells.iter().find(|c| key(c) == key(bc)) else {
+            println!(
+                "| {} | {} | {} | {} | — | — | — | MISSING |",
+                bc.mode, bc.queries, bc.shards, bc.batch
+            );
             missing += 1;
             continue;
         };
@@ -131,8 +209,9 @@ fn main() {
             regressions += 1;
         }
         println!(
-            "| {} | {} | {} | {} | {} | {:+.1}% | {} |",
+            "| {} | {} | {} | {} | {} | {} | {:+.1}% | {} |",
             bc.mode,
+            bc.queries,
             bc.shards,
             bc.batch,
             format_sig(b),
@@ -142,14 +221,12 @@ fn main() {
         );
     }
     for cc in &cur.cells {
-        let known = base
-            .cells
-            .iter()
-            .any(|b| b.mode == cc.mode && b.shards == cc.shards && b.batch == cc.batch);
+        let known = base.cells.iter().any(|b| key(b) == key(cc));
         if !known {
             println!(
-                "| {} | {} | {} | — | {} | — | new (no baseline) |",
+                "| {} | {} | {} | {} | — | {} | — | new (no baseline) |",
                 cc.mode,
+                cc.queries,
                 cc.shards,
                 cc.batch,
                 format_sig(metric(&cur, cc))

@@ -1,17 +1,29 @@
-//! Sharded-ingestion throughput: docs/sec as a function of **sharding
-//! mode** × shard count × batch size, against two fixed references on the
-//! *same* workload — the single-threaded engine and each mode's
-//! per-document sharded path (batch size 1, the pre-batching design).
+//! Sharded-ingestion throughput: docs/sec as a function of **query
+//! population** × **sharding mode** × shard count × batch size, against two
+//! fixed references on the *same* workload — the single-threaded engine
+//! (measured per population) and each mode's per-document sharded path
+//! (batch size 1, the pre-batching design).
 //!
 //! ```text
 //! cargo run -p ctk-bench --release --bin sweep_shards \
 //!     [-- --scale smoke|laptop|full] [--mode query|doc|both] \
-//!     [--shards 1,2,4] [--batches 1,64,256] [--window 1] [--docs N] \
-//!     [--repeat N]
+//!     [--queries 2000,10000] [--shards 1,2,4] [--batches 1,64,256] \
+//!     [--window 1] [--docs N] [--repeat N] [--pruning off|on|auto]
 //! ```
 //!
+//! `--queries N[,N...]` sweeps the query population (default: the scale's
+//! midpoint count, the pre-v3 behavior). This is the axis that exposes the
+//! query-vs-doc **crossover**: query sharding pays the matched-list walk
+//! once per shard (wins at large populations), document sharding pays it
+//! once in total (wins at small populations / high stream rates) — and
+//! doc-mode walk pruning (`--pruning`, default `auto`) moves the crossover
+//! by skipping zones of the shared epoch that cannot produce an offer. Each
+//! doc-mode cell records its cumulative `zones_skipped`/`postings_skipped`,
+//! so the report shows not just *that* large-population doc cells hold up
+//! but *why*.
+//!
 //! `--repeat N` (default 1) measures every cell — and the single-threaded
-//! reference — N times from identical cold state (fresh monitor, same
+//! references — N times from identical cold state (fresh monitor, same
 //! registration/seed/warmup prologue) and keeps the best run. Transient
 //! interference (CPU steal on shared CI runners, frequency ramps) only
 //! ever *slows* a run, so best-of-N converges on the machine's true
@@ -19,40 +31,41 @@
 //! smoke cells out of the noise floor.
 //!
 //! Prints a markdown table and writes the machine-readable report
-//! (`schema_version` 2 — cells carry the `mode` axis) to
-//! `results/sweep_shards.json`, which CI archives as a build artifact and
-//! gates against `results/sweep_shards_baseline.json` with the
+//! (`schema_version` 3 — cells carry the `queries` axis and skip counters)
+//! to `results/sweep_shards.json`, which CI archives as a build artifact
+//! and gates against `results/sweep_shards_baseline.json` with the
 //! `compare_reports` binary. The writer refuses to clobber a report whose
 //! schema version it does not recognize.
-//!
-//! Interpreting the numbers: batching removes the per-document channel
-//! send + cross-shard merge, so `batch ≥ 64` vs `batch 1` shows the
-//! coordination overhead; `shards > 1` vs the single engine additionally
-//! needs physical cores to pay off — the report records the machine's
-//! available parallelism so a 1-core CI runner is not mistaken for a
-//! scaling regression. The `--mode` axis exposes the query-vs-doc
-//! crossover: query sharding pays the matched-list walk once per shard
-//! (wins at large query populations), document sharding pays it once in
-//! total (wins at small populations / high stream rates).
 
 use ctk_bench::report::format_sig;
 use ctk_bench::{
     existing_report_schema, make_sharded, prepare, write_json_report, ExperimentConfig, Scale,
     Table, SWEEP_SHARDS_SCHEMA_VERSION,
 };
-use ctk_core::{ContinuousTopK, MrioSeg, ShardingMode};
+use ctk_core::{ContinuousTopK, DocPruning, MrioSeg, ShardingMode};
 use ctk_stream::QueryWorkload;
 use serde::Serialize;
 use std::time::Instant;
 
 #[derive(Serialize)]
+struct Single {
+    queries: usize,
+    docs_per_sec: f64,
+}
+
+#[derive(Serialize)]
 struct Cell {
     mode: String,
+    queries: usize,
     shards: usize,
     batch: usize,
     docs_per_sec: f64,
     speedup_vs_single: f64,
     speedup_vs_per_doc_sharded: f64,
+    /// Doc-mode bounded-walk work skipped over the measured stream (0 for
+    /// query mode and for unpruned doc cells).
+    zones_skipped: u64,
+    postings_skipped: u64,
 }
 
 #[derive(Serialize)]
@@ -60,11 +73,13 @@ struct SweepReport {
     schema_version: u32,
     engine: String,
     scale: String,
-    num_queries: usize,
+    query_counts: Vec<usize>,
     measured_docs: usize,
     window: usize,
+    doc_pruning: String,
     available_parallelism: usize,
-    single_docs_per_sec: f64,
+    /// Single-threaded reference per query population, `query_counts` order.
+    singles: Vec<Single>,
     cells: Vec<Cell>,
 }
 
@@ -89,6 +104,9 @@ fn main() {
             }
         },
     };
+    let query_counts: Vec<usize> = arg_value(&args, "--queries")
+        .map(|s| parse_list(&s))
+        .unwrap_or_else(|| vec![scale.query_counts()[scale.query_counts().len() / 2]]);
     let shard_counts =
         arg_value(&args, "--shards").map(|s| parse_list(&s)).unwrap_or_else(|| vec![1, 2, 4]);
     let batch_sizes =
@@ -96,22 +114,36 @@ fn main() {
     let window: usize = arg_value(&args, "--window").and_then(|s| s.parse().ok()).unwrap_or(1);
     let repeat: usize =
         arg_value(&args, "--repeat").and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
+    let pruning: DocPruning = match arg_value(&args, "--pruning") {
+        None => DocPruning::Auto,
+        Some(s) => match s.parse() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("sweep_shards: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
     let measured_docs: usize =
         arg_value(&args, "--docs").and_then(|s| s.parse().ok()).unwrap_or(match scale {
             Scale::Smoke => 2_000,
             Scale::Laptop => 8_000,
             Scale::Full => 20_000,
         });
+    if query_counts.is_empty() {
+        eprintln!("sweep_shards: --queries needs at least one population");
+        std::process::exit(2);
+    }
 
     // Never clobber a report written in a format this binary does not
     // understand (e.g. by a newer checkout) — regeneration must be a
     // conscious `rm`, not a silent downgrade.
     match existing_report_schema("sweep_shards") {
-        Ok(Some(v)) if v != 1 && v != SWEEP_SHARDS_SCHEMA_VERSION => {
+        Ok(Some(v)) if v != 1 && v != 2 && v != SWEEP_SHARDS_SCHEMA_VERSION => {
             eprintln!(
                 "sweep_shards: refusing to overwrite results/sweep_shards.json: \
                  its schema_version {v} is unknown to this binary \
-                 (understands 1 and {SWEEP_SHARDS_SCHEMA_VERSION}); delete it to regenerate"
+                 (understands 1, 2 and {SWEEP_SHARDS_SCHEMA_VERSION}); delete it to regenerate"
             );
             std::process::exit(2);
         }
@@ -122,15 +154,7 @@ fn main() {
         _ => {}
     }
 
-    let n = scale.query_counts()[scale.query_counts().len() / 2];
-    let mut cfg = ExperimentConfig::fig1(QueryWorkload::Connected, n, scale);
-    cfg.measured_events = measured_docs;
-    let wl = prepare(&cfg);
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    eprintln!(
-        "sweep_shards: {n} queries, {} measured docs, window {window}, {cores} core(s)",
-        wl.measured.len()
-    );
     if cores < shard_counts.iter().copied().max().unwrap_or(1) {
         eprintln!(
             "  note: fewer cores than shards — sharding cannot beat the single engine here; \
@@ -139,100 +163,140 @@ fn main() {
     }
 
     // Best-of-N from identical cold state: interference only slows runs,
-    // so the fastest repetition is the least-perturbed estimate.
-    let best_of = |measure: &dyn Fn() -> f64| (0..repeat).map(|_| measure()).fold(0.0, f64::max);
-
-    // Reference 1: the single-threaded engine.
-    let single_dps = best_of(&|| {
-        let mut engine = MrioSeg::new(cfg.lambda);
-        wl.install(&mut engine);
-        for doc in &wl.warmup {
-            engine.process(doc);
-        }
-        let start = Instant::now();
-        for doc in &wl.measured {
-            engine.process(doc);
-        }
-        wl.measured.len() as f64 / start.elapsed().as_secs_f64()
-    });
-    eprintln!("  single-threaded MRIO: {} docs/sec (best of {repeat})", format_sig(single_dps));
+    // so the fastest repetition is the least-perturbed estimate. `measure`
+    // returns (docs/sec, skip counters); counters are deterministic across
+    // repeats, so folding by throughput keeps a matching triple.
+    let best_of = |measure: &dyn Fn() -> (f64, u64, u64)| {
+        (0..repeat).map(|_| measure()).fold((0.0f64, 0u64, 0u64), |best, run| {
+            if run.0 > best.0 {
+                run
+            } else {
+                best
+            }
+        })
+    };
 
     let mut table = Table::new(
         "Sharded ingestion throughput (MRIO single reference)",
-        "mode x shards x batch",
-        &["docs/sec", "vs single", "vs per-doc sharded"],
+        "queries x mode x shards x batch",
+        &["docs/sec", "vs single", "vs per-doc sharded", "zones skipped"],
         "docs/sec",
     );
+    let mut singles = Vec::new();
     let mut cells = Vec::new();
-    for &mode in &modes {
-        for &shards in &shard_counts {
-            // Reference 2: this mode × shard count fed one document at a
-            // time through the blocking `process` call — the
-            // one-doc-one-barrier design. Always swept first (as the
-            // batch-1 cell, without pipelining) and exactly once, whatever
-            // --batches says.
-            let mut batches = vec![1usize];
-            for &b in &batch_sizes {
-                if b > 1 && !batches.contains(&b) {
-                    batches.push(b);
-                }
-            }
-            let mut per_doc_dps = f64::NAN;
-            for &batch in &batches {
-                let dps = best_of(&|| {
-                    let mut monitor = make_sharded(mode, shards, "MRIO", cfg.lambda);
-                    let mut ids = Vec::with_capacity(wl.specs.len());
-                    for spec in &wl.specs {
-                        ids.push(monitor.register(spec.clone()));
-                    }
-                    for (i, seeds) in wl.seeds.iter().enumerate() {
-                        if !seeds.is_empty() {
-                            monitor.seed_results(ids[i], seeds);
-                        }
-                    }
-                    for chunk in wl.warmup.chunks(batch.max(1)) {
-                        monitor.process_batch(chunk.to_vec());
-                    }
+    for &n in &query_counts {
+        let mut cfg = ExperimentConfig::fig1(QueryWorkload::Connected, n, scale);
+        cfg.measured_events = measured_docs;
+        let wl = prepare(&cfg);
+        eprintln!(
+            "sweep_shards: {n} queries, {} measured docs, window {window}, {cores} core(s), \
+             pruning {pruning}",
+            wl.measured.len()
+        );
 
-                    let start = Instant::now();
-                    if batch == 1 {
-                        // The per-document reference must pay the historical
-                        // cost: one blocking dispatch + merge per document.
-                        for doc in &wl.measured {
-                            monitor.process(doc.clone());
-                        }
-                    } else {
-                        monitor.run_pipelined(
-                            wl.measured.chunks(batch).map(<[_]>::to_vec),
-                            window,
-                            |_, _| {},
-                        );
+        // Reference 1: the single-threaded engine at this population.
+        let (single_dps, _, _) = best_of(&|| {
+            let mut engine = MrioSeg::new(cfg.lambda);
+            wl.install(&mut engine);
+            for doc in &wl.warmup {
+                engine.process(doc);
+            }
+            let start = Instant::now();
+            for doc in &wl.measured {
+                engine.process(doc);
+            }
+            (wl.measured.len() as f64 / start.elapsed().as_secs_f64(), 0, 0)
+        });
+        eprintln!("  single-threaded MRIO: {} docs/sec (best of {repeat})", format_sig(single_dps));
+        singles.push(Single { queries: n, docs_per_sec: single_dps });
+
+        for &mode in &modes {
+            for &shards in &shard_counts {
+                // Reference 2: this mode × shard count fed one document at
+                // a time through the blocking `process` call — the
+                // one-doc-one-barrier design. Always swept first (as the
+                // batch-1 cell, without pipelining) and exactly once,
+                // whatever --batches says.
+                let mut batches = vec![1usize];
+                for &b in &batch_sizes {
+                    if b > 1 && !batches.contains(&b) {
+                        batches.push(b);
                     }
-                    wl.measured.len() as f64 / start.elapsed().as_secs_f64()
-                });
-                if batch == 1 {
-                    per_doc_dps = dps;
                 }
-                let vs_per_doc = dps / per_doc_dps;
-                eprintln!(
-                    "  mode={mode} shards={shards} batch={batch}: {} docs/sec \
-                     ({:.2}x single, {:.2}x per-doc)",
-                    format_sig(dps),
-                    dps / single_dps,
-                    vs_per_doc
-                );
-                table.push_row(
-                    format!("{mode} x {shards} x {batch}"),
-                    vec![dps, dps / single_dps, vs_per_doc],
-                );
-                cells.push(Cell {
-                    mode: mode.name().to_string(),
-                    shards,
-                    batch,
-                    docs_per_sec: dps,
-                    speedup_vs_single: dps / single_dps,
-                    speedup_vs_per_doc_sharded: vs_per_doc,
-                });
+                let mut per_doc_dps = f64::NAN;
+                for &batch in &batches {
+                    let (dps, zones, postings) = best_of(&|| {
+                        let mut monitor = make_sharded(mode, shards, "MRIO", cfg.lambda, pruning);
+                        let mut ids = Vec::with_capacity(wl.specs.len());
+                        for spec in &wl.specs {
+                            ids.push(monitor.register(spec.clone()));
+                        }
+                        for (i, seeds) in wl.seeds.iter().enumerate() {
+                            if !seeds.is_empty() {
+                                monitor.seed_results(ids[i], seeds);
+                            }
+                        }
+                        for chunk in wl.warmup.chunks(batch.max(1)) {
+                            monitor.process_batch(chunk.to_vec());
+                        }
+                        let warm_skips: Vec<(u64, u64)> = monitor
+                            .shard_cumulative()
+                            .iter()
+                            .map(|c| (c.zones_skipped, c.postings_skipped))
+                            .collect();
+
+                        let start = Instant::now();
+                        if batch == 1 {
+                            // The per-document reference must pay the
+                            // historical cost: one blocking dispatch +
+                            // merge per document.
+                            for doc in &wl.measured {
+                                monitor.process(doc.clone());
+                            }
+                        } else {
+                            monitor.run_pipelined(
+                                wl.measured.chunks(batch).map(<[_]>::to_vec),
+                                window,
+                                |_, _| {},
+                            );
+                        }
+                        let dps = wl.measured.len() as f64 / start.elapsed().as_secs_f64();
+                        let (wz, wp) = warm_skips
+                            .iter()
+                            .fold((0u64, 0u64), |(z, p), &(az, ap)| (z + az, p + ap));
+                        let (tz, tp) =
+                            monitor.shard_cumulative().iter().fold((0u64, 0u64), |(z, p), c| {
+                                (z + c.zones_skipped, p + c.postings_skipped)
+                            });
+                        (dps, tz - wz, tp - wp)
+                    });
+                    if batch == 1 {
+                        per_doc_dps = dps;
+                    }
+                    let vs_per_doc = dps / per_doc_dps;
+                    eprintln!(
+                        "  queries={n} mode={mode} shards={shards} batch={batch}: {} docs/sec \
+                         ({:.2}x single, {:.2}x per-doc, {zones} zones skipped)",
+                        format_sig(dps),
+                        dps / single_dps,
+                        vs_per_doc
+                    );
+                    table.push_row(
+                        format!("{n} x {mode} x {shards} x {batch}"),
+                        vec![dps, dps / single_dps, vs_per_doc, zones as f64],
+                    );
+                    cells.push(Cell {
+                        mode: mode.name().to_string(),
+                        queries: n,
+                        shards,
+                        batch,
+                        docs_per_sec: dps,
+                        speedup_vs_single: dps / single_dps,
+                        speedup_vs_per_doc_sharded: vs_per_doc,
+                        zones_skipped: zones,
+                        postings_skipped: postings,
+                    });
+                }
             }
         }
     }
@@ -242,11 +306,12 @@ fn main() {
         schema_version: SWEEP_SHARDS_SCHEMA_VERSION,
         engine: "MRIO".to_string(),
         scale: format!("{scale:?}"),
-        num_queries: n,
-        measured_docs: wl.measured.len(),
+        query_counts,
+        measured_docs,
         window,
+        doc_pruning: pruning.name().to_string(),
         available_parallelism: cores,
-        single_docs_per_sec: single_dps,
+        singles,
         cells,
     };
     match write_json_report("sweep_shards", &report) {

@@ -124,14 +124,20 @@ pub fn write_json_report<T: serde::Serialize>(
 
 /// Schema version of the `sweep_shards` report format.
 ///
-/// * **v2** (current): `schema_version` tag; cells carry a `mode` axis
-///   (`"query"` / `"doc"`) alongside `shards × batch`.
+/// * **v3** (current): cells carry a `queries` axis (the sweep runs at
+///   several query populations) plus the doc-mode walk's skip counters;
+///   the single-threaded reference becomes per-population (`singles`).
+/// * **v2**: `schema_version` tag; cells carry a `mode` axis (`"query"` /
+///   `"doc"`) alongside `shards × batch`; one query population
+///   (`num_queries`) and one `single_docs_per_sec` per report.
 /// * **v1**: untagged (no `schema_version` field), query mode only.
 ///
 /// The writer refuses to overwrite a report tagged with a version it does
 /// not recognize (see [`existing_report_schema`]), so a future format never
-/// gets silently clobbered by an old binary.
-pub const SWEEP_SHARDS_SCHEMA_VERSION: u32 = 2;
+/// gets silently clobbered by an old binary. The `compare_reports` gate
+/// still *reads* v2 baselines (a v2 report is a v3 report with one
+/// population cell).
+pub const SWEEP_SHARDS_SCHEMA_VERSION: u32 = 3;
 
 /// The `schema_version` of an existing `results/<name>.json` report:
 /// `None` when the file does not exist, `Some(1)` for pre-versioned

@@ -1,0 +1,113 @@
+//! Exhaustive vs bounded candidate walk, isolated from the monitor (no
+//! channels, no merge): the per-document cost of
+//! `collect_scored_candidates` against `collect_scored_candidates_bounded`
+//! at 1k / 10k / 100k registered queries, for a wide (paper-corpus-like,
+//! ~48 distinct terms) and a narrow (tweet-like, 8 terms) document shape.
+//!
+//! The inputs emulate the steady state the doc-parallel monitor prunes in:
+//! tight filled thresholds (`S_k` uniform in [0.55, 0.9] of a perfect
+//! score) with 1% unfilled stragglers, and a pruning target θ_d = 0.95 —
+//! weak documents, which is what a mature stream mostly carries. The
+//! numbers feed the builder rustdoc and README ("Choosing a sharding
+//! mode"): they are the measured crossover behind
+//! `DOC_PRUNING_AUTO_MIN_QUERIES`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctk_common::{DocId, Document, QuerySpec, TermId};
+use ctk_core::walk::{
+    collect_scored_candidates, collect_scored_candidates_bounded, DocEpochBounds, MatchScratch,
+};
+use ctk_core::EventStats;
+use ctk_index::QueryIndex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const VOCAB: u32 = 2_000;
+const THETA: f64 = 0.95;
+
+fn distinct_terms(rng: &mut StdRng, count: usize) -> Vec<(TermId, f32)> {
+    let mut terms: Vec<(TermId, f32)> = Vec::with_capacity(count);
+    while terms.len() < count {
+        let t = TermId(rng.gen_range(0..VOCAB));
+        if !terms.iter().any(|&(seen, _)| seen == t) {
+            terms.push((t, rng.gen_range(0.2..1.0f32)));
+        }
+    }
+    terms
+}
+
+struct Setup {
+    index: QueryIndex,
+    bounds: DocEpochBounds,
+    docs: Vec<Document>,
+}
+
+fn setup(num_queries: usize, doc_terms: usize) -> Setup {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut index = QueryIndex::new();
+    let mut thresholds = Vec::with_capacity(num_queries);
+    for i in 0..num_queries {
+        let spec = QuerySpec::new(distinct_terms(&mut rng, 3), 10).expect("valid spec");
+        index.register(&spec.vector, spec.k as u32);
+        thresholds.push(if i % 100 == 99 { 0.0 } else { rng.gen_range(0.55..0.9) });
+    }
+    let mut bounds = DocEpochBounds::new();
+    bounds.rebuild_all(&index, |qid, w| {
+        let t = thresholds[qid.index()];
+        if t > 0.0 {
+            w as f64 / t
+        } else {
+            f64::INFINITY
+        }
+    });
+    bounds.freeze();
+    let docs = (0..32u64)
+        .map(|d| Document::new(DocId(d), distinct_terms(&mut rng, doc_terms), 0.0))
+        .collect();
+    Setup { index, bounds, docs }
+}
+
+fn bench_walks(c: &mut Criterion) {
+    for (shape, doc_terms) in [("wide48", 48usize), ("narrow8", 8)] {
+        let mut group = c.benchmark_group(format!("walk/{shape}"));
+        group.sample_size(15);
+        for num_queries in [1_000usize, 10_000, 100_000] {
+            let s = setup(num_queries, doc_terms);
+            group.bench_function(BenchmarkId::new("exhaustive", num_queries), |b| {
+                let mut scratch = MatchScratch::default();
+                let mut out = Vec::new();
+                let mut i = 0usize;
+                b.iter(|| {
+                    let mut ev = EventStats::default();
+                    let doc = &s.docs[i % s.docs.len()];
+                    i += 1;
+                    collect_scored_candidates(&s.index, doc, &mut scratch, &mut ev, &mut out);
+                    std::hint::black_box(out.len())
+                });
+            });
+            group.bench_function(BenchmarkId::new("bounded", num_queries), |b| {
+                let mut scratch = MatchScratch::default();
+                let mut out = Vec::new();
+                let mut i = 0usize;
+                b.iter(|| {
+                    let mut ev = EventStats::default();
+                    let doc = &s.docs[i % s.docs.len()];
+                    i += 1;
+                    collect_scored_candidates_bounded(
+                        &s.index,
+                        &s.bounds,
+                        THETA,
+                        doc,
+                        &mut scratch,
+                        &mut ev,
+                        &mut out,
+                    );
+                    std::hint::black_box(out.len())
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

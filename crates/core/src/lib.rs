@@ -26,14 +26,16 @@ pub mod sharded;
 pub mod stats;
 pub mod topk;
 pub mod traits;
+pub mod walk;
 
-pub use backend::{MonitorBackend, PublishReceipt, ShardingMode};
+pub use backend::{DocPruning, MonitorBackend, PublishReceipt, ShardingMode};
 pub use monitor::{Monitor, ShardSnapshot, Snapshot, SnapshotQuery, SNAPSHOT_VERSION};
 pub use mrio::{Mrio, MrioBlock, MrioSeg, MrioSuffix};
 pub use naive::Naive;
 pub use rio::Rio;
 pub use score::DecayModel;
-pub use sharded::{BatchOutcome, ShardedMonitor};
+pub use sharded::{BatchOutcome, ShardedMonitor, DOC_PRUNING_AUTO_MIN_QUERIES};
 pub use stats::{CumulativeStats, EventStats};
 pub use topk::{Offer, TopKState};
 pub use traits::{ContinuousTopK, ResultChange};
+pub use walk::{DocEpochBounds, MatchScratch, DOC_WALK_ZONE};

@@ -92,18 +92,18 @@ impl<Z: ZoneMax> Mrio<Z> {
     }
 
     /// Rebuild list `li`'s zone structure from its postings: live entries
-    /// map to their current `u = w/S_k`, tombstones to `-∞`. `vals` is the
-    /// caller's scratch buffer (reused across lists).
+    /// map to their current `u = w/S_k`, tombstones to `-∞` — one shared
+    /// definition ([`ctk_index::list_bound_values`]) with the doc-parallel
+    /// epoch bounds. `vals` is the caller's scratch buffer (reused across
+    /// lists).
     fn rebuild_zone(&mut self, li: u32, vals: &mut Vec<f64>) {
-        let list = self.index.list(li);
-        vals.clear();
-        vals.extend(list.as_slice().iter().map(|p| {
-            if p.is_tombstone() {
-                f64::NEG_INFINITY
-            } else {
-                self.base.normalized_of(p.qid, p.weight as f64)
-            }
-        }));
+        let base = &self.base;
+        ctk_index::list_bound_values(
+            &self.index,
+            li,
+            |qid, w| base.normalized_of(qid, w as f64),
+            vals,
+        );
         self.zones[li as usize].rebuild(vals);
     }
 

@@ -10,82 +10,9 @@ use crate::engine::EngineBase;
 use crate::stats::{CumulativeStats, EventStats};
 use crate::topk::TopKState;
 use crate::traits::{ContinuousTopK, ResultChange};
-use ctk_common::{Document, FxHashMap, QueryId, QuerySpec, ScoredDoc, TermId};
+use crate::walk::{collect_scored_candidates, MatchScratch};
+use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc};
 use ctk_index::QueryIndex;
-
-/// Reusable scratch for [`collect_scored_candidates`]: the per-event
-/// document-weight map and the epoch-stamped dedup array.
-#[derive(Debug, Default)]
-pub(crate) struct MatchScratch {
-    doc_weights: FxHashMap<TermId, f64>,
-    seen: Vec<u32>,
-    epoch: u32,
-}
-
-/// The term-filtered exhaustive walk: collect every live query sharing at
-/// least one term with `doc` (via the ID-ordered lists), ascending query
-/// id, together with its **exact raw cosine** (f64 accumulation over the
-/// query's registration record, in record order), updating the walk
-/// counters in `ev`.
-///
-/// This single function is the arithmetic that both the [`Naive`] oracle
-/// and the doc-parallel monitor's scorer workers run — sharing it is what
-/// makes "bit-identical across sharding modes" a structural property
-/// rather than two copies that must be kept in sync by hand.
-pub(crate) fn collect_scored_candidates(
-    index: &QueryIndex,
-    doc: &Document,
-    s: &mut MatchScratch,
-    ev: &mut EventStats,
-    out: &mut Vec<(QueryId, f64)>,
-) {
-    out.clear();
-    s.doc_weights.clear();
-    for (t, f) in doc.vector.iter() {
-        s.doc_weights.insert(t, f as f64);
-    }
-    if s.seen.len() < index.num_slots() {
-        s.seen.resize(index.num_slots(), 0);
-    }
-    s.epoch = s.epoch.wrapping_add(1);
-    if s.epoch == 0 {
-        // u32 wrap: stale marks could alias the new epoch.
-        s.seen.iter_mut().for_each(|e| *e = 0);
-        s.epoch = 1;
-    }
-
-    // Union of matching queries via the live postings.
-    for (term, _) in doc.vector.iter() {
-        let Some(li) = index.list_of_term(term) else { continue };
-        let list = index.list(li);
-        if list.live() == 0 {
-            continue;
-        }
-        ev.matched_lists += 1;
-        for p in list.iter_live() {
-            ev.postings_accessed += 1;
-            let slot = p.qid.index();
-            if s.seen[slot] != s.epoch {
-                s.seen[slot] = s.epoch;
-                out.push((p.qid, 0.0));
-            }
-        }
-    }
-    out.sort_unstable_by_key(|&(qid, _)| qid);
-
-    for (qid, dot) in out.iter_mut() {
-        let rec = index.record(*qid).expect("live posting implies record");
-        let mut acc = 0.0f64;
-        for e in &rec.entries {
-            if let Some(&f) = s.doc_weights.get(&e.term) {
-                acc += f * e.weight as f64;
-            }
-        }
-        *dot = acc;
-        ev.full_evaluations += 1;
-        ev.iterations += 1;
-    }
-}
 
 /// Term-filtered exhaustive continuous top-k.
 pub struct Naive {

@@ -36,6 +36,22 @@
 //! comparable bit-for-bit); such batches are merged unfiltered, which is
 //! merely slower, never wrong.
 //!
+//! On top of the filter, document mode can prune the **walk itself**
+//! ([`DocPruning`], default auto-engaged at large query populations): the
+//! epoch carries frozen per-list zone-maxima bounds ([`DocEpochBounds`],
+//! rebuilt incrementally at the same copy-on-write points as the index),
+//! and workers skip zones of a postings list whose score upper bound cannot
+//! reach the document's target — MRIO's zone-bound idea applied to the
+//! shared epoch. The same monotonicity argument as the filter makes the
+//! bounds conservative (thresholds only rise ⇒ frozen bounds only
+//! over-estimate), renormalization-crossing batches fall back to the
+//! exhaustive walk, and the first pruning batch after a renormalization
+//! rebuilds the bounds in the new frame. Pruning changes which postings are
+//! *read*, never which candidates survive: results, changes and
+//! per-document insertion counts stay bit-identical to the oracle, while
+//! the walk counters record the skipped work (`zones_skipped`,
+//! `postings_skipped`).
+//!
 //! Both modes speak the same [`MonitorBackend`] contract as the
 //! single-engine [`crate::Monitor`]: applications register with plain
 //! [`QueryId`]s and never see the routing. In query mode each public id
@@ -61,19 +77,41 @@
 //! engines outright, document-mode workers share only an immutable epoch
 //! (no locks on the hot path in either mode).
 
-use crate::backend::{MonitorBackend, PublishReceipt, ShardingMode};
+use crate::backend::{DocPruning, MonitorBackend, PublishReceipt, ShardingMode};
 use crate::engine::EngineBase;
 use crate::monitor::{ShardSnapshot, Snapshot, SnapshotQuery, SNAPSHOT_VERSION};
-use crate::naive::{collect_scored_candidates, MatchScratch};
 use crate::score::DecayModel;
 use crate::stats::{CumulativeStats, EventStats};
 use crate::traits::{ContinuousTopK, ResultChange};
+use crate::walk::{
+    collect_scored_candidates, collect_scored_candidates_bounded, DocEpochBounds, MatchScratch,
+};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use ctk_common::{DocId, Document, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
+use ctk_common::{DocId, Document, FxHashSet, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
 use ctk_index::QueryIndex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Live-query population at which [`DocPruning::Auto`] switches
+/// document-mode workers from the exhaustive to the bounded walk.
+///
+/// The value is set *above* the largest population the `walk` Criterion
+/// bench (`crates/core/benches/walk.rs`) measures the exhaustive walk
+/// still winning on this class of hardware: at 100k queries the bounded
+/// walk is within ~1.1–1.2× of exhaustive (down from ~2.7× slower at 1k),
+/// and the gap closes roughly with `log(queries)/queries`, putting the
+/// extrapolated crossover in the paper's 0.25M–4M CTQD regime. `Auto`
+/// therefore never engages inside the measured losing range; deployments
+/// in the paper's regime (or with much longer postings lists per zone
+/// probe) should measure with `sweep_shards --queries --pruning on` and
+/// force [`DocPruning::On`].
+pub const DOC_PRUNING_AUTO_MIN_QUERIES: usize = 262_144;
+
+/// Deferred bound tightenings ([`DocShards::stale`]) at which the monitor
+/// folds them into the epoch bounds before attaching them to a batch.
+/// Between refreshes the bounds are merely stale-high — valid but looser.
+const BOUNDS_REFRESH_STALE: usize = 64;
 
 /// Internal routing of one public query id (query mode only).
 #[derive(Debug, Clone, Copy)]
@@ -155,6 +193,11 @@ struct DocJob {
     /// `None` when a renormalization could fire before the merge — the
     /// worker then forwards every candidate unfiltered.
     filter: Option<CandidateFilter>,
+    /// Frozen zone-maxima bounds over `index`, when pruning is engaged for
+    /// this batch. Only ever `Some` alongside a filter (the bounds prove a
+    /// candidate *would fail that filter*; without the filter's frozen
+    /// frame there is nothing sound to prove).
+    bounds: Option<Arc<DocEpochBounds>>,
 }
 
 enum DocCommand {
@@ -210,13 +253,29 @@ struct DocShards {
     /// so quiet stretches of the stream (the common steady state) submit
     /// batch after batch without re-materializing the O(queries) snapshot.
     filter_cache: Option<CandidateFilter>,
+    /// Zone-maxima bounds over the current epoch, frozen while attached to
+    /// in-flight jobs, mutated copy-on-write at the same points as `index`.
+    bounds: Arc<DocEpochBounds>,
+    /// Whether (and when) workers consult `bounds` — see [`DocPruning`].
+    pruning: DocPruning,
+    /// Set when frozen bound values may **under-estimate** the live
+    /// `u = w/S_k` (a renormalization scaled thresholds down, or a restore
+    /// changed the frame): pruning stays off until a full rebuild.
+    bounds_dirty: bool,
+    /// Queries whose `S_k` rose since their bound values were written —
+    /// deferred tightenings, folded in once enough accumulate. Purely an
+    /// optimization debt: stale-high bounds are still upper bounds.
+    stale: FxHashSet<QueryId>,
 }
 
 /// Score one slice of a batch against an index epoch: the term-filtered
-/// exhaustive walk — literally [`collect_scored_candidates`], the same
-/// function (same arithmetic, same counter semantics) the [`crate::Naive`]
-/// oracle runs — followed by the optional threshold filter. Pure: the only
-/// engine state it reads is the immutable epoch.
+/// walk — exhaustive ([`collect_scored_candidates`], the same function with
+/// the same arithmetic and counter semantics the [`crate::Naive`] oracle
+/// runs) or, when the job carries frozen epoch bounds, the bounded walk
+/// ([`collect_scored_candidates_bounded`]: identical surviving candidates
+/// and dots, zones the bounds refute skipped wholesale) — followed by the
+/// optional threshold filter. Pure: the only engine state it reads is the
+/// immutable epoch.
 fn score_slice(
     job: &DocJob,
     scratch: &mut MatchScratch,
@@ -227,10 +286,24 @@ fn score_slice(
     let mut candidates = Vec::with_capacity(job.len);
     for doc in &job.docs[job.start..job.start + job.len] {
         let mut ev = EventStats::default();
-        collect_scored_candidates(index, doc, scratch, &mut ev, scored);
         let kept = match &job.filter {
-            None => scored.clone(),
+            None => {
+                collect_scored_candidates(index, doc, scratch, &mut ev, scored);
+                scored.clone()
+            }
             Some(f) => {
+                match &job.bounds {
+                    None => collect_scored_candidates(index, doc, scratch, &mut ev, scored),
+                    Some(b) => {
+                        // The bounded walk prunes against the same frozen
+                        // frame the filter tests in: θ_d is the filter's
+                        // amplification inverted.
+                        let theta = f.decay.theta(doc.arrival);
+                        collect_scored_candidates_bounded(
+                            index, b, theta, doc, scratch, &mut ev, scored,
+                        );
+                    }
+                }
                 // One exp() per document, not per candidate.
                 let amp = f.decay.amplification(doc.arrival);
                 scored
@@ -244,6 +317,28 @@ fn score_slice(
         candidates.push(kept);
     }
     DocReply { stats, candidates }
+}
+
+impl DocShards {
+    /// Should the next batch consult the epoch bounds?
+    fn pruning_wanted(&self) -> bool {
+        match self.pruning {
+            DocPruning::Off => false,
+            DocPruning::On => true,
+            DocPruning::Auto => self.index.num_live() >= DOC_PRUNING_AUTO_MIN_QUERIES,
+        }
+    }
+}
+
+/// Exclusive, thawed access to an epoch's bounds for a mutation point.
+/// Copy-on-write: in-flight jobs hold `Arc` clones of the (frozen) epochs
+/// they score against, so `make_mut` clones rather than handing back an
+/// instance a worker can read; the debug assertions inside
+/// [`DocEpochBounds`] pin that a frozen epoch is never mutated in place.
+fn thawed(bounds: &mut Arc<DocEpochBounds>) -> &mut DocEpochBounds {
+    let b = Arc::make_mut(bounds);
+    b.thaw();
+    b
 }
 
 enum Runtime {
@@ -386,6 +481,10 @@ impl ShardedMonitor {
                 compact_at: 0.0,
                 next_start: 0,
                 filter_cache: None,
+                bounds: Arc::new(DocEpochBounds::new()),
+                pruning: DocPruning::default(),
+                bounds_dirty: false,
+                stale: FxHashSet::default(),
             })),
             specs: Vec::new(),
             live: 0,
@@ -429,6 +528,24 @@ impl ShardedMonitor {
         }
     }
 
+    /// Configure whether document-mode scorer workers prune their walk
+    /// with the shared epoch's zone-maxima bounds (see [`DocPruning`];
+    /// default [`DocPruning::Auto`]). No effect in query mode, whose
+    /// engines carry their own bounds.
+    pub fn set_doc_pruning(&mut self, pruning: DocPruning) {
+        if let Runtime::Documents(rt) = &mut self.runtime {
+            rt.pruning = pruning;
+        }
+    }
+
+    /// The configured document-mode pruning policy (`None` in query mode).
+    pub fn doc_pruning(&self) -> Option<DocPruning> {
+        match &self.runtime {
+            Runtime::Queries(_) => None,
+            Runtime::Documents(rt) => Some(rt.pruning),
+        }
+    }
+
     /// Configure how [`ShardedMonitor::publish_batch`] drives the pipeline:
     /// the publish is split into chunks of `batch_size` documents (0 = one
     /// chunk) with up to `window` chunks in flight (0 = fully synchronous).
@@ -465,6 +582,13 @@ impl ShardedMonitor {
                 let qid = Arc::make_mut(&mut rt.index).register(&spec.vector, spec.k as u32);
                 debug_assert_eq!(qid, global, "shared index allocates the public id space");
                 rt.base.push_state(spec.k as u32);
+                // Mirror the new postings into the epoch bounds (the fresh
+                // query is unfilled, so its positions carry +inf and its
+                // zones are unprunable until it fills — warm-up semantics).
+                let (base, index) = (&rt.base, &rt.index);
+                let entries = &index.record(qid).expect("just registered").entries;
+                thawed(&mut rt.bounds)
+                    .append_registration(qid, entries, |q, w| base.normalized_of(q, w as f64));
                 rt.filter_cache = None;
             }
         }
@@ -494,9 +618,13 @@ impl ShardedMonitor {
                     rt.pending.is_empty(),
                     "doc-parallel unregistration requires a quiesced pipeline; drain first"
                 );
-                let removed = Arc::make_mut(&mut rt.index).unregister(qid).is_some();
-                debug_assert!(removed, "spec table said the query was live");
+                let record = Arc::make_mut(&mut rt.index).unregister(qid);
+                debug_assert!(record.is_some(), "spec table said the query was live");
+                if let Some(rec) = record {
+                    thawed(&mut rt.bounds).tombstone_registration(&rec.entries);
+                }
                 rt.base.drop_state(qid);
+                rt.stale.remove(&qid);
                 rt.filter_cache = None;
             }
         }
@@ -528,6 +656,12 @@ impl ShardedMonitor {
                     "doc-parallel seeding requires a quiesced pipeline; drain first"
                 );
                 rt.base.seed(qid, seeds);
+                // The seed can only have *raised* the query's threshold, so
+                // its frozen bound values are now stale-high — valid but
+                // loose; queue the tightening when anything will flush it.
+                if rt.pruning_wanted() {
+                    rt.stale.insert(qid);
+                }
                 rt.filter_cache = None;
             }
         }
@@ -606,6 +740,40 @@ impl ShardedMonitor {
                     }
                     rt.filter_cache.clone()
                 };
+                // Epoch bounds ride along when pruning is engaged and the
+                // batch has a valid frozen frame (`filter`). Bounds built
+                // under older (lower) thresholds only over-estimate — the
+                // conservative direction — so the only maintenance the hot
+                // path ever pays here is a deferred-tightening flush or, on
+                // the first batch after a renormalization, a full rebuild
+                // in the new frame.
+                let bounds = if filter.is_some() && rt.pruning_wanted() {
+                    if rt.bounds_dirty {
+                        let (base, index) = (&rt.base, &rt.index);
+                        thawed(&mut rt.bounds)
+                            .rebuild_all(index, |q, w| base.normalized_of(q, w as f64));
+                        rt.bounds_dirty = false;
+                        rt.stale.clear();
+                    } else if rt.stale.len() >= BOUNDS_REFRESH_STALE {
+                        let (base, index) = (&rt.base, &rt.index);
+                        let b = thawed(&mut rt.bounds);
+                        for qid in rt.stale.drain() {
+                            if let Some(rec) = index.record(qid) {
+                                b.refresh_query(qid, &rec.entries, |q, w| {
+                                    base.normalized_of(q, w as f64)
+                                });
+                            }
+                        }
+                    }
+                    if !rt.bounds.is_frozen() {
+                        // Only ever unfrozen while exclusively owned, so
+                        // this never clones.
+                        Arc::make_mut(&mut rt.bounds).freeze();
+                    }
+                    Some(Arc::clone(&rt.bounds))
+                } else {
+                    None
+                };
                 // Contiguous slices in stream order, rotating the first
                 // worker per batch so small batches spread across shards.
                 let mut slices = Vec::with_capacity(s);
@@ -625,6 +793,7 @@ impl ShardedMonitor {
                             start,
                             len: count,
                             filter: filter.clone(),
+                            bounds: bounds.clone(),
                         }))
                         .expect("worker alive");
                     slices.push((w as u32, count));
@@ -669,12 +838,14 @@ impl ShardedMonitor {
                 let mut changes: Vec<(u32, ResultChange)> = Vec::new();
                 let mut doc_i = 0usize;
                 let mut thresholds_moved = false;
+                let mut renormalized = false;
                 for &(w, count) in &pending.slices {
                     let reply = rt.workers[w as usize].reply_rx.recv().expect("worker reply");
                     debug_assert_eq!(reply.stats.len(), count, "worker answered a different slice");
                     for (mut ev, cands) in reply.stats.into_iter().zip(reply.candidates) {
                         let doc = &pending.docs[doc_i];
                         let (_theta, amp, renorm) = rt.base.begin_event(doc.arrival);
+                        renormalized |= renorm.is_some();
                         thresholds_moved |= renorm.is_some();
                         for (qid, raw_dot) in cands {
                             if rt.base.offer(qid, doc, raw_dot, amp) {
@@ -695,11 +866,46 @@ impl ShardedMonitor {
                     // the frame): the memoized submit-time filter is stale.
                     rt.filter_cache = None;
                 }
+                if renormalized {
+                    // Thresholds were scaled *down*: frozen bound values now
+                    // under-estimate `u = w/S_k` — the one direction pruning
+                    // cannot absorb. Disable it until a full rebuild in the
+                    // new frame (next pruning submit), and drop the queued
+                    // tightenings the rebuild subsumes.
+                    rt.bounds_dirty = true;
+                    rt.stale.clear();
+                } else if rt.pruning_wanted() {
+                    // Insertions only *raise* thresholds: queue the bound
+                    // tightenings instead of touching the shared epoch on
+                    // the hot path. (With pruning off — or auto below its
+                    // population threshold — there is no consumer, and
+                    // stale-high bounds are sound anyway, so don't pay the
+                    // inserts.)
+                    for (_, c) in &changes {
+                        rt.stale.insert(c.query);
+                    }
+                }
                 // Batch boundary: compact the epoch when dead postings pile
                 // up. In-flight batches keep their (pre-compaction) epoch —
                 // copy-on-write makes this safe even mid-pipeline.
                 if rt.compact_at > 0.0 && rt.index.tombstone_ratio() >= rt.compact_at {
-                    Arc::make_mut(&mut rt.index).compact();
+                    let changed_lists = Arc::make_mut(&mut rt.index).compact();
+                    if !changed_lists.is_empty() {
+                        // Compaction moved positions AND shrank lists:
+                        // realign exactly the affected lists' bounds
+                        // unconditionally — even a dirty epoch must keep
+                        // its per-list lengths matching the index, or the
+                        // next registration's appends land at the wrong
+                        // positions. (A dirty epoch is rebuilt in full at
+                        // the next pruning submit regardless; this rebuild
+                        // with current thresholds is simply its down
+                        // payment on the changed lists.)
+                        let (base, index) = (&rt.base, &rt.index);
+                        let b = thawed(&mut rt.bounds);
+                        for li in changed_lists {
+                            b.rebuild_list(index, li, |q, w| base.normalized_of(q, w as f64));
+                        }
+                    }
                 }
                 Some((stats, changes))
             }
@@ -953,6 +1159,10 @@ impl MonitorBackend for ShardedMonitor {
             Runtime::Documents(rt) => {
                 rt.base.decay.restore_landmark(landmark);
                 rt.filter_cache = None;
+                // The decay frame moved arbitrarily: frozen bound values
+                // are not comparable to post-restore thresholds.
+                rt.bounds_dirty = true;
+                rt.stale.clear();
             }
         }
     }
@@ -1412,6 +1622,208 @@ mod tests {
         assert_eq!(m.results(q).unwrap().len(), 3);
         let per_shard = m.shard_cumulative();
         assert_eq!(per_shard.iter().map(|c| c.events).sum::<u64>(), 3);
+    }
+
+    // --- document-mode walk pruning ---
+
+    /// Pruned doc mode vs the oracle: results, changes and per-document
+    /// insertion counts bit-identical; the walk counters may only *shift*
+    /// work from `postings_accessed` into `postings_skipped`, never lose
+    /// any.
+    fn doc_mode_pruned_against_naive(shards: usize, lambda: f64, batch: usize, window: usize) {
+        let mut sharded = ShardedMonitor::new_doc_parallel(shards, lambda);
+        sharded.set_doc_pruning(DocPruning::On);
+        let mut single = Naive::new(lambda);
+        let ids: Vec<QueryId> = (0..200)
+            .map(|i| {
+                let s = spec(&[i % 4, 4 + i % 3], 1 + (i % 2) as usize);
+                let qid = sharded.register(s.clone());
+                assert_eq!(qid, single.register(s));
+                qid
+            })
+            .collect();
+
+        let docs: Vec<Document> = (0..120u64)
+            .map(|i| doc(i, &[((i % 4) as u32, 1.0), ((4 + i % 3) as u32, 0.5)], i as f64 * 2.0))
+            .collect();
+        let mut single_stats = Vec::new();
+        let mut single_changes = Vec::new();
+        for d in &docs {
+            single_stats.push(single.process(d));
+            single_changes.extend_from_slice(single.last_changes());
+        }
+        let mut sharded_stats = Vec::new();
+        let mut sharded_changes = Vec::new();
+        sharded.run_pipelined(docs.chunks(batch).map(<[_]>::to_vec), window, |evs, ch| {
+            sharded_stats.extend(evs);
+            sharded_changes.extend(ch.into_iter().map(|(_, c)| c));
+        });
+
+        assert_eq!(single_changes, sharded_changes, "changes are bit-identical under pruning");
+        for qid in &ids {
+            assert_eq!(sharded.results(*qid), single.results(*qid), "query {qid}");
+        }
+        assert_eq!(single_stats.len(), sharded_stats.len());
+        for (i, (a, b)) in single_stats.iter().zip(&sharded_stats).enumerate() {
+            assert_eq!(a.updates, b.updates, "doc {i}: insertions are walk-independent");
+            assert_eq!(a.matched_lists, b.matched_lists, "doc {i}");
+            assert!(b.postings_accessed <= a.postings_accessed, "doc {i}: pruning never adds work");
+            assert!(
+                b.postings_accessed + b.postings_skipped >= a.postings_accessed,
+                "doc {i}: skipped zones must account for the oracle's extra reads"
+            );
+            assert!(b.full_evaluations <= a.full_evaluations, "doc {i}");
+        }
+    }
+
+    #[test]
+    fn doc_mode_pruned_matches_naive_synchronous() {
+        doc_mode_pruned_against_naive(3, 0.001, 16, 0);
+    }
+
+    #[test]
+    fn doc_mode_pruned_matches_naive_pipelined() {
+        doc_mode_pruned_against_naive(2, 0.001, 8, 2);
+    }
+
+    #[test]
+    fn doc_mode_pruned_matches_naive_across_renormalization() {
+        // λ = 0.5 over arrivals up to ~240 crosses the renorm headroom (60)
+        // several times: crossing batches must fall back to the exhaustive
+        // walk and the first pruning batch after each crossing must rebuild
+        // the bounds in the new frame.
+        doc_mode_pruned_against_naive(2, 0.5, 8, 1);
+    }
+
+    #[test]
+    fn doc_mode_pruning_skips_work_and_keeps_results() {
+        let n = 300usize;
+        let mk = |pruning: DocPruning| {
+            let mut m = ShardedMonitor::new_doc_parallel(2, 0.0);
+            m.set_doc_pruning(pruning);
+            for _ in 0..n {
+                m.register(spec(&[1, 2], 1));
+            }
+            m
+        };
+        let mut pruned = mk(DocPruning::On);
+        let mut exhaustive = mk(DocPruning::Off);
+        assert_eq!(pruned.doc_pruning(), Some(DocPruning::On));
+
+        // Fill every top-1 with a perfect match (all queries unfilled at
+        // submit: every bound is +inf, nothing may be skipped yet)...
+        let fill = vec![doc(0, &[(1, 1.0), (2, 1.0)], 0.0)];
+        pruned.process_batch(fill.clone());
+        exhaustive.process_batch(fill);
+        // ...then stream weak documents: every zone is now refutable.
+        for b in 0..4u64 {
+            let batch: Vec<Document> = (0..8)
+                .map(|i| doc(1 + b * 8 + i, &[(1, 1.0), (9, 3.0)], (1 + b * 8 + i) as f64))
+                .collect();
+            let (sa, ca) = pruned.process_batch(batch.clone());
+            let (sb, cb) = exhaustive.process_batch(batch);
+            assert_eq!(ca.len(), 0, "no weak document may change a result");
+            assert_eq!(cb.len(), 0);
+            assert_eq!(
+                sa.iter().map(|e| e.updates).collect::<Vec<_>>(),
+                sb.iter().map(|e| e.updates).collect::<Vec<_>>()
+            );
+        }
+        for q in 0..n as u32 {
+            assert_eq!(pruned.results(QueryId(q)), exhaustive.results(QueryId(q)));
+        }
+        let skipped: u64 = pruned.shard_cumulative().iter().map(|c| c.zones_skipped).sum();
+        let pruned_reads: u64 = pruned.shard_cumulative().iter().map(|c| c.postings_accessed).sum();
+        let full_reads: u64 =
+            exhaustive.shard_cumulative().iter().map(|c| c.postings_accessed).sum();
+        assert!(skipped > 0, "the bounded walk must actually skip zones");
+        assert!(pruned_reads < full_reads, "skipping must save posting reads");
+        let none: u64 = exhaustive.shard_cumulative().iter().map(|c| c.zones_skipped).sum();
+        assert_eq!(none, 0, "the exhaustive walk never skips");
+    }
+
+    #[test]
+    fn doc_mode_auto_pruning_engages_at_the_population_threshold() {
+        let run = |queries: usize| -> u64 {
+            let mut m = ShardedMonitor::new_doc_parallel(2, 0.0);
+            assert_eq!(m.doc_pruning(), Some(DocPruning::Auto), "auto is the default");
+            for i in 0..queries {
+                m.register(spec(&[(i % 8) as u32, 8 + (i % 4) as u32], 1));
+            }
+            m.process_batch(vec![doc(0, &[(1, 1.0), (9, 1.0)], 0.0)]);
+            m.process_batch(vec![doc(1, &[(1, 1.0), (9, 1.0)], 1.0)]);
+            m.shard_cumulative().iter().map(|c| c.bound_computations).sum()
+        };
+        assert_eq!(run(64), 0, "small populations keep the exhaustive walk");
+        assert!(run(DOC_PRUNING_AUTO_MIN_QUERIES + 8) > 0, "large populations probe the bounds");
+    }
+
+    #[test]
+    fn doc_mode_pruned_compaction_stays_exact() {
+        let mk = |pruning: DocPruning, ratio: f64| {
+            let mut m = ShardedMonitor::new_doc_parallel(2, 0.0);
+            m.set_doc_pruning(pruning);
+            m.set_compaction_threshold(ratio);
+            let ids: Vec<QueryId> =
+                (0..60).map(|i| m.register(spec(&[i % 5, 5 + i % 3], 1))).collect();
+            (m, ids)
+        };
+        // Pruned + compacting vs exhaustive + lazy: compaction reshuffles
+        // positions, so the bounds of the changed lists must be realigned
+        // or skips would fire against the wrong queries.
+        let (mut pruned, ids_a) = mk(DocPruning::On, 0.15);
+        let (mut lazy, ids_b) = mk(DocPruning::Off, 0.0);
+        for round in 0..3u64 {
+            for q in (round * 12)..(round * 12 + 8) {
+                assert!(pruned.unregister(QueryId(q as u32)));
+                assert!(lazy.unregister(QueryId(q as u32)));
+            }
+            let batch: Vec<Document> = (0..20u64)
+                .map(|i| {
+                    let id = round * 20 + i;
+                    doc(id, &[((id % 5) as u32, 1.0), ((5 + id % 3) as u32, 0.5)], id as f64)
+                })
+                .collect();
+            let (_, ca) = pruned.process_batch(batch.clone());
+            let (_, cb) = lazy.process_batch(batch);
+            let strip = |v: Vec<(u32, ResultChange)>| -> Vec<ResultChange> {
+                v.into_iter().map(|(_, c)| c).collect()
+            };
+            assert_eq!(strip(ca), strip(cb), "round {round}");
+        }
+        for (a, b) in ids_a.iter().zip(&ids_b) {
+            assert_eq!(pruned.results(*a), lazy.results(*b));
+        }
+    }
+
+    #[test]
+    fn doc_mode_register_after_dirty_bounds_compaction_stays_aligned() {
+        // A renormalization and a compaction landing in the *same* drain:
+        // the renorm marks the bounds dirty, but the compaction must still
+        // shrink the affected lists' bounds — otherwise the next
+        // registration appends at post-compaction positions into
+        // pre-compaction-length structures and misaligns every later skip
+        // decision (debug builds catch it via the alignment assertion).
+        let mut m = ShardedMonitor::new_doc_parallel(2, 0.5);
+        m.set_doc_pruning(DocPruning::On);
+        m.set_compaction_threshold(0.1);
+        for i in 0..40 {
+            m.register(spec(&[1, 2 + i % 3], 1));
+        }
+        m.process_batch(vec![doc(0, &[(1, 1.0)], 0.0)]);
+        // Pile up tombstones, then cross the renorm headroom (λ·Δτ > 60)
+        // with one batch: its drain renormalizes AND compacts.
+        for q in 0..20u32 {
+            assert!(m.unregister(QueryId(q)));
+        }
+        m.process_batch(vec![doc(1, &[(1, 1.0)], 130.0)]);
+
+        let q = m.register(spec(&[1], 1));
+        let (_, changes) = m.process(doc(2, &[(1, 1.0)], 131.0));
+        assert!(
+            changes.iter().any(|(_, c)| c.query == q),
+            "the fresh (unfilled) query must receive the matching document"
+        );
     }
 
     #[test]

@@ -24,6 +24,14 @@ pub struct EventStats {
     pub updates: u64,
     /// Document terms that had a non-empty list ("m" in the paper).
     pub matched_lists: u64,
+    /// Index zones skipped wholesale by a bound (the doc-parallel bounded
+    /// walk; 0 for exhaustive walks).
+    pub zones_skipped: u64,
+    /// Postings slots covered by skipped zones — work a bound proved
+    /// unnecessary. Counts slots (live + tombstoned), so
+    /// `postings_accessed + postings_skipped >=` the exhaustive walk's
+    /// `postings_accessed` on the same event.
+    pub postings_skipped: u64,
 }
 
 impl EventStats {
@@ -38,6 +46,8 @@ impl EventStats {
         self.bound_computations += other.bound_computations;
         self.updates += other.updates;
         self.matched_lists += other.matched_lists;
+        self.zones_skipped += other.zones_skipped;
+        self.postings_skipped += other.postings_skipped;
     }
 
     /// Fold this event into a cumulative record.
@@ -49,6 +59,8 @@ impl EventStats {
         cum.bound_computations += self.bound_computations;
         cum.updates += self.updates;
         cum.matched_lists += self.matched_lists;
+        cum.zones_skipped += self.zones_skipped;
+        cum.postings_skipped += self.postings_skipped;
     }
 }
 
@@ -68,6 +80,8 @@ pub struct CumulativeStats {
     pub bound_computations: u64,
     pub updates: u64,
     pub matched_lists: u64,
+    pub zones_skipped: u64,
+    pub postings_skipped: u64,
     /// Landmark renormalizations performed.
     pub renormalizations: u64,
 }
@@ -106,11 +120,15 @@ mod tests {
             bound_computations: 9,
             updates: 1,
             matched_lists: 4,
+            zones_skipped: 2,
+            postings_skipped: 50,
         };
         e.accumulate_into(&mut cum);
         e.accumulate_into(&mut cum);
         assert_eq!(cum.events, 2);
         assert_eq!(cum.full_evaluations, 6);
+        assert_eq!(cum.zones_skipped, 4);
+        assert_eq!(cum.postings_skipped, 100);
         assert_eq!(cum.avg_full_evaluations(), 3.0);
         assert_eq!(cum.avg_iterations(), 7.0);
     }
@@ -124,6 +142,8 @@ mod tests {
             bound_computations: 4,
             updates: 5,
             matched_lists: 6,
+            zones_skipped: 7,
+            postings_skipped: 8,
         };
         let mut b = a;
         b.merge(&a);
@@ -136,6 +156,8 @@ mod tests {
                 bound_computations: 8,
                 updates: 10,
                 matched_lists: 12,
+                zones_skipped: 14,
+                postings_skipped: 16,
             }
         );
         let mut c = EventStats::default();

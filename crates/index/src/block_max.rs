@@ -81,6 +81,10 @@ impl ZoneMax for BlockMax {
     }
 
     fn range_max(&mut self, lo: usize, hi: usize) -> f64 {
+        self.range_max_frozen(lo, hi)
+    }
+
+    fn range_max_frozen(&self, lo: usize, hi: usize) -> f64 {
         let (lo, hi) = (lo.min(self.vals.len()), hi.min(self.vals.len()));
         if lo >= hi {
             return f64::NEG_INFINITY;

@@ -1,0 +1,385 @@
+//! Per-epoch, read-only bound structures over a shared [`QueryIndex`].
+//!
+//! The doc-parallel monitor shares one copy-on-write index epoch across
+//! scorer threads; [`EpochBounds`] is the pruning side of that epoch: one
+//! [`ZoneMax`] structure per postings list holding, position-aligned with
+//! the list, each posting's normalized preference `u = w / S_k(q)` frozen at
+//! build time (`+inf` while `q`'s result set is unfilled, `-inf` for
+//! tombstones), plus a per-list global maximum cached at freeze time. A
+//! scorer runs MRIO's zone bound (paper Eq. 3) against them: for an
+//! id-range zone and a document with term weights `f`, every query in the
+//! zone scores at most
+//!
+//! ```text
+//! UB*(zone) = Σ_t f_t · zone_max_t(range of the zone's ids in list t)
+//! ```
+//!
+//! so if `UB*` is below the document's target `θ_d`, no query in the zone
+//! can beat its own threshold and the zone's postings are never read. An
+//! *unfilled* query forces `+inf` into the zones holding it, so those are
+//! always walked — exactly the oracle's warm-up semantics.
+//!
+//! **Staleness model.** Bounds are conservative under the same monotonicity
+//! the submit-time candidate filter relies on: `S_k` only rises while the
+//! structure is frozen, so `u` only shrinks and a frozen bound stays an
+//! upper bound — merges never touch it. Only three events invalidate or
+//! tighten it, all at copy-on-write mutation points (`Arc::make_mut` in the
+//! sharded monitor, where exclusive access is guaranteed):
+//!
+//! * registration appends (`+inf` for the new, unfilled query);
+//! * unregistration / compaction point-updates or per-list rebuilds;
+//! * a decay renormalization *scales thresholds down* — the one event that
+//!   would make frozen bounds under-estimate — so the owner must rebuild
+//!   everything before pruning again (the monitor tracks this as a dirty
+//!   flag and disables pruning for renormalization-crossing batches).
+//!
+//! Mutating a frozen instance is a logic error (a worker could be reading
+//! it); every mutator asserts thawed-ness in debug builds.
+
+use crate::block_max::BlockMax;
+use crate::query_index::{QueryIndex, RecordEntry};
+use crate::zone::ZoneMax;
+use ctk_common::QueryId;
+
+/// Fill `vals` with the bound values of list `li`, position-aligned with
+/// its postings: `-inf` for tombstones, otherwise `u_of(qid, weight)` (the
+/// caller's `u = w/S_k`, `+inf` for unfilled queries). Shared by
+/// [`EpochBounds`] and MRIO's per-list zone rebuilds so both sides compute
+/// one definition of a list's bound values.
+pub fn list_bound_values(
+    index: &QueryIndex,
+    li: u32,
+    mut u_of: impl FnMut(QueryId, f32) -> f64,
+    vals: &mut Vec<f64>,
+) {
+    let list = index.list(li);
+    vals.clear();
+    vals.extend(list.as_slice().iter().map(|p| {
+        if p.is_tombstone() {
+            f64::NEG_INFINITY
+        } else {
+            u_of(p.qid, p.weight)
+        }
+    }));
+}
+
+/// Read-only zone-maxima bounds over one [`QueryIndex`] epoch (see the
+/// module docs). Generic over the [`ZoneMax`] implementation; the default
+/// [`BlockMax`] answers aligned zone queries from its block cache in O(1).
+#[derive(Debug, Clone, Default)]
+pub struct EpochBounds<Z: ZoneMax = BlockMax> {
+    /// One zone structure per postings list, position-aligned with it.
+    lists: Vec<Z>,
+    /// Per list: maximum `u` over the whole list (`+inf` when it hosts an
+    /// unfilled query, `-inf` when empty), cached at freeze time — the
+    /// walk's RIO-style global pre-filter reads it once per matched list.
+    global: Vec<f64>,
+    /// Set while the structure is shared read-only with scorer threads.
+    frozen: bool,
+}
+
+impl<Z: ZoneMax + Default> EpochBounds<Z> {
+    pub fn new() -> Self {
+        EpochBounds { lists: Vec::new(), global: Vec::new(), frozen: false }
+    }
+
+    /// Number of tracked lists.
+    pub fn num_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// True while frozen (shared read-only).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Settle deferred maintenance in every list (lazy variants rebuild
+    /// their snapshots), cache the per-list global maxima, and mark the
+    /// structure read-only. Idempotent.
+    pub fn freeze(&mut self) {
+        if !self.frozen {
+            self.global.resize(self.lists.len(), f64::NEG_INFINITY);
+            for (z, g) in self.lists.iter_mut().zip(&mut self.global) {
+                z.prepare_frozen();
+                *g = z.range_max_frozen(0, z.len());
+            }
+            self.frozen = true;
+        }
+    }
+
+    /// Re-open the structure for mutation. Callers must hold exclusive
+    /// access (the sharded monitor only thaws behind `Arc::make_mut`, so
+    /// in-flight batches keep reading their own frozen copy).
+    pub fn thaw(&mut self) {
+        self.frozen = false;
+    }
+
+    #[inline]
+    fn assert_thawed(&self) {
+        debug_assert!(
+            !self.frozen,
+            "frozen epoch bounds mutated — a scorer thread could be reading them; \
+             thaw an exclusively owned (copy-on-write) instance first"
+        );
+    }
+
+    /// Rebuild every list's bounds from the index and the caller's current
+    /// `u = w/S_k` (the renormalization / restore path — the only events
+    /// after which frozen values could under-estimate).
+    pub fn rebuild_all(&mut self, index: &QueryIndex, mut u_of: impl FnMut(QueryId, f32) -> f64) {
+        self.assert_thawed();
+        self.lists.resize_with(index.num_lists(), Z::default);
+        let mut vals = Vec::new();
+        for li in 0..index.num_lists() as u32 {
+            self.rebuild_list_inner(index, li, &mut u_of, &mut vals);
+        }
+    }
+
+    /// Rebuild exactly one list (the compaction path: positions moved).
+    pub fn rebuild_list(
+        &mut self,
+        index: &QueryIndex,
+        li: u32,
+        u_of: impl FnMut(QueryId, f32) -> f64,
+    ) {
+        self.assert_thawed();
+        let mut vals = Vec::new();
+        self.rebuild_list_inner(index, li, u_of, &mut vals);
+    }
+
+    fn rebuild_list_inner(
+        &mut self,
+        index: &QueryIndex,
+        li: u32,
+        u_of: impl FnMut(QueryId, f32) -> f64,
+        vals: &mut Vec<f64>,
+    ) {
+        list_bound_values(index, li, u_of, vals);
+        self.lists[li as usize].rebuild(vals);
+    }
+
+    /// Mirror query `qid`'s registration: append one bound value per new
+    /// posting (the index appends in the same order, so positions stay
+    /// aligned), growing the list table when the registration created new
+    /// lists.
+    pub fn append_registration(
+        &mut self,
+        qid: QueryId,
+        entries: &[RecordEntry],
+        mut u_of: impl FnMut(QueryId, f32) -> f64,
+    ) {
+        self.assert_thawed();
+        for e in entries {
+            while self.lists.len() <= e.list as usize {
+                self.lists.push(Z::default());
+            }
+            let z = &mut self.lists[e.list as usize];
+            debug_assert_eq!(e.pos as usize, z.len(), "bounds must stay position-aligned");
+            z.append(u_of(qid, e.weight));
+        }
+    }
+
+    /// Mirror an unregistration: tombstone the query's positions (`-inf`).
+    /// The filled-global caches are left stale-high — still upper bounds.
+    pub fn tombstone_registration(&mut self, entries: &[RecordEntry]) {
+        self.assert_thawed();
+        for e in entries {
+            self.lists[e.list as usize].update(e.pos as usize, f64::NEG_INFINITY);
+        }
+    }
+
+    /// Tighten query `qid`'s positions to its current `u` after its
+    /// threshold rose (insertions, seeding). Outside renormalizations `u`
+    /// only shrinks, so this is a pure tightening; deferring it is always
+    /// sound — the owner batches refreshes and applies them here once
+    /// enough accumulate.
+    pub fn refresh_query(
+        &mut self,
+        qid: QueryId,
+        entries: &[RecordEntry],
+        mut u_of: impl FnMut(QueryId, f32) -> f64,
+    ) {
+        self.assert_thawed();
+        for e in entries {
+            self.lists[e.list as usize].update(e.pos as usize, u_of(qid, e.weight));
+        }
+    }
+
+    /// Upper bound on `u` over positions `[lo, hi)` of list `li`. Read
+    /// path: only meaningful on a frozen instance.
+    #[inline]
+    pub fn zone_max(&self, li: u32, lo: usize, hi: usize) -> f64 {
+        debug_assert!(self.frozen, "zone_max reads require a frozen epoch");
+        self.lists[li as usize].range_max_frozen(lo, hi)
+    }
+
+    /// Upper bound on `u` over the whole of list `li` (`+inf` when it hosts
+    /// an unfilled query), cached at freeze time — the RIO-style global
+    /// pre-filter term.
+    #[inline]
+    pub fn global_max(&self, li: u32) -> f64 {
+        debug_assert!(self.frozen, "global_max reads require a frozen epoch");
+        self.global[li as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suffix_max::SuffixMax;
+    use ctk_common::SparseVector;
+    use ctk_common::TermId;
+
+    fn vector(pairs: &[(u32, f32)]) -> SparseVector {
+        let mut v = SparseVector::from_pairs(pairs.iter().map(|&(t, w)| (TermId(t), w)).collect());
+        v.normalize();
+        v
+    }
+
+    /// A tiny threshold table: `u = w / S_k`, `+inf` while unfilled.
+    fn u_from(thresholds: &[f64]) -> impl FnMut(QueryId, f32) -> f64 + '_ {
+        |qid, w| {
+            let t = thresholds[qid.index()];
+            if t > 0.0 {
+                w as f64 / t
+            } else {
+                f64::INFINITY
+            }
+        }
+    }
+
+    fn build_index(n: usize) -> QueryIndex {
+        let mut ix = QueryIndex::new();
+        for i in 0..n {
+            ix.register(&vector(&[(1, 1.0), (10 + i as u32 % 3, 1.0)]), 1);
+        }
+        ix
+    }
+
+    #[test]
+    fn build_maps_thresholds_tombstones_and_unfilled() {
+        let mut ix = build_index(4);
+        ix.unregister(QueryId(2));
+        // q0 filled at 0.5, q1 at 0.25, q3 unfilled.
+        let thresholds = [0.5, 0.25, 0.0, 0.0];
+        let mut b: EpochBounds = EpochBounds::new();
+        b.rebuild_all(&ix, u_from(&thresholds));
+        b.freeze();
+
+        let li = ix.list_of_term(TermId(1)).unwrap();
+        let w = ix.record(QueryId(0)).unwrap().entries[0].weight as f64;
+        // Position 3 (q3, unfilled) forces +inf into the zone and into the
+        // cached global...
+        assert_eq!(b.zone_max(li, 0, 4), f64::INFINITY);
+        assert_eq!(b.global_max(li), f64::INFINITY);
+        // ...while the tombstoned q2 contributes nothing.
+        assert_eq!(b.zone_max(li, 2, 3), f64::NEG_INFINITY);
+        // A zone of filled entries is exact.
+        assert!((b.zone_max(li, 0, 2) - w / 0.25).abs() < 1e-12);
+        // A list without unfilled residents caches a finite global.
+        let li11 = ix.list_of_term(TermId(11)).unwrap();
+        assert!((b.global_max(li11) - w / 0.25).abs() < 1e-12, "only the filled q1 lives there");
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_full_rebuild() {
+        let mut ix = build_index(3);
+        let thresholds = [0.5, 0.4, 0.0, 0.0, 0.0];
+        let mut inc: EpochBounds = EpochBounds::new();
+        inc.rebuild_all(&ix, u_from(&thresholds));
+
+        // Register mirrors: index first, then bounds (same append order).
+        let q3 = ix.register(&vector(&[(1, 1.0), (99, 2.0)]), 1);
+        inc.append_registration(q3, &ix.record(q3).unwrap().entries.clone(), u_from(&thresholds));
+        // Unregister mirrors.
+        let gone = ix.unregister(QueryId(1)).unwrap();
+        inc.tombstone_registration(&gone.entries);
+        // A threshold rise tightens in place.
+        let thresholds = [0.8, 0.4, 0.0, 0.0, 0.0];
+        inc.refresh_query(
+            QueryId(0),
+            &ix.record(QueryId(0)).unwrap().entries.clone(),
+            u_from(&thresholds),
+        );
+
+        let mut full: EpochBounds = EpochBounds::new();
+        full.rebuild_all(&ix, u_from(&thresholds));
+        inc.freeze();
+        full.freeze();
+        assert_eq!(inc.num_lists(), full.num_lists());
+        for li in 0..full.num_lists() as u32 {
+            let n = ix.list(li).len();
+            for lo in 0..=n {
+                for hi in lo..=n {
+                    let (a, b) = (inc.zone_max(li, lo, hi), full.zone_max(li, lo, hi));
+                    // Incremental may be stale-high (filled-global caches,
+                    // deferred tightenings) but never stale-low.
+                    assert!(a >= b, "list {li} [{lo},{hi}): incremental {a} < rebuilt {b}");
+                }
+            }
+            assert!(inc.global_max(li) >= full.global_max(li));
+        }
+    }
+
+    #[test]
+    fn compaction_rebuild_realigns_positions() {
+        let mut ix = build_index(6);
+        let mut thresholds = vec![0.5; 6];
+        thresholds[4] = 0.25;
+        let mut b: EpochBounds = EpochBounds::new();
+        b.rebuild_all(&ix, u_from(&thresholds));
+        for q in [0u32, 1, 2] {
+            let gone = ix.unregister(QueryId(q)).unwrap();
+            b.tombstone_registration(&gone.entries);
+        }
+        for li in ix.compact() {
+            b.rebuild_list(&ix, li, u_from(&thresholds));
+        }
+        b.freeze();
+        let li = ix.list_of_term(TermId(1)).unwrap();
+        assert_eq!(ix.list(li).len(), 3, "compaction dropped the tombstones");
+        let w = ix.record(QueryId(4)).unwrap().entries[0].weight as f64;
+        // q4's tightest bound must sit at its *new* position (1, not 4).
+        assert!((b.zone_max(li, 1, 2) - w / 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn freeze_settles_suffix_staleness() {
+        // The lazy SuffixMax variant counts decreasing updates but its
+        // frozen read path never rebuilds; freeze() must settle the debt.
+        let mut ix = QueryIndex::new();
+        for _ in 0..200 {
+            ix.register(&vector(&[(1, 1.0)]), 1);
+        }
+        let mut thresholds = vec![0.5; 200];
+        let mut b: EpochBounds<SuffixMax> = EpochBounds::new();
+        b.rebuild_all(&ix, u_from(&thresholds));
+        // Every threshold rises: decreasing updates accumulate staleness
+        // well past SuffixMax's rebuild ratio, but nothing on the frozen
+        // read path would ever settle it.
+        for q in 0..200u32 {
+            thresholds[q as usize] = 4.0;
+            let entries = ix.record(QueryId(q)).unwrap().entries.clone();
+            b.refresh_query(QueryId(q), &entries, u_from(&thresholds));
+        }
+        b.freeze();
+        let li = ix.list_of_term(TermId(1)).unwrap();
+        let w = ix.record(QueryId(0)).unwrap().entries[0].weight as f64;
+        // After the settle the snapshot is exact again: the pre-refresh
+        // bound (w/0.5) has tightened to the true maximum (w/4.0).
+        assert!((b.zone_max(li, 0, 200) - w / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen epoch bounds mutated")]
+    #[cfg(debug_assertions)]
+    fn mutating_a_frozen_epoch_panics() {
+        let ix = build_index(2);
+        let thresholds = [0.5, 0.5];
+        let mut b: EpochBounds = EpochBounds::new();
+        b.rebuild_all(&ix, u_from(&thresholds));
+        b.freeze();
+        let entries = ix.record(QueryId(0)).unwrap().entries.clone();
+        b.tombstone_registration(&entries); // must panic: batch could be in flight
+    }
+}

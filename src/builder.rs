@@ -10,8 +10,8 @@
 use ctk_baselines::{Rta, SortQuer, Tps};
 use ctk_common::{FxHashMap, QueryId};
 use ctk_core::{
-    ContinuousTopK, Monitor, MonitorBackend, MrioBlock, MrioSeg, MrioSuffix, Naive, Rio,
-    ShardedMonitor, ShardingMode, Snapshot,
+    ContinuousTopK, DocPruning, Monitor, MonitorBackend, MrioBlock, MrioSeg, MrioSuffix, Naive,
+    Rio, ShardedMonitor, ShardingMode, Snapshot,
 };
 
 /// Every engine a monitor can run on: the paper's algorithms, the three
@@ -153,17 +153,22 @@ impl std::str::FromStr for EngineKind {
 ///   probes: small-to-medium query populations under high stream rates.
 ///
 /// The crossover is measurable with the `sweep_shards` bench binary
-/// (`--mode query|doc|both`), which records docs/sec per
-/// `mode × shards × batch` cell. Indicatively, in the checked-in
-/// `results/sweep_shards.json` (4 000 queries, smoke scale, 1-core
-/// container, best of 3), doc mode at 2 shards × batch 8 sustains
-/// ~7 400 docs/sec against ~4 100 for query mode at the same
-/// configuration (~1.8×, and ~1.7× the single-threaded engine even
-/// without a second core) — the walk is paid once instead of per shard —
-/// while with hundreds of thousands of queries per shard the
-/// replicated-walk cost amortizes and query mode's pruning engines
-/// (MRIO) win back the lead. Measure with your own workload shape before
-/// committing a deployment to either mode.
+/// (`--mode query|doc|both --queries N,N,...`), which records docs/sec
+/// per `queries × mode × shards × batch` cell with one single-threaded
+/// reference per population (report schema v3; doc-mode cells also
+/// record the bounded walk's `zones_skipped`/`postings_skipped`).
+/// Indicatively, in the checked-in `results/sweep_shards.json` (smoke
+/// scale, 1-core container, best of 3, pruned walk forced on): at
+/// 2 000 queries the two modes are within ~10% of each other
+/// (~9 100–9 900 docs/sec — the walk is cheap, coordination decides);
+/// at 10 000 queries the *exhaustive* doc walk reaches ~1.7× the single
+/// engine while the zone-pruned walk still trails it (probes cost more
+/// than they save below [`ctk_core::DOC_PRUNING_AUTO_MIN_QUERIES`] —
+/// see [`MonitorBuilder::doc_pruning`]) — and with hundreds of
+/// thousands of queries per shard the replicated-walk cost amortizes
+/// and query mode's pruning engines (MRIO) win back the lead. Measure
+/// with your own workload shape before committing a deployment to
+/// either mode.
 ///
 /// ```
 /// use continuous_topk::prelude::*;
@@ -190,6 +195,7 @@ pub struct MonitorBuilder {
     batch_size: usize,
     pipeline_window: usize,
     compaction_threshold: f64,
+    doc_pruning: DocPruning,
 }
 
 impl MonitorBuilder {
@@ -204,6 +210,7 @@ impl MonitorBuilder {
             batch_size: 0,
             pipeline_window: 1,
             compaction_threshold: 0.0,
+            doc_pruning: DocPruning::Auto,
         }
     }
 
@@ -260,6 +267,31 @@ impl MonitorBuilder {
         self
     }
 
+    /// Whether [`ShardingMode::Documents`] workers prune their shared-epoch
+    /// walk with frozen zone-maxima bounds (see [`DocPruning`]). Either
+    /// way results, changes and per-document insertion counts are
+    /// bit-identical to the oracle — only the walk-work counters (and
+    /// throughput) move, so this is purely a throughput knob.
+    ///
+    /// Measured honestly (the `walk` Criterion micro-bench in
+    /// `crates/core/benches`, 1-core container, steady-state thresholds,
+    /// θ_d = 0.95): the bounded walk costs ~2.7× the exhaustive walk per
+    /// 48-term document at 1k queries, ~1.8× at 10k, and ~1.2× at 100k
+    /// (narrow 8-term documents: ~1.3×, ~2.0×, ~1.1×) — the gap closes
+    /// steadily with population because each bound probe refutes ever more
+    /// candidates, but the crossover extrapolates to the paper's 0.25M+
+    /// CTQD regime, beyond what this container can sweep. The default
+    /// [`DocPruning::Auto`] therefore only engages past
+    /// `DOC_PRUNING_AUTO_MIN_QUERIES` (256k) live queries; force
+    /// [`DocPruning::On`] to measure your own workload with
+    /// `sweep_shards --queries ... --pruning on`, whose per-cell
+    /// `zones_skipped` counters show how much walk the bounds refute. No
+    /// effect in query mode.
+    pub fn doc_pruning(mut self, pruning: DocPruning) -> Self {
+        self.doc_pruning = pruning;
+        self
+    }
+
     /// Build the configured backend.
     pub fn build(&self) -> Box<dyn MonitorBackend + Send> {
         match self.sharding {
@@ -279,6 +311,7 @@ impl MonitorBuilder {
             ShardingMode::Documents => {
                 let mut sharded = ShardedMonitor::new_doc_parallel(self.shards, self.lambda);
                 sharded.set_ingest_chunking(self.batch_size, self.pipeline_window);
+                sharded.set_doc_pruning(self.doc_pruning);
                 if self.compaction_threshold > 0.0 {
                     sharded.set_compaction_threshold(self.compaction_threshold);
                 }

@@ -106,9 +106,10 @@ pub mod prelude {
         Timestamp,
     };
     pub use ctk_core::{
-        ContinuousTopK, CumulativeStats, DecayModel, EventStats, Monitor, MonitorBackend, Mrio,
-        MrioBlock, MrioSeg, MrioSuffix, Naive, PublishReceipt, ResultChange, Rio, ShardSnapshot,
-        ShardedMonitor, ShardingMode, Snapshot, SnapshotQuery, SNAPSHOT_VERSION,
+        ContinuousTopK, CumulativeStats, DecayModel, DocPruning, EventStats, Monitor,
+        MonitorBackend, Mrio, MrioBlock, MrioSeg, MrioSuffix, Naive, PublishReceipt, ResultChange,
+        Rio, ShardSnapshot, ShardedMonitor, ShardingMode, Snapshot, SnapshotQuery,
+        SNAPSHOT_VERSION,
     };
     pub use ctk_stream::{
         ArrivalClock, CorpusConfig, CorpusModel, DocumentGenerator, QueryGenerator, QueryWorkload,

@@ -163,6 +163,39 @@ fn doc_compacting_backend_matches_oracle() {
     backend_matches_oracle(doc_mode(2).compact_at(0.15), 1e-3);
 }
 
+// --- and with the bounded (zone-maxima pruned) walk forced on ---
+
+#[test]
+fn doc_pruned_backend_matches_oracle() {
+    // The bounded walk may only skip candidates the submit-time filter
+    // would reject: changes, per-document insertion counts and results all
+    // stay bit-identical through the same shared test body.
+    backend_matches_oracle(doc_mode(4).doc_pruning(DocPruning::On), 1e-3);
+}
+
+#[test]
+fn doc_pruned_pipelined_chunked_backend_matches_oracle() {
+    backend_matches_oracle(
+        doc_mode(4).doc_pruning(DocPruning::On).batch_size(7).pipeline_window(2),
+        1e-3,
+    );
+}
+
+#[test]
+fn doc_pruned_backend_matches_oracle_across_renormalization() {
+    // Renormalizations scale thresholds down — the one direction frozen
+    // bounds cannot absorb: crossing batches must walk exhaustively and
+    // the first pruning batch afterwards must rebuild in the new frame.
+    backend_matches_oracle(doc_mode(2).doc_pruning(DocPruning::On), 0.5);
+}
+
+#[test]
+fn doc_pruned_compacting_backend_matches_oracle() {
+    // Compaction moves postings positions; the changed lists' bounds must
+    // be realigned before the next pruned batch.
+    backend_matches_oracle(doc_mode(2).doc_pruning(DocPruning::On).compact_at(0.15), 1e-3);
+}
+
 /// Snapshot under one configuration, restore under another (different
 /// shard count and/or sharding mode), verified against an oracle that
 /// never restarted — including on the continuation stream.

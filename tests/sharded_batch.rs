@@ -10,7 +10,8 @@
 //!   must not change a single bit of any result;
 //! * **document mode**: workers walk a shared index epoch and candidates
 //!   are merged serially in stream order, so partitioning the *batch*
-//!   across shards (including through the threshold candidate filter) must
+//!   across shards (including through the threshold candidate filter, the
+//!   zone-maxima bounded walk, and threshold-triggered compaction) must
 //!   not change a single bit either.
 //!
 //! Since the sharded monitor allocates public ids from one monotone space,
@@ -59,11 +60,18 @@ proptest! {
             1..6,
         ),
         lambda in prop::sample::select(vec![0.0, 0.05, 0.8]),
+        pruning in prop::sample::select(vec![DocPruning::Off, DocPruning::On]),
+        compact_at in prop::sample::select(vec![0.0, 0.2]),
     ) {
         let mut sharded = match mode {
             ShardingMode::Queries => ShardedMonitor::new(shards, || Naive::new(lambda)),
-            ShardingMode::Documents => ShardedMonitor::new_doc_parallel(shards, lambda),
+            ShardingMode::Documents => {
+                let mut m = ShardedMonitor::new_doc_parallel(shards, lambda);
+                m.set_doc_pruning(pruning);
+                m
+            }
         };
+        sharded.set_compaction_threshold(compact_at);
         let mut single = Naive::new(lambda);
         // Live queries: one public id addresses both front-ends.
         let mut live: Vec<QueryId> = Vec::new();
@@ -141,14 +149,123 @@ proptest! {
                 prop_assert_eq!(summed, total_docs * shards as u64);
             }
             ShardingMode::Documents => {
-                // Every document was scored by exactly one shard, and the
-                // authoritative walk counters match the oracle's exactly.
+                // Every document was scored by exactly one shard.
                 prop_assert_eq!(summed, total_docs);
-                let walked: u64 = per_shard.iter().map(|c| c.postings_accessed).sum();
-                prop_assert_eq!(walked, single.cumulative().postings_accessed);
-                let evals: u64 = per_shard.iter().map(|c| c.full_evaluations).sum();
-                prop_assert_eq!(evals, single.cumulative().full_evaluations);
+                let sum = |f: fn(&CumulativeStats) -> u64| per_shard.iter().map(f).sum::<u64>();
+                let walked = sum(|c| c.postings_accessed);
+                let skipped = sum(|c| c.postings_skipped);
+                let evals = sum(|c| c.full_evaluations);
+                let oracle = single.cumulative();
+                match pruning {
+                    DocPruning::Off | DocPruning::Auto => {
+                        // The exhaustive walk *is* the oracle's walk,
+                        // parallelized: counters match exactly and nothing
+                        // is ever skipped. (Auto stays exhaustive at these
+                        // populations.)
+                        prop_assert_eq!(walked, oracle.postings_accessed);
+                        prop_assert_eq!(evals, oracle.full_evaluations);
+                        prop_assert_eq!(skipped, 0);
+                        prop_assert_eq!(sum(|c| c.zones_skipped), 0);
+                    }
+                    DocPruning::On => {
+                        // The bounded walk may only *shift* work from reads
+                        // into proven skips — and insertions are
+                        // walk-independent.
+                        prop_assert!(walked <= oracle.postings_accessed);
+                        prop_assert!(walked + skipped >= oracle.postings_accessed);
+                        prop_assert!(evals <= oracle.full_evaluations);
+                        prop_assert_eq!(sum(|c| c.updates), oracle.updates);
+                    }
+                }
             }
         }
     }
+}
+
+/// The satellite scenario in one deterministic test: a four-digit query
+/// population with tight thresholds, register/unregister churn, a λ = 0.5
+/// renormalization crossing and threshold-triggered compaction — the
+/// bounded walk must stay bit-identical to the oracle *and* demonstrably
+/// skip work.
+#[test]
+fn bounded_walk_skips_at_scale_while_staying_bit_identical() {
+    let lambda = 0.5;
+    let mut sharded = ShardedMonitor::new_doc_parallel(3, lambda);
+    sharded.set_doc_pruning(DocPruning::On);
+    sharded.set_compaction_threshold(0.15);
+    let mut single = Naive::new(lambda);
+
+    // A homogeneous block of queries over two hot terms (contiguous ids ⇒
+    // homogeneous zones), plus a fringe over rarer terms.
+    let mut live: Vec<QueryId> = Vec::new();
+    for i in 0..1200u32 {
+        let spec = if i % 4 == 3 {
+            QuerySpec::uniform(&[TermId(1), TermId(10 + i % 7)], 1).unwrap()
+        } else {
+            QuerySpec::uniform(&[TermId(1), TermId(2)], 1).unwrap()
+        };
+        let qid = sharded.register(spec.clone());
+        assert_eq!(qid, single.register(spec));
+        live.push(qid);
+    }
+
+    // Each round: one perfect match re-tightens every threshold, then a
+    // burst of weak documents arrives *shortly after* it — under λ = 0.5
+    // a 4.5×-weaker document only overtakes a strong incumbent once
+    // e^(λ·Δτ) exceeds the strength ratio (Δτ ≈ 7.5), so the sub-unit
+    // burst spacing keeps every weak document refutable. Rounds advance
+    // the clock 16 units, so round 8 crosses the λ·Δτ > 60
+    // renormalization headroom (t > 120) mid-stream.
+    let mut next_doc = 0u64;
+    let mut all_changes_sharded: Vec<ResultChange> = Vec::new();
+    let mut all_changes_single: Vec<ResultChange> = Vec::new();
+    let mk = |terms: &[(u32, f32)], at: f64, next: &mut u64| {
+        let d =
+            Document::new(DocId(*next), terms.iter().map(|&(t, w)| (TermId(t), w)).collect(), at);
+        *next += 1;
+        d
+    };
+    for round in 0..10u64 {
+        // Churn between batches: retire a slab (tombstones for compaction).
+        if round > 0 {
+            for _ in 0..25 {
+                let qid = live.remove((round as usize * 7) % live.len());
+                assert!(sharded.unregister(qid));
+                assert!(single.unregister(qid));
+            }
+        }
+        // The perfect match goes through as its own batch so the weak
+        // burst's submit-time snapshot (filter AND frozen bounds) already
+        // reflects the tightened thresholds.
+        let t0 = round as f64 * 16.0;
+        let strong = vec![mk(&[(1, 1.0), (2, 1.0)], t0, &mut next_doc)];
+        let weak: Vec<Document> = (0..19)
+            .map(|i| mk(&[(1, 0.1), (9, 3.0)], t0 + 0.05 * (i + 1) as f64, &mut next_doc))
+            .collect();
+        for batch in [strong, weak] {
+            for d in &batch {
+                single.process(d);
+                all_changes_single.extend_from_slice(single.last_changes());
+            }
+            let (_, ch) = sharded.process_batch(batch);
+            all_changes_sharded.extend(ch.into_iter().map(|(_, c)| c));
+        }
+    }
+    assert!(single.cumulative().renormalizations > 0, "the stream must cross a renorm");
+
+    // Bit-identical outcomes...
+    assert_eq!(all_changes_sharded, all_changes_single);
+    for qid in &live {
+        assert_eq!(sharded.results(*qid), single.results(*qid), "query {qid}");
+    }
+    // ...with real skipping on the books, and the conservation law intact.
+    let per_shard = sharded.shard_cumulative();
+    let sum = |f: fn(&CumulativeStats) -> u64| per_shard.iter().map(f).sum::<u64>();
+    assert!(sum(|c| c.zones_skipped) > 0, "tight thresholds must let zones skip");
+    assert!(sum(|c| c.postings_accessed) < single.cumulative().postings_accessed);
+    assert!(
+        sum(|c| c.postings_accessed) + sum(|c| c.postings_skipped)
+            >= single.cumulative().postings_accessed
+    );
+    assert_eq!(sum(|c| c.updates), single.cumulative().updates);
 }
