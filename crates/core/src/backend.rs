@@ -18,7 +18,8 @@
 use crate::monitor::Snapshot;
 use crate::stats::EventStats;
 use crate::traits::ResultChange;
-use ctk_common::{DocId, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
+use ctk_common::{DocId, Document, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
+use serde::{Deserialize, Serialize};
 
 /// How a parallel monitor partitions its work across worker shards.
 ///
@@ -144,11 +145,116 @@ impl std::str::FromStr for DocPruning {
     }
 }
 
+/// A typed publish request: the documents of one ingest call, each a
+/// `(term, weight)` pair list plus its arrival timestamp.
+///
+/// This is the one input shape every front door accepts —
+/// [`MonitorBackend::publish_request`], the HTTP wire layer, the examples
+/// and the bench harness all build one of these instead of hand-assembling
+/// `Vec<(TermId, f32)>` tuples in their own shapes. Conversions cover the
+/// common origins:
+///
+/// * `Vec<(TermId, f32)>` — a single document, arrival 0 (the backend
+///   clamps arrivals monotone, so 0 means "now" on a live stream);
+/// * `(Vec<(TermId, f32)>, Timestamp)` — a single timestamped document;
+/// * `Vec<(Vec<(TermId, f32)>, Timestamp)>` — a raw batch (the legacy
+///   `publish_batch` argument shape);
+/// * `&[Document]` / iterators of pair lists — generator and replay input.
+///
+/// ```
+/// use ctk_core::PublishRequest;
+/// use ctk_common::TermId;
+///
+/// let single: PublishRequest = vec![(TermId(3), 1.0)].into();
+/// assert_eq!(single.len(), 1);
+/// let batch = PublishRequest::new().doc(vec![(TermId(3), 1.0)], 0.0).doc(vec![], 1.0);
+/// assert_eq!(batch.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PublishRequest {
+    docs: Vec<(Vec<(TermId, f32)>, Timestamp)>,
+}
+
+impl PublishRequest {
+    /// An empty request; add documents with [`PublishRequest::doc`] /
+    /// [`PublishRequest::push`].
+    pub fn new() -> Self {
+        PublishRequest::default()
+    }
+
+    /// Append a document (builder style).
+    pub fn doc(mut self, pairs: Vec<(TermId, f32)>, arrival: Timestamp) -> Self {
+        self.push(pairs, arrival);
+        self
+    }
+
+    /// Append a document.
+    pub fn push(&mut self, pairs: Vec<(TermId, f32)>, arrival: Timestamp) {
+        self.docs.push((pairs, arrival));
+    }
+
+    /// Number of documents in the request.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the request holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The raw batch shape consumed by [`MonitorBackend::publish_batch`].
+    pub fn into_batch(self) -> Vec<(Vec<(TermId, f32)>, Timestamp)> {
+        self.docs
+    }
+}
+
+impl From<Vec<(TermId, f32)>> for PublishRequest {
+    /// A single document with arrival 0 (clamped monotone by the backend).
+    fn from(pairs: Vec<(TermId, f32)>) -> Self {
+        PublishRequest { docs: vec![(pairs, 0.0)] }
+    }
+}
+
+impl From<(Vec<(TermId, f32)>, Timestamp)> for PublishRequest {
+    fn from(doc: (Vec<(TermId, f32)>, Timestamp)) -> Self {
+        PublishRequest { docs: vec![doc] }
+    }
+}
+
+impl From<Vec<(Vec<(TermId, f32)>, Timestamp)>> for PublishRequest {
+    fn from(docs: Vec<(Vec<(TermId, f32)>, Timestamp)>) -> Self {
+        PublishRequest { docs }
+    }
+}
+
+impl From<&[Document]> for PublishRequest {
+    /// Re-publish materialized documents (stream replay, generator output).
+    /// Carries each document's vector and arrival; the receiving backend
+    /// assigns fresh ids.
+    fn from(docs: &[Document]) -> Self {
+        PublishRequest {
+            docs: docs.iter().map(|d| (d.vector.iter().collect(), d.arrival)).collect(),
+        }
+    }
+}
+
+impl FromIterator<(Vec<(TermId, f32)>, Timestamp)> for PublishRequest {
+    fn from_iter<I: IntoIterator<Item = (Vec<(TermId, f32)>, Timestamp)>>(iter: I) -> Self {
+        PublishRequest { docs: iter.into_iter().collect() }
+    }
+}
+
 /// The typed outcome of a [`MonitorBackend::publish`] /
 /// [`MonitorBackend::publish_batch`] call: the ids assigned to the admitted
 /// documents, every result change they caused, and per-document work
 /// counters (summed across shards on sharded backends).
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Serializes with serde (the HTTP server returns one per `POST /publish`,
+/// and the load harness reads the same schema back), so the wire shape is
+/// exactly this struct: `{"doc_ids": [...], "changes": [...], "stats":
+/// [...]}`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PublishReceipt {
     /// Ids assigned to the admitted documents, in submission order.
     pub doc_ids: Vec<DocId>,
@@ -212,8 +318,9 @@ impl PublishReceipt {
 ///
 /// * `register` assigns unique, monotonically increasing [`QueryId`]s,
 ///   regardless of how queries are partitioned internally.
-/// * `publish`/`publish_batch` allocate document ids in submission order and
-///   clamp arrival timestamps to be monotone across calls.
+/// * `publish_request` (and its `publish`/`publish_batch` wrappers)
+///   allocates document ids in submission order and clamps arrival
+///   timestamps to be monotone across calls.
 /// * After identical `register`/`unregister`/`publish` sequences, two
 ///   backends with the same `lambda` report **bit-identical** `results` for
 ///   every query, whatever their engine kind or shard count (checked against
@@ -221,6 +328,29 @@ impl PublishReceipt {
 /// * `snapshot` captures the full monitor state; [`Snapshot::restore_into`]
 ///   rebuilds it on any freshly built backend of the same `lambda` —
 ///   including one with a different shard count.
+///
+/// ## Wire visibility
+///
+/// The `ctk-server` HTTP daemon exposes this trait one-to-one, so its
+/// methods split into a **wire-visible** surface and **internal plumbing**:
+///
+/// * Exposed by the HTTP layer: `register` (`POST /queries`), `unregister`
+///   (`DELETE /queries/{id}`), `publish_request` (`POST /publish`, returning
+///   the serialized [`PublishReceipt`]), `results`
+///   (`GET /queries/{id}/results`), `num_queries`/`shards`/`sharding_mode`/
+///   `lambda` (folded into `GET /stats`), and `snapshot` (`POST /snapshot`).
+///   Anything these return may therefore appear verbatim in HTTP responses:
+///   public [`QueryId`]s, [`DocId`]s, scores and per-document
+///   [`EventStats`] are all wire-visible, deliberately — work counters are
+///   part of the paper's evaluation surface, not a secret.
+/// * Hidden by the HTTP layer: the restore plumbing (`restore_landmark`,
+///   `restore_stream_position`, `seed_results`). These are only sound in
+///   the middle of [`Snapshot::restore_into`] on a fresh backend; the
+///   server's `POST /restore` drives them through that one entry point and
+///   never exposes them individually. Engine internals (shard routes,
+///   landmark frames, decayed score representations) likewise never cross
+///   the wire: scores are always reported in the current landmark frame,
+///   exactly as `results` returns them.
 pub trait MonitorBackend {
     /// Register a user's continuous query; returns its public id.
     fn register(&mut self, spec: QuerySpec) -> QueryId;
@@ -228,12 +358,24 @@ pub trait MonitorBackend {
     /// Remove a query. Returns false when the id is unknown or removed.
     fn unregister(&mut self, qid: QueryId) -> bool;
 
-    /// Publish one document to the stream.
-    fn publish(&mut self, pairs: Vec<(TermId, f32)>, arrival: Timestamp) -> PublishReceipt;
+    /// Publish the documents of a typed [`PublishRequest`] through the
+    /// backend's batched (and, on sharded backends, pipelined) ingestion
+    /// path. This is the one ingestion entry point implementations provide;
+    /// [`MonitorBackend::publish`] and [`MonitorBackend::publish_batch`]
+    /// are thin wrappers over it.
+    fn publish_request(&mut self, request: PublishRequest) -> PublishReceipt;
 
-    /// Publish a batch of documents through the backend's batched (and, on
-    /// sharded backends, pipelined) ingestion path.
-    fn publish_batch(&mut self, batch: Vec<(Vec<(TermId, f32)>, Timestamp)>) -> PublishReceipt;
+    /// Publish one document to the stream. Wrapper over
+    /// [`MonitorBackend::publish_request`].
+    fn publish(&mut self, pairs: Vec<(TermId, f32)>, arrival: Timestamp) -> PublishReceipt {
+        self.publish_request(PublishRequest::from((pairs, arrival)))
+    }
+
+    /// Publish a batch of documents. Wrapper over
+    /// [`MonitorBackend::publish_request`].
+    fn publish_batch(&mut self, batch: Vec<(Vec<(TermId, f32)>, Timestamp)>) -> PublishReceipt {
+        self.publish_request(PublishRequest::from(batch))
+    }
 
     /// Current top-k of a query, best first. `None` after unregistration.
     fn results(&self, qid: QueryId) -> Option<Vec<ScoredDoc>>;

@@ -28,7 +28,7 @@ pub mod topk;
 pub mod traits;
 pub mod walk;
 
-pub use backend::{DocPruning, MonitorBackend, PublishReceipt, ShardingMode};
+pub use backend::{DocPruning, MonitorBackend, PublishReceipt, PublishRequest, ShardingMode};
 pub use monitor::{Monitor, ShardSnapshot, Snapshot, SnapshotQuery, SNAPSHOT_VERSION};
 pub use mrio::{Mrio, MrioBlock, MrioSeg, MrioSuffix};
 pub use naive::Naive;

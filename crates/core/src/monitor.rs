@@ -14,7 +14,7 @@
 //! front-end speaks — application code can hold a `Box<dyn MonitorBackend>`
 //! and never know which one it got.
 
-use crate::backend::{MonitorBackend, PublishReceipt};
+use crate::backend::{MonitorBackend, PublishReceipt, PublishRequest};
 use crate::traits::ContinuousTopK;
 use ctk_common::{DocId, FxHashMap, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
 use serde::{Deserialize, Serialize};
@@ -182,12 +182,8 @@ impl<E: ContinuousTopK> MonitorBackend for Monitor<E> {
         Monitor::unregister(self, qid)
     }
 
-    fn publish(&mut self, pairs: Vec<(TermId, f32)>, arrival: Timestamp) -> PublishReceipt {
-        Monitor::publish(self, pairs, arrival)
-    }
-
-    fn publish_batch(&mut self, batch: Vec<(Vec<(TermId, f32)>, Timestamp)>) -> PublishReceipt {
-        Monitor::publish_batch(self, batch)
+    fn publish_request(&mut self, request: PublishRequest) -> PublishReceipt {
+        Monitor::publish_batch(self, request.into_batch())
     }
 
     fn results(&self, qid: QueryId) -> Option<Vec<ScoredDoc>> {

@@ -77,7 +77,7 @@
 //! engines outright, document-mode workers share only an immutable epoch
 //! (no locks on the hot path in either mode).
 
-use crate::backend::{DocPruning, MonitorBackend, PublishReceipt, ShardingMode};
+use crate::backend::{DocPruning, MonitorBackend, PublishReceipt, PublishRequest, ShardingMode};
 use crate::engine::EngineBase;
 use crate::monitor::{ShardSnapshot, Snapshot, SnapshotQuery, SNAPSHOT_VERSION};
 use crate::score::DecayModel;
@@ -1116,12 +1116,8 @@ impl MonitorBackend for ShardedMonitor {
         ShardedMonitor::unregister(self, qid)
     }
 
-    fn publish(&mut self, pairs: Vec<(TermId, f32)>, arrival: Timestamp) -> PublishReceipt {
-        ShardedMonitor::publish(self, pairs, arrival)
-    }
-
-    fn publish_batch(&mut self, batch: Vec<(Vec<(TermId, f32)>, Timestamp)>) -> PublishReceipt {
-        ShardedMonitor::publish_batch(self, batch)
+    fn publish_request(&mut self, request: PublishRequest) -> PublishReceipt {
+        ShardedMonitor::publish_batch(self, request.into_batch())
     }
 
     fn results(&self, qid: QueryId) -> Option<Vec<ScoredDoc>> {

@@ -6,9 +6,15 @@
 
 use crate::stats::{CumulativeStats, EventStats};
 use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc, Timestamp};
+use serde::{Deserialize, Serialize};
 
 /// A change to one query's result set caused by a stream event.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Serializes with serde — this is the payload the HTTP server's change
+/// stream pushes per subscriber, so the wire shape is the struct itself:
+/// `{"query": q, "inserted": {"doc": d, "score": s}, "evicted": ... |
+/// null}`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ResultChange {
     pub query: QueryId,
     /// The document that entered the top-k.

@@ -1,0 +1,106 @@
+//! A tiny blocking HTTP/1.1 client for the daemon's own wire API.
+//!
+//! The integration tests and the `http_load` harness drive the server over
+//! real loopback sockets; this client is the counterpart of [`crate::http`]
+//! — one keep-alive connection, `Content-Length` framing, JSON string
+//! bodies. It is intentionally not a general HTTP client (no redirects, no
+//! TLS, no chunked encoding): it speaks exactly what [`crate::CtkServer`]
+//! serves.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One keep-alive connection to a server.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connect to `addr` (e.g. the value of `CtkServer::addr`).
+    pub fn connect(addr: SocketAddr) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient { reader: BufReader::new(stream) })
+    }
+
+    /// Cap how long a single response may take to arrive. Long-polls block
+    /// server-side, so set this above the poll timeout (or `None` for no
+    /// limit, the default).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Issue one request and read the full response. Returns
+    /// `(status, body)`.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        {
+            let stream = self.reader.get_mut();
+            write!(
+                stream,
+                "{method} {path} HTTP/1.1\r\nhost: ctk\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            )?;
+            stream.write_all(body.as_bytes())?;
+            stream.flush()?;
+        }
+        self.read_response()
+    }
+
+    /// `GET` a path.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, "")
+    }
+
+    /// `POST` a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("POST", path, body)
+    }
+
+    /// `DELETE` a path.
+    pub fn delete(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("DELETE", path, "")
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| invalid(format!("malformed status line: {status_line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| invalid(format!("bad content-length: {value:?}")))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body).map(|b| (status, b)).map_err(|_| invalid("non-UTF-8 body"))
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}

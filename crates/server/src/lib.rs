@@ -1,0 +1,46 @@
+//! `ctk-server`: a long-lived monitor daemon speaking HTTP/1.1 + JSON over
+//! `std::net`, wrapping any [`MonitorBackend`] built by the facade's
+//! [`MonitorBuilder`].
+//!
+//! The paper's system is a *service*: queries are standing subscriptions,
+//! documents arrive forever, and the interesting output is the stream of
+//! top-k result *changes*. This crate gives that service a wire surface:
+//!
+//! | Route | Effect |
+//! |---|---|
+//! | `POST /queries` | register a query → `{"query": id}` |
+//! | `DELETE /queries/{id}` | unregister |
+//! | `GET /queries/{id}/results` | current top-k, best first |
+//! | `POST /publish` | publish one document or a `{"docs": [...]}` batch → the wire-serialized [`PublishReceipt`] |
+//! | `POST /subscriptions` | subscribe to change events (optional `{"queries": [...]}` filter) |
+//! | `DELETE /subscriptions/{id}` | unsubscribe |
+//! | `GET /changes?subscriber=S&timeout_ms=T&max=N` | long-poll buffered change events |
+//! | `GET /stats` | engine, λ, shards, query/publish counters, fan-out totals |
+//! | `POST /snapshot` | capture the full monitor state as a versioned JSON snapshot |
+//! | `POST /restore` | replace the live monitor from a snapshot → id mapping |
+//! | `POST /admin/drain` | refuse further publishes (503), flush in-flight ones, wake pollers |
+//! | `GET /healthz` | liveness + draining flag |
+//!
+//! Architecture in one paragraph: a single **ingest thread** owns the
+//! backend; connection handlers enqueue commands onto a *bounded* channel
+//! and block for the reply, so a slow monitor pushes back on publishers
+//! through their own sockets. Change fan-out happens on the ingest thread
+//! before the publisher is acked, into per-subscriber bounded buffers that
+//! drop oldest and report the gap. See [`server`] for the details,
+//! [`subscribers`] for delivery semantics, and `examples/serve.rs` in the
+//! workspace root for the runnable daemon.
+//!
+//! [`MonitorBackend`]: ctk_core::MonitorBackend
+//! [`MonitorBuilder`]: continuous_topk::MonitorBuilder
+//! [`PublishReceipt`]: ctk_core::PublishReceipt
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod signal;
+pub mod subscribers;
+pub mod wire;
+
+pub use client::HttpClient;
+pub use server::{CtkServer, ServerBuilder, ServerStats};
+pub use subscribers::{ChangeEvent, PollOutcome, SubscriberRegistry};

@@ -1,0 +1,639 @@
+//! The daemon itself: one ingest thread owning the backend, an accept loop
+//! spawning per-connection handlers, and the route table tying the wire API
+//! to both.
+//!
+//! # Threading model
+//!
+//! Every backend operation is linearized through a single **ingest thread**
+//! that owns the `Box<dyn MonitorBackend + Send>`. Connection handlers
+//! never touch the backend; they enqueue a `Command` carrying a
+//! one-shot reply channel onto a *bounded* crossbeam channel and block on
+//! the reply. The bound is the backpressure mechanism: when publishers
+//! outrun the monitor, their handler threads block in `send`, which blocks
+//! their sockets, which pushes back on the clients — no queue ever grows
+//! without bound. Fan-out to subscribers happens on the ingest thread
+//! *before* the publisher gets its receipt, so publish-then-poll is
+//! deterministic: once `POST /publish` returns, every subscriber can see
+//! the receipt's changes.
+//!
+//! # Drain and shutdown
+//!
+//! [`CtkServer::drain`] is the graceful half: new publishes (and restores)
+//! are refused with 503, a barrier command flushes everything already
+//! queued, and long-pollers are woken to read out their buffered events
+//! with `draining: true`. Reads (`results`, `stats`, `snapshot`) keep
+//! working — a drained server is exactly the right moment to snapshot.
+//! [`CtkServer::shutdown`] drains, stops the ingest thread, unblocks the
+//! accept loop and joins both.
+
+use crate::http::{Request, Response};
+use crate::subscribers::SubscriberRegistry;
+use crate::wire;
+use continuous_topk::{EngineKind, MonitorBuilder};
+use crossbeam::channel::{self, Receiver, Sender};
+use ctk_common::{QueryId, QuerySpec, ScoredDoc};
+use ctk_core::{DocPruning, PublishReceipt, PublishRequest, ShardingMode, Snapshot};
+use serde::{Number, Serialize, Value};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Longest a single long-poll may block server-side, whatever the client
+/// asks for. Clients needing more re-issue the poll; this bounds how long a
+/// handler thread can sit in the registry's condvar.
+const MAX_POLL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Idle-read timeout on keep-alive connections: how often a parked handler
+/// thread re-checks whether the server is stopping.
+const IDLE_RECHECK: Duration = Duration::from_secs(5);
+
+/// Configures and starts a [`CtkServer`]. Forwards every [`MonitorBuilder`]
+/// knob, then adds the server-side ones (queue depth, subscriber buffers).
+///
+/// ```no_run
+/// use ctk_server::ServerBuilder;
+/// use continuous_topk::EngineKind;
+///
+/// let server = ServerBuilder::new(EngineKind::Mrio)
+///     .lambda(1e-3)
+///     .shards(4)
+///     .queue_depth(32)
+///     .bind("127.0.0.1:0")
+///     .unwrap();
+/// println!("listening on {}", server.addr());
+/// ```
+#[derive(Clone)]
+pub struct ServerBuilder {
+    monitor: MonitorBuilder,
+    engine: EngineKind,
+    queue_depth: usize,
+    subscriber_buffer: usize,
+    max_poll_events: usize,
+}
+
+impl ServerBuilder {
+    /// Start from an engine choice with default knobs everywhere.
+    pub fn new(engine: EngineKind) -> ServerBuilder {
+        ServerBuilder {
+            monitor: MonitorBuilder::new(engine),
+            engine,
+            queue_depth: 16,
+            subscriber_buffer: 1024,
+            max_poll_events: 512,
+        }
+    }
+
+    // --- MonitorBuilder knobs, forwarded verbatim. ---
+
+    /// Decay parameter λ (see [`MonitorBuilder::lambda`]).
+    pub fn lambda(mut self, lambda: f64) -> ServerBuilder {
+        self.monitor = self.monitor.lambda(lambda);
+        self
+    }
+
+    /// Shard count; more than 1 builds a sharded backend.
+    pub fn shards(mut self, shards: usize) -> ServerBuilder {
+        self.monitor = self.monitor.shards(shards);
+        self
+    }
+
+    /// Work-partitioning mode for sharded backends.
+    pub fn sharding(mut self, mode: ShardingMode) -> ServerBuilder {
+        self.monitor = self.monitor.sharding(mode);
+        self
+    }
+
+    /// Ingestion batch size of sharded backends.
+    pub fn batch_size(mut self, batch_size: usize) -> ServerBuilder {
+        self.monitor = self.monitor.batch_size(batch_size);
+        self
+    }
+
+    /// Pipelining window of sharded backends.
+    pub fn pipeline_window(mut self, window: usize) -> ServerBuilder {
+        self.monitor = self.monitor.pipeline_window(window);
+        self
+    }
+
+    /// Index compaction threshold.
+    pub fn compact_at(mut self, ratio: f64) -> ServerBuilder {
+        self.monitor = self.monitor.compact_at(ratio);
+        self
+    }
+
+    /// Document-epoch pruning mode.
+    pub fn doc_pruning(mut self, pruning: DocPruning) -> ServerBuilder {
+        self.monitor = self.monitor.doc_pruning(pruning);
+        self
+    }
+
+    // --- Server-side knobs. ---
+
+    /// In-flight command bound of the ingest queue. Publish handlers block
+    /// once this many commands are queued — the backpressure knob.
+    pub fn queue_depth(mut self, depth: usize) -> ServerBuilder {
+        assert!(depth >= 1, "the ingest queue needs at least one slot");
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Per-subscriber buffered-change cap; beyond it the oldest events are
+    /// dropped and the gap is reported on the next poll.
+    pub fn subscriber_buffer(mut self, capacity: usize) -> ServerBuilder {
+        self.subscriber_buffer = capacity;
+        self
+    }
+
+    /// Most events one `GET /changes` response may carry.
+    pub fn max_poll_events(mut self, max: usize) -> ServerBuilder {
+        assert!(max >= 1, "a poll must be able to deliver at least one event");
+        self.max_poll_events = max;
+        self
+    }
+
+    /// Bind a listener, spawn the ingest and accept threads, and return the
+    /// running server. Bind to port 0 for an ephemeral port (tests).
+    pub fn bind(self, addr: impl ToSocketAddrs) -> io::Result<CtkServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let backend = self.monitor.build();
+        let (tx, rx) = channel::bounded::<Command>(self.queue_depth);
+        let shared = Arc::new(Shared {
+            commands: tx,
+            subscribers: SubscriberRegistry::new(self.subscriber_buffer),
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            max_poll_events: self.max_poll_events,
+            engine: self.engine,
+        });
+
+        let ingest = {
+            let shared = Arc::clone(&shared);
+            let builder = self.monitor.clone();
+            thread::Builder::new()
+                .name("ctk-ingest".to_string())
+                .spawn(move || ingest_loop(rx, backend, builder, &shared))?
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("ctk-accept".to_string())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+        Ok(CtkServer { addr, shared, ingest: Some(ingest), accept: Some(accept) })
+    }
+}
+
+/// A running daemon. Dropping it without [`CtkServer::shutdown`] leaves the
+/// threads running for the life of the process (what a daemon `main` wants);
+/// tests call `shutdown` for a clean join.
+pub struct CtkServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    ingest: Option<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl CtkServer {
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once [`CtkServer::drain`] has run (or `POST /admin/drain`).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Gracefully drain: refuse new publishes with 503, finish the ones
+    /// already queued, then wake every long-poller so it can flush its
+    /// buffered events. Idempotent. Blocks until in-flight publishes have
+    /// fanned out.
+    pub fn drain(&self) {
+        drain(&self.shared);
+    }
+
+    /// Drain, then stop and join the ingest and accept threads. Connection
+    /// handlers are detached; any still parked on an idle keep-alive socket
+    /// notice `stopping` within the idle-recheck interval and exit.
+    pub fn shutdown(mut self) {
+        self.drain();
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        let _ = self.shared.commands.send(Command::Stop);
+        if let Some(ingest) = self.ingest.take() {
+            let _ = ingest.join();
+        }
+        // The accept loop is parked in `accept`; poke it with a connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// State shared by the accept loop, every connection handler, and the
+/// ingest thread.
+struct Shared {
+    commands: Sender<Command>,
+    subscribers: SubscriberRegistry,
+    draining: AtomicBool,
+    stopping: AtomicBool,
+    max_poll_events: usize,
+    engine: EngineKind,
+}
+
+/// One backend operation, linearized through the ingest queue. Each carries
+/// a one-shot reply channel; a handler whose reply channel dies (ingest
+/// thread already stopped) reports 503.
+enum Command {
+    Register(QuerySpec, Sender<QueryId>),
+    Unregister(QueryId, Sender<bool>),
+    Publish(PublishRequest, Sender<PublishReceipt>),
+    Results(QueryId, Sender<Option<Vec<ScoredDoc>>>),
+    Stats(Sender<BackendStats>),
+    Snapshot(Sender<Snapshot>),
+    Restore(Box<Snapshot>, Sender<RestoreOutcome>),
+    /// Replies once everything queued before it has been processed.
+    Barrier(Sender<()>),
+    Stop,
+}
+
+/// The ingest thread's answer to a stats request.
+struct BackendStats {
+    queries: usize,
+    shards: usize,
+    sharding: ShardingMode,
+    lambda: f64,
+    publishes: u64,
+    docs_published: u64,
+}
+
+/// The ingest thread's answer to a restore: the new backend's query count
+/// plus the captured-id → new-id mapping, sorted by captured id.
+struct RestoreOutcome {
+    queries: usize,
+    mapping: Vec<(QueryId, QueryId)>,
+}
+
+fn ingest_loop(
+    rx: Receiver<Command>,
+    mut backend: Box<dyn ctk_core::MonitorBackend + Send>,
+    builder: MonitorBuilder,
+    shared: &Shared,
+) {
+    let mut publishes = 0u64;
+    let mut docs_published = 0u64;
+    while let Ok(command) = rx.recv() {
+        match command {
+            Command::Stop => break,
+            Command::Register(spec, reply) => {
+                let _ = reply.send(backend.register(spec));
+            }
+            Command::Unregister(qid, reply) => {
+                let _ = reply.send(backend.unregister(qid));
+            }
+            Command::Publish(request, reply) => {
+                publishes += 1;
+                docs_published += request.len() as u64;
+                let receipt = backend.publish_request(request);
+                // Fan out before acking: once the publisher has its
+                // receipt, every subscriber buffer already holds the
+                // changes.
+                shared.subscribers.fanout(&receipt);
+                let _ = reply.send(receipt);
+            }
+            Command::Results(qid, reply) => {
+                let _ = reply.send(backend.results(qid));
+            }
+            Command::Stats(reply) => {
+                let _ = reply.send(BackendStats {
+                    queries: backend.num_queries(),
+                    shards: backend.shards(),
+                    sharding: backend.sharding_mode(),
+                    lambda: backend.lambda(),
+                    publishes,
+                    docs_published,
+                });
+            }
+            Command::Snapshot(reply) => {
+                let _ = reply.send(backend.snapshot());
+            }
+            Command::Restore(snapshot, reply) => {
+                let (restored, mapping) = builder.restore(&snapshot);
+                backend = restored;
+                let mut mapping: Vec<(QueryId, QueryId)> = mapping.into_iter().collect();
+                mapping.sort_unstable_by_key(|&(old, _)| old);
+                let _ = reply.send(RestoreOutcome { queries: backend.num_queries(), mapping });
+            }
+            Command::Barrier(reply) => {
+                let _ = reply.send(());
+            }
+        }
+    }
+}
+
+fn drain(shared: &Shared) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Everything queued before this barrier — publishes included — has been
+    // processed and fanned out by the time it acks.
+    let (tx, rx) = channel::bounded(1);
+    if shared.commands.send(Command::Barrier(tx)).is_ok() {
+        let _ = rx.recv();
+    }
+    shared.subscribers.begin_drain();
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        // Handlers are detached: they die with the connection (or notice
+        // `stopping` at the next idle recheck).
+        let _ = thread::Builder::new()
+            .name("ctk-conn".to_string())
+            .spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_RECHECK));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let request = match Request::read_from(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                continue;
+            }
+            Err(e) => {
+                let _ = Response::error(400, e).write_to(&mut writer, false);
+                return;
+            }
+        };
+        let keep_alive = !request.wants_close();
+        let response = route(&request, shared);
+        if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Issue one command and wait for the reply. `None` (→ 503) when the ingest
+/// thread is gone.
+fn ask<T>(shared: &Shared, make: impl FnOnce(Sender<T>) -> Command) -> Option<T> {
+    let (tx, rx) = channel::bounded(1);
+    shared.commands.send(make(tx)).ok()?;
+    rx.recv().ok()
+}
+
+fn unavailable() -> Response {
+    Response::error(503, "server is shutting down")
+}
+
+fn route(request: &Request, shared: &Shared) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::json(
+            200,
+            object(vec![
+                ("ok", Value::Bool(true)),
+                ("draining", Value::Bool(shared.draining.load(Ordering::SeqCst))),
+            ]),
+        ),
+        ("GET", ["stats"]) => handle_stats(shared),
+        ("POST", ["queries"]) => handle_register(request, shared),
+        ("DELETE", ["queries", id]) => match parse_id(id) {
+            Err(response) => response,
+            Ok(qid) => match ask(shared, |tx| Command::Unregister(QueryId(qid), tx)) {
+                None => unavailable(),
+                Some(true) => Response::json(200, object(vec![("removed", Value::Bool(true))])),
+                Some(false) => Response::error(404, format!("unknown query {qid}")),
+            },
+        },
+        ("GET", ["queries", id, "results"]) => match parse_id(id) {
+            Err(response) => response,
+            Ok(qid) => match ask(shared, |tx| Command::Results(QueryId(qid), tx)) {
+                None => unavailable(),
+                Some(None) => Response::error(404, format!("unknown query {qid}")),
+                Some(Some(results)) => Response::json(
+                    200,
+                    object(vec![
+                        ("query", Value::Num(Number::U64(qid.into()))),
+                        ("results", results.to_value()),
+                    ]),
+                ),
+            },
+        },
+        ("POST", ["publish"]) => handle_publish(request, shared),
+        ("POST", ["subscriptions"]) => handle_subscribe(request, shared),
+        ("DELETE", ["subscriptions", id]) => match parse_id(id) {
+            Err(response) => response,
+            Ok(id) => {
+                if shared.subscribers.unsubscribe(id.into()) {
+                    Response::json(200, object(vec![("removed", Value::Bool(true))]))
+                } else {
+                    Response::error(404, format!("unknown subscriber {id}"))
+                }
+            }
+        },
+        ("GET", ["changes"]) => handle_changes(request, shared),
+        ("POST", ["snapshot"]) => match ask(shared, Command::Snapshot) {
+            None => unavailable(),
+            Some(snapshot) => match serde_json::to_string(&snapshot) {
+                Ok(body) => Response::json(200, body),
+                Err(e) => Response::error(500, e),
+            },
+        },
+        ("POST", ["restore"]) => handle_restore(request, shared),
+        ("POST", ["admin", "drain"]) => {
+            drain(shared);
+            Response::json(202, object(vec![("draining", Value::Bool(true))]))
+        }
+        (
+            _,
+            ["healthz" | "stats" | "queries" | "publish" | "subscriptions" | "changes" | "snapshot"
+            | "restore" | "admin", ..],
+        ) => Response::error(405, format!("{} is not supported here", request.method)),
+        _ => Response::error(404, format!("no route for {}", request.path)),
+    }
+}
+
+fn handle_stats(shared: &Shared) -> Response {
+    let backend = match ask(shared, Command::Stats) {
+        None => return unavailable(),
+        Some(stats) => stats,
+    };
+    let (delivered, dropped) = shared.subscribers.totals();
+    let stats = ServerStats {
+        engine: shared.engine.to_string(),
+        lambda: backend.lambda,
+        shards: backend.shards,
+        sharding: backend.sharding.to_string(),
+        queries: backend.queries,
+        publishes: backend.publishes,
+        docs_published: backend.docs_published,
+        subscribers: shared.subscribers.len(),
+        events_delivered: delivered,
+        events_dropped: dropped,
+        draining: shared.draining.load(Ordering::SeqCst),
+    };
+    match serde_json::to_string(&stats) {
+        Ok(body) => Response::json(200, body),
+        Err(e) => Response::error(500, e),
+    }
+}
+
+/// The `GET /stats` response body.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServerStats {
+    pub engine: String,
+    pub lambda: f64,
+    pub shards: usize,
+    pub sharding: String,
+    pub queries: usize,
+    pub publishes: u64,
+    pub docs_published: u64,
+    pub subscribers: usize,
+    pub events_delivered: u64,
+    pub events_dropped: u64,
+    pub draining: bool,
+}
+
+fn handle_register(request: &Request, shared: &Shared) -> Response {
+    let spec = match parse_json_body(request).and_then(|body| wire::parse_register(&body)) {
+        Err(message) => return Response::error(400, message),
+        Ok(spec) => spec,
+    };
+    match ask(shared, |tx| Command::Register(spec, tx)) {
+        None => unavailable(),
+        Some(qid) => {
+            Response::json(200, object(vec![("query", Value::Num(Number::U64(qid.0.into())))]))
+        }
+    }
+}
+
+fn handle_publish(request: &Request, shared: &Shared) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::error(503, "server is draining; publishes are refused");
+    }
+    let publish = match parse_json_body(request).and_then(|body| wire::parse_publish(&body)) {
+        Err(message) => return Response::error(400, message),
+        Ok(publish) => publish,
+    };
+    match ask(shared, |tx| Command::Publish(publish, tx)) {
+        None => unavailable(),
+        Some(receipt) => match serde_json::to_string(&receipt) {
+            Ok(body) => Response::json(200, body),
+            Err(e) => Response::error(500, e),
+        },
+    }
+}
+
+fn handle_subscribe(request: &Request, shared: &Shared) -> Response {
+    let filter = match parse_json_body(request).and_then(|body| wire::parse_subscribe(&body)) {
+        Err(message) => return Response::error(400, message),
+        Ok(filter) => filter,
+    };
+    let id = shared.subscribers.subscribe(filter);
+    Response::json(200, object(vec![("subscriber", Value::Num(Number::U64(id)))]))
+}
+
+fn handle_changes(request: &Request, shared: &Shared) -> Response {
+    let id = match request.query_param("subscriber") {
+        None => return Response::error(400, "missing \"subscriber\" query parameter"),
+        Some(raw) => match raw.parse::<u64>() {
+            Err(_) => return Response::error(400, format!("bad subscriber id {raw:?}")),
+            Ok(id) => id,
+        },
+    };
+    let timeout = match request.query_param("timeout_ms") {
+        None => Duration::ZERO,
+        Some(raw) => match raw.parse::<u64>() {
+            Err(_) => return Response::error(400, format!("bad timeout_ms {raw:?}")),
+            Ok(ms) => Duration::from_millis(ms).min(MAX_POLL_TIMEOUT),
+        },
+    };
+    let max_events = match request.query_param("max") {
+        None => shared.max_poll_events,
+        Some(raw) => match raw.parse::<usize>() {
+            Err(_) | Ok(0) => return Response::error(400, format!("bad max {raw:?}")),
+            Ok(max) => max.min(shared.max_poll_events),
+        },
+    };
+    match shared.subscribers.poll(id, max_events, timeout) {
+        None => Response::error(404, format!("unknown subscriber {id}")),
+        Some(outcome) => match serde_json::to_string(&outcome) {
+            Ok(body) => Response::json(200, body),
+            Err(e) => Response::error(500, e),
+        },
+    }
+}
+
+fn handle_restore(request: &Request, shared: &Shared) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::error(503, "server is draining; restores are refused");
+    }
+    let body = match request.body_str() {
+        Err(message) => return Response::error(400, message),
+        Ok(body) => body,
+    };
+    let snapshot: Snapshot = match serde_json::from_str(body) {
+        Err(e) => return Response::error(400, format!("invalid snapshot: {e}")),
+        Ok(snapshot) => snapshot,
+    };
+    match ask(shared, |tx| Command::Restore(Box::new(snapshot), tx)) {
+        None => unavailable(),
+        Some(outcome) => {
+            let mapping = outcome
+                .mapping
+                .into_iter()
+                .map(|(old, new)| {
+                    Value::Array(vec![
+                        Value::Num(Number::U64(old.0.into())),
+                        Value::Num(Number::U64(new.0.into())),
+                    ])
+                })
+                .collect();
+            Response::json(
+                200,
+                object(vec![
+                    ("queries", Value::Num(Number::U64(outcome.queries as u64))),
+                    ("mapping", Value::Array(mapping)),
+                ]),
+            )
+        }
+    }
+}
+
+fn parse_json_body(request: &Request) -> Result<Value, String> {
+    wire::parse_body(request.body_str()?)
+}
+
+fn parse_id(raw: &str) -> Result<u32, Response> {
+    raw.parse::<u32>().map_err(|_| Response::error(400, format!("bad id {raw:?} in path")))
+}
+
+/// Serialize an ad-hoc JSON object body.
+fn object(fields: Vec<(&str, Value)>) -> String {
+    let value = Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect());
+    serde_json::to_string(&value).expect("value trees always serialize")
+}

@@ -1,0 +1,68 @@
+//! Minimal SIGTERM/SIGINT latching for the daemon binary, with no libc
+//! crate: one `signal(2)` registration that flips an atomic the serve loop
+//! polls. On non-Unix targets both calls are no-ops and shutdown is driven
+//! some other way (e.g. `POST /admin/drain` plus process exit).
+
+/// Install handlers for SIGTERM and SIGINT. Call once, before the serve
+/// loop; later calls are harmless.
+pub fn install() {
+    imp::install();
+}
+
+/// True once a termination signal has arrived. Latches: it never resets.
+pub fn requested() -> bool {
+    imp::requested()
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn latch(_signum: i32) {
+        // The only thing a handler may safely do here: one atomic store.
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal(2)` with a handler that is async-signal-safe (a
+        // single lock-free atomic store, no allocation, no locks). We
+        // ignore the return value: on the platforms this daemon targets
+        // these two signals always accept a handler.
+        unsafe {
+            signal(SIGTERM, latch);
+            signal(SIGINT, latch);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    #[test]
+    fn install_is_idempotent_and_starts_unlatched() {
+        super::install();
+        super::install();
+        assert!(!super::requested());
+    }
+}

@@ -1,0 +1,162 @@
+//! Request-body shapes of the wire API, parsed by hand from JSON `Value`s.
+//!
+//! The derive shim errors on any missing field, but most wire fields here
+//! are *optional* (`k` defaults, `arrival` defaults, a subscription filter
+//! may be absent), so these parsers walk the [`serde::Value`] tree
+//! explicitly via the forgiving `Value::get`. Every parse failure is a
+//! client error: the string returned becomes the `{"error": ...}` body of
+//! a 400 response verbatim, so messages name the offending field.
+
+use ctk_common::{QueryId, QuerySpec, TermId, Timestamp};
+use ctk_core::PublishRequest;
+use serde::Value;
+
+/// Parse a `(term, weight)` pair list: `[[1, 0.5], [4, 0.25], ...]`.
+fn parse_terms(value: &Value, field: &str) -> Result<Vec<(TermId, f32)>, String> {
+    let entries = value.as_array().map_err(|_| format!("{field:?} must be an array of pairs"))?;
+    let mut pairs = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let pair = entry
+            .as_array()
+            .ok()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("each entry of {field:?} must be a [term, weight] pair"))?;
+        let term = pair[0]
+            .as_u64()
+            .ok()
+            .and_then(|t| u32::try_from(t).ok())
+            .ok_or_else(|| format!("term ids in {field:?} must be u32 integers"))?;
+        let weight =
+            pair[1].as_f64().map_err(|_| format!("weights in {field:?} must be numbers"))? as f32;
+        pairs.push((TermId(term), weight));
+    }
+    Ok(pairs)
+}
+
+/// `POST /queries` body: `{"terms": [[t, w], ...], "k": 10}`; `k` defaults
+/// to 10 when absent.
+pub fn parse_register(body: &Value) -> Result<QuerySpec, String> {
+    let terms = body.get("terms").ok_or("missing field \"terms\"")?;
+    let pairs = parse_terms(terms, "terms")?;
+    let k = match body.get("k") {
+        None => 10,
+        Some(k) => {
+            let k = k.as_u64().map_err(|_| "\"k\" must be a positive integer".to_string())?;
+            usize::try_from(k).map_err(|_| "\"k\" is out of range".to_string())?
+        }
+    };
+    QuerySpec::new(pairs, k).map_err(|e| e.to_string())
+}
+
+/// One document object: `{"terms": [[t, w], ...], "arrival": 12.5}`;
+/// `arrival` defaults to 0 (the backend clamps arrivals monotone).
+fn parse_doc(value: &Value) -> Result<(Vec<(TermId, f32)>, Timestamp), String> {
+    let terms = value.get("terms").ok_or("each document needs a \"terms\" field")?;
+    let pairs = parse_terms(terms, "terms")?;
+    let arrival = match value.get("arrival") {
+        None => 0.0,
+        Some(a) => a.as_f64().map_err(|_| "\"arrival\" must be a number".to_string())?,
+    };
+    Ok((pairs, arrival))
+}
+
+/// `POST /publish` body — either a single document object or a batch
+/// `{"docs": [{...}, ...]}`. An empty batch is a client error: a publish
+/// must carry at least one document.
+pub fn parse_publish(body: &Value) -> Result<PublishRequest, String> {
+    let request: PublishRequest = match body.get("docs") {
+        Some(docs) => {
+            let docs = docs.as_array().map_err(|_| "\"docs\" must be an array of documents")?;
+            docs.iter().map(parse_doc).collect::<Result<Vec<_>, _>>()?.into()
+        }
+        None => PublishRequest::from(parse_doc(body)?),
+    };
+    if request.is_empty() {
+        return Err("a publish must carry at least one document".to_string());
+    }
+    Ok(request)
+}
+
+/// `POST /subscriptions` body: `{}` (or empty) subscribes to every query;
+/// `{"queries": [0, 3]}` filters to those public query ids.
+pub fn parse_subscribe(body: &Value) -> Result<Option<Vec<QueryId>>, String> {
+    match body.get("queries") {
+        None => Ok(None),
+        Some(queries) => {
+            let ids =
+                queries.as_array().map_err(|_| "\"queries\" must be an array of query ids")?;
+            ids.iter()
+                .map(|id| {
+                    id.as_u64()
+                        .ok()
+                        .and_then(|q| u32::try_from(q).ok())
+                        .map(QueryId)
+                        .ok_or_else(|| "query ids must be u32 integers".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some)
+        }
+    }
+}
+
+/// Parse a request body string as JSON, mapping the error for a 400.
+pub fn parse_body(body: &str) -> Result<Value, String> {
+    // An empty body is the empty object: several endpoints take all-default
+    // parameters and `curl -X POST` sends no body at all.
+    if body.trim().is_empty() {
+        return Ok(Value::Object(Vec::new()));
+    }
+    serde_json::from_str::<Value>(body).map_err(|e| format!("invalid JSON body: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(s: &str) -> Value {
+        serde_json::from_str(s).unwrap()
+    }
+
+    #[test]
+    fn register_parses_terms_and_defaults_k() {
+        let spec = parse_register(&value(r#"{"terms": [[1, 0.6], [2, 0.8]]}"#)).unwrap();
+        assert_eq!(spec.k, 10);
+        assert_eq!(spec.vector.len(), 2);
+        let spec = parse_register(&value(r#"{"terms": [[1, 1.0]], "k": 3}"#)).unwrap();
+        assert_eq!(spec.k, 3);
+        // Validation errors surface with the QuerySpec message.
+        assert!(parse_register(&value(r#"{"terms": [], "k": 3}"#)).is_err());
+        assert!(parse_register(&value(r#"{"terms": [[1, 1.0]], "k": 0}"#)).is_err());
+        assert!(parse_register(&value(r#"{"k": 3}"#)).unwrap_err().contains("terms"));
+        assert!(parse_register(&value(r#"{"terms": [[1]], "k": 3}"#)).is_err());
+    }
+
+    #[test]
+    fn publish_accepts_single_and_batch() {
+        let single = parse_publish(&value(r#"{"terms": [[7, 1.0]], "arrival": 2.5}"#)).unwrap();
+        assert_eq!(single.len(), 1);
+        let batch = parse_publish(&value(
+            r#"{"docs": [{"terms": [[7, 1.0]]}, {"terms": [[8, 0.5]], "arrival": 1.0}]}"#,
+        ))
+        .unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(parse_publish(&value(r#"{"docs": []}"#)).is_err());
+        assert!(parse_publish(&value(r#"{"arrival": 1.0}"#)).is_err());
+    }
+
+    #[test]
+    fn subscribe_filter_is_optional() {
+        assert_eq!(parse_subscribe(&value("{}")).unwrap(), None);
+        assert_eq!(
+            parse_subscribe(&value(r#"{"queries": [0, 4]}"#)).unwrap(),
+            Some(vec![QueryId(0), QueryId(4)])
+        );
+        assert!(parse_subscribe(&value(r#"{"queries": [-1]}"#)).is_err());
+    }
+
+    #[test]
+    fn empty_body_is_the_empty_object() {
+        assert!(matches!(parse_body("").unwrap(), Value::Object(_)));
+        assert!(parse_body("{nope").is_err());
+    }
+}

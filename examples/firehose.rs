@@ -28,8 +28,8 @@ fn drink(label: &str, config: &MonitorBuilder, specs: &[QuerySpec], corpus: &Cor
     let mut changed = 0usize;
     let mut updates = 0u64;
     for batch in driver.by_ref().take(BATCH * BATCHES).collect::<Vec<_>>().chunks(BATCH) {
-        let items: Vec<_> = batch.iter().map(|d| (d.vector.iter().collect(), d.arrival)).collect();
-        let receipt = monitor.publish_batch(items);
+        // `&[Document]` converts straight into a typed publish request.
+        let receipt = monitor.publish_request(PublishRequest::from(batch));
         published += receipt.doc_ids.len();
         changed += receipt.changes.len();
         updates += receipt.merged_stats().updates;

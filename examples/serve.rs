@@ -1,0 +1,81 @@
+//! The runnable daemon: build a monitor from CLI flags, serve the wire API
+//! until SIGTERM/SIGINT, then drain and exit cleanly.
+//!
+//! ```text
+//! cargo run --release --example serve -- \
+//!     [--host 127.0.0.1] [--port 8722] [--engine mrio] [--lambda 1e-3] \
+//!     [--shards N] [--mode query|doc] [--pruning off|on|auto] \
+//!     [--batch N] [--window N] [--queue-depth N] [--subscriber-buffer N]
+//! ```
+//!
+//! Every monitor knob is the same registry string the bench harness uses
+//! (`EngineKind`/`ShardingMode`/`DocPruning` all implement `FromStr`), so a
+//! daemon config is copy-pasteable from a sweep config. See the README's
+//! "Running the daemon" section for a curl transcript against this binary.
+
+use continuous_topk::EngineKind;
+use ctk_core::{DocPruning, ShardingMode};
+use ctk_server::{signal, ServerBuilder};
+use std::time::Duration;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let raw = arg_value(args, flag)?;
+    match raw.parse() {
+        Ok(value) => Some(value),
+        Err(_) => {
+            eprintln!("serve: bad value {raw:?} for {flag}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let host = arg_value(&args, "--host").unwrap_or_else(|| "127.0.0.1".to_string());
+    let port: u16 = parsed(&args, "--port").unwrap_or(8722);
+    let engine: EngineKind = parsed(&args, "--engine").unwrap_or(EngineKind::Mrio);
+
+    let mut builder = ServerBuilder::new(engine)
+        .lambda(parsed(&args, "--lambda").unwrap_or(1e-3))
+        .shards(parsed(&args, "--shards").unwrap_or(1));
+    if let Some(mode) = parsed::<ShardingMode>(&args, "--mode") {
+        builder = builder.sharding(mode);
+    }
+    if let Some(pruning) = parsed::<DocPruning>(&args, "--pruning") {
+        builder = builder.doc_pruning(pruning);
+    }
+    if let Some(batch) = parsed::<usize>(&args, "--batch") {
+        builder = builder.batch_size(batch);
+    }
+    if let Some(window) = parsed::<usize>(&args, "--window") {
+        builder = builder.pipeline_window(window);
+    }
+    if let Some(depth) = parsed::<usize>(&args, "--queue-depth") {
+        builder = builder.queue_depth(depth);
+    }
+    if let Some(capacity) = parsed::<usize>(&args, "--subscriber-buffer") {
+        builder = builder.subscriber_buffer(capacity);
+    }
+
+    signal::install();
+    let server = match builder.bind((host.as_str(), port)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: cannot bind {host}:{port}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("serve: {engine} monitor listening on http://{}", server.addr());
+    println!("serve: SIGTERM/SIGINT drains in-flight publishes, then exits");
+
+    while !signal::requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("serve: termination signal received; draining");
+    server.shutdown();
+    println!("serve: drained and stopped");
+}

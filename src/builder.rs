@@ -96,8 +96,14 @@ impl std::fmt::Display for EngineKind {
 impl std::str::FromStr for EngineKind {
     type Err = String;
 
+    /// Parse an engine name, case-insensitively — CLI flags and server
+    /// configs say `mrio` as often as the report name `MRIO`. The exact
+    /// [`EngineKind::from_name`] remains the strict report-name lookup.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        EngineKind::from_name(s).ok_or_else(|| format!("unknown engine name: {s}"))
+        EngineKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown engine name: {s}"))
     }
 }
 

@@ -107,9 +107,9 @@ pub mod prelude {
     };
     pub use ctk_core::{
         ContinuousTopK, CumulativeStats, DecayModel, DocPruning, EventStats, Monitor,
-        MonitorBackend, Mrio, MrioBlock, MrioSeg, MrioSuffix, Naive, PublishReceipt, ResultChange,
-        Rio, ShardSnapshot, ShardedMonitor, ShardingMode, Snapshot, SnapshotQuery,
-        SNAPSHOT_VERSION,
+        MonitorBackend, Mrio, MrioBlock, MrioSeg, MrioSuffix, Naive, PublishReceipt,
+        PublishRequest, ResultChange, Rio, ShardSnapshot, ShardedMonitor, ShardingMode, Snapshot,
+        SnapshotQuery, SNAPSHOT_VERSION,
     };
     pub use ctk_stream::{
         ArrivalClock, CorpusConfig, CorpusModel, DocumentGenerator, QueryGenerator, QueryWorkload,

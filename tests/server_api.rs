@@ -1,0 +1,215 @@
+//! End-to-end wire API tests: a real `CtkServer` on an ephemeral loopback
+//! port, driven only through HTTP — the same path an application takes.
+//!
+//! The bit-identity assertions lean on the JSON shim's shortest-round-trip
+//! f64 formatting: two scores serialize to the same text iff they are the
+//! same bits, so comparing parsed `Value` trees (or raw bodies) is an exact
+//! state comparison, not an epsilon one.
+
+use continuous_topk::EngineKind;
+use ctk_server::{CtkServer, HttpClient, ServerBuilder};
+use serde::Value;
+use std::time::Duration;
+
+fn start(engine: EngineKind, shards: usize) -> (CtkServer, HttpClient) {
+    let server = ServerBuilder::new(engine)
+        .lambda(1e-3)
+        .shards(shards)
+        .bind("127.0.0.1:0")
+        .expect("bind ephemeral loopback port");
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    (server, client)
+}
+
+fn ok(result: std::io::Result<(u16, String)>, want: u16) -> String {
+    let (status, body) = result.expect("transport");
+    assert_eq!(status, want, "unexpected status; body: {body}");
+    body
+}
+
+fn parse(body: &str) -> Value {
+    serde_json::from_str(body).expect("valid JSON response")
+}
+
+fn field_u64(value: &Value, name: &str) -> u64 {
+    value.get(name).expect(name).as_u64().expect("u64 field")
+}
+
+/// Register a couple of overlapping queries; returns their public ids.
+fn register_two(client: &mut HttpClient) -> (u64, u64) {
+    let a = ok(client.post("/queries", r#"{"terms": [[1, 1.0], [2, 0.5]], "k": 3}"#), 200);
+    let b = ok(client.post("/queries", r#"{"terms": [[2, 1.0], [3, 0.5]], "k": 2}"#), 200);
+    (field_u64(&parse(&a), "query"), field_u64(&parse(&b), "query"))
+}
+
+const BATCH: &str = r#"{"docs": [
+    {"terms": [[1, 0.9], [2, 0.4]], "arrival": 1.0},
+    {"terms": [[2, 0.8], [3, 0.6]], "arrival": 2.0},
+    {"terms": [[1, 0.2], [3, 0.9]], "arrival": 3.0}
+]}"#;
+
+#[test]
+fn register_publish_longpoll_delivers_exactly_the_receipts_changes() {
+    let (server, mut client) = start(EngineKind::Mrio, 1);
+    let (qa, qb) = register_two(&mut client);
+    assert_eq!((qa, qb), (0, 1), "public query ids are monotone from 0");
+
+    let sub = field_u64(&parse(&ok(client.post("/subscriptions", "{}"), 200)), "subscriber");
+
+    // The publish response is the wire-serialized receipt.
+    let receipt = parse(&ok(client.post("/publish", BATCH), 200));
+    let changes = receipt.get("changes").expect("changes").as_array().unwrap().to_vec();
+    assert!(!changes.is_empty(), "three matching docs must change some result set");
+    assert_eq!(receipt.get("doc_ids").unwrap().as_array().unwrap().len(), 3);
+
+    // The long-poll delivers exactly those changes, grouped by ascending
+    // query id with doc order preserved within each query (the
+    // `changes_by_query` order). A stable sort of the receipt's emission-
+    // ordered array by query id reproduces it; the Value comparison is
+    // bit-exact on every score.
+    let poll = parse(&ok(client.get(&format!("/changes?subscriber={sub}&timeout_ms=5000")), 200));
+    let events = poll.get("events").unwrap().as_array().unwrap();
+    assert_eq!(field_u64(&poll, "dropped"), 0);
+    let mut expected = changes.clone();
+    expected.sort_by_key(|c| field_u64(c, "query"));
+    let delivered: Vec<Value> =
+        events.iter().map(|e| e.get("change").expect("change").clone()).collect();
+    assert_eq!(delivered, expected, "long-poll must carry the receipt's changes verbatim");
+    let seqs: Vec<u64> = events.iter().map(|e| field_u64(e, "seq")).collect();
+    assert_eq!(seqs, (0..events.len() as u64).collect::<Vec<_>>());
+
+    // An immediate re-poll is empty: events are delivered once.
+    let poll = parse(&ok(client.get(&format!("/changes?subscriber={sub}")), 200));
+    assert!(poll.get("events").unwrap().as_array().unwrap().is_empty());
+
+    // Results reflect the publish, best first, within each query's k.
+    let results = parse(&ok(client.get(&format!("/queries/{qa}/results")), 200));
+    let top = results.get("results").unwrap().as_array().unwrap();
+    assert!(!top.is_empty() && top.len() <= 3);
+    ok(client.get("/queries/99/results"), 404);
+    ok(client.delete(&format!("/queries/{qb}")), 200);
+    ok(client.get(&format!("/queries/{qb}/results")), 404);
+
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_restart_restore_is_bit_identical_across_shard_counts() {
+    let (server, mut client) = start(EngineKind::Mrio, 1);
+    let (qa, qb) = register_two(&mut client);
+    ok(client.post("/publish", BATCH), 200);
+
+    let results_a = parse(&ok(client.get(&format!("/queries/{qa}/results")), 200));
+    let results_b = parse(&ok(client.get(&format!("/queries/{qb}/results")), 200));
+    let snapshot = ok(client.post("/snapshot", ""), 200);
+    server.shutdown();
+
+    // "Restart": a brand-new server process-equivalent — different port,
+    // different shard count — restored from the snapshot JSON verbatim.
+    let (restarted, mut client) = start(EngineKind::Mrio, 2);
+    let restored = parse(&ok(client.post("/restore", &snapshot), 200));
+    assert_eq!(field_u64(&restored, "queries"), 2);
+    let mapping = restored.get("mapping").unwrap().as_array().unwrap().to_vec();
+    assert_eq!(mapping.len(), 2);
+
+    for (old, old_results) in [(qa, results_a), (qb, results_b)] {
+        let pair = mapping
+            .iter()
+            .map(|p| p.as_array().unwrap())
+            .find(|p| p[0].as_u64().unwrap() == old)
+            .expect("every captured query is mapped");
+        let new = pair[1].as_u64().unwrap();
+        let restored = parse(&ok(client.get(&format!("/queries/{new}/results")), 200));
+        assert_eq!(
+            restored.get("results"),
+            old_results.get("results"),
+            "restored top-k of captured query {old} must be bit-identical"
+        );
+    }
+
+    // The restored monitor is live: the stream continues where it left off.
+    let receipt = parse(&ok(
+        client.post("/publish", r#"{"terms": [[1, 1.0], [3, 1.0]], "arrival": 4.0}"#),
+        200,
+    ));
+    assert_eq!(receipt.get("doc_ids").unwrap().as_array().unwrap().len(), 1);
+    restarted.shutdown();
+}
+
+#[test]
+fn drain_refuses_new_publishes_but_loses_nothing_in_flight() {
+    let (server, mut client) = start(EngineKind::Mrio, 1);
+    register_two(&mut client);
+    let sub = field_u64(&parse(&ok(client.post("/subscriptions", "{}"), 200)), "subscriber");
+    let receipt = parse(&ok(client.post("/publish", BATCH), 200));
+    let published_changes = receipt.get("changes").unwrap().as_array().unwrap().len();
+
+    // Race a publish against the drain from a second connection. Either it
+    // lost the race (503, no partial effects) or it won (200, and its
+    // changes are fully fanned out before the drain barrier completes).
+    let addr = server.addr();
+    let racer = std::thread::spawn(move || {
+        let mut racing = HttpClient::connect(addr).unwrap();
+        racing
+            .post("/publish", r#"{"docs": [{"terms": [[2, 0.7]], "arrival": 5.0}]}"#)
+            .expect("transport")
+    });
+    server.drain();
+    let (race_status, race_body) = racer.join().unwrap();
+    assert!(
+        race_status == 200 || race_status == 503,
+        "racing publish must be fully applied or fully refused, got {race_status}: {race_body}"
+    );
+    let race_changes = if race_status == 200 {
+        parse(&race_body).get("changes").unwrap().as_array().unwrap().len()
+    } else {
+        0
+    };
+
+    // Draining is observable, late publishes are refused, reads still work.
+    let health = parse(&ok(client.get("/healthz"), 200));
+    assert_eq!(health.get("draining"), Some(&Value::Bool(true)));
+    ok(client.post("/publish", r#"{"terms": [[1, 1.0]]}"#), 503);
+    ok(client.post("/restore", "{}"), 503);
+    let stats = parse(&ok(client.get("/stats"), 200));
+    assert_eq!(field_u64(&stats, "docs_published"), 3 + u64::from(race_status == 200));
+    ok(client.post("/snapshot", ""), 200);
+
+    // The subscriber flushes everything buffered before the drain — the
+    // original batch plus the racer's changes if it won — then sees an
+    // empty draining poll, never a hang.
+    let mut flushed = 0;
+    loop {
+        let poll =
+            parse(&ok(client.get(&format!("/changes?subscriber={sub}&timeout_ms=1000")), 200));
+        assert_eq!(poll.get("draining"), Some(&Value::Bool(true)));
+        let events = poll.get("events").unwrap().as_array().unwrap().len();
+        flushed += events;
+        if events == 0 {
+            break;
+        }
+    }
+    assert_eq!(flushed, published_changes + race_changes, "drain must not drop fanned-out events");
+
+    // Drain is idempotent, including over the wire.
+    ok(client.post("/admin/drain", ""), 202);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_client_errors_not_hangs() {
+    let (server, mut client) = start(EngineKind::Rio, 1);
+    ok(client.post("/queries", "{nope"), 400);
+    ok(client.post("/queries", r#"{"terms": [], "k": 1}"#), 400);
+    ok(client.post("/publish", r#"{"docs": []}"#), 400);
+    ok(client.post("/restore", r#"{"bogus": true}"#), 400);
+    ok(client.get("/changes"), 400);
+    ok(client.get("/changes?subscriber=42"), 404);
+    ok(client.delete("/subscriptions/42"), 404);
+    ok(client.get("/nope"), 404);
+    ok(client.delete("/publish"), 405);
+    // The connection survives every error above: one more good request.
+    ok(client.get("/healthz"), 200);
+    server.shutdown();
+}

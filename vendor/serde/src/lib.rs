@@ -51,6 +51,16 @@ impl std::fmt::Display for Error {
 impl std::error::Error for Error {}
 
 impl Value {
+    /// Look up a field of an object, `None` when absent (or when `self` is
+    /// not an object). The forgiving twin of [`Value::field`] for optional
+    /// wire fields.
+    pub fn get<'a>(&'a self, name: &str) -> Option<&'a Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
     /// Look up a field of an object, or fail with a descriptive error.
     pub fn field<'a>(&'a self, name: &str) -> Result<&'a Value, Error> {
         match self {
@@ -131,6 +141,21 @@ pub trait Deserialize: Sized {
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+}
+
+// `Value` passes through both traits unchanged, so callers that need a
+// schema-free view of a JSON document (e.g. a wire front-end inspecting
+// optional request fields) can deserialize into `Value` directly.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
     }
 }
 
