@@ -10,9 +10,11 @@
 pub mod float;
 pub mod hash;
 pub mod ids;
+pub mod namespace;
 pub mod types;
 
 pub use float::OrdF64;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{DocId, QueryId, TermId};
+pub use namespace::{Namespace, NamespaceRegistry};
 pub use types::{Document, Query, QuerySpec, ScoredDoc, SparseVector, Timestamp};

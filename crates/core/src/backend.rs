@@ -15,10 +15,11 @@
 //! count. Application code written against `dyn MonitorBackend` is
 //! untouched by any later re-partitioning of the work behind it.
 
+use crate::lifecycle::{NamespaceStats, QueryOptions, RetentionPolicy};
 use crate::monitor::Snapshot;
 use crate::stats::EventStats;
 use crate::traits::ResultChange;
-use ctk_common::{DocId, Document, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
+use ctk_common::{DocId, Document, Namespace, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
 use serde::{Deserialize, Serialize};
 
 /// How a parallel monitor partitions its work across worker shards.
@@ -203,6 +204,13 @@ impl PublishRequest {
         self.docs.is_empty()
     }
 
+    /// The arrival timestamp of the first document, if any. Backends use it
+    /// (clamped monotone against their stream clock) as "now" for the
+    /// expiry check at the top of the publish path.
+    pub fn first_arrival(&self) -> Option<Timestamp> {
+        self.docs.first().map(|(_, at)| *at)
+    }
+
     /// The raw batch shape consumed by [`MonitorBackend::publish_batch`].
     pub fn into_batch(self) -> Vec<(Vec<(TermId, f32)>, Timestamp)> {
         self.docs
@@ -352,11 +360,58 @@ impl PublishReceipt {
 ///   the wire: scores are always reported in the current landmark frame,
 ///   exactly as `results` returns them.
 pub trait MonitorBackend {
-    /// Register a user's continuous query; returns its public id.
-    fn register(&mut self, spec: QuerySpec) -> QueryId;
+    /// Register a user's continuous query; returns its public id. Wrapper
+    /// over [`MonitorBackend::register_with`] with default
+    /// [`QueryOptions`] — default namespace, no TTL — which reproduces the
+    /// pre-lifecycle behaviour exactly.
+    fn register(&mut self, spec: QuerySpec) -> QueryId {
+        self.register_with(spec, QueryOptions::default())
+    }
+
+    /// Register a query with lifecycle options: its namespace (intern names
+    /// first via [`MonitorBackend::intern_namespace`]) and an optional
+    /// per-query `max_age` overriding the namespace policy's default TTL.
+    ///
+    /// Registration may evict: if the namespace has a
+    /// [`RetentionPolicy::max_queries`] cap and this registration crosses
+    /// it, existing members are removed per the policy's
+    /// [`EvictionPolicy`](crate::EvictionPolicy) — never the query just
+    /// registered.
+    fn register_with(&mut self, spec: QuerySpec, opts: QueryOptions) -> QueryId;
 
     /// Remove a query. Returns false when the id is unknown or removed.
     fn unregister(&mut self, qid: QueryId) -> bool;
+
+    // --- Lifecycle: namespaces, retention, expiry (see `lifecycle`). ---
+
+    /// Intern a namespace name, allocating its handle on first sight. The
+    /// empty string is always [`Namespace::DEFAULT`].
+    fn intern_namespace(&mut self, name: &str) -> Namespace;
+
+    /// Look up an interned namespace without creating it.
+    fn find_namespace(&self, name: &str) -> Option<Namespace>;
+
+    /// Install (or replace) a namespace's retention policy. Deadlines of
+    /// existing members are recomputed (a per-query `max_age` still wins),
+    /// and a lowered `max_queries` cap evicts immediately.
+    fn set_retention(&mut self, ns: Namespace, policy: RetentionPolicy);
+
+    /// The namespace's retention policy, if one was set.
+    fn retention(&self, ns: Namespace) -> Option<RetentionPolicy>;
+
+    /// Remove every query of a namespace at once: bulk-tombstone and
+    /// force-compact, the "filtered forget". Returns how many queries were
+    /// removed.
+    fn forget_namespace(&mut self, ns: Namespace) -> usize;
+
+    /// The namespace a live query belongs to.
+    fn namespace_of(&self, qid: QueryId) -> Option<Namespace>;
+
+    /// Per-namespace lifecycle stats (live/expired/evicted), handle order.
+    fn namespace_stats(&self) -> Vec<NamespaceStats>;
+
+    /// `(expired, evicted)` lifetime totals across all namespaces.
+    fn lifecycle_totals(&self) -> (u64, u64);
 
     /// Publish the documents of a typed [`PublishRequest`] through the
     /// backend's batched (and, on sharded backends, pipelined) ingestion
@@ -413,4 +468,10 @@ pub trait MonitorBackend {
 
     /// Warm-start a query's result set with pre-scored history.
     fn seed_results(&mut self, qid: QueryId, seeds: &[ScoredDoc]);
+
+    /// Pin a restored query's exact lifecycle coordinates — the
+    /// registration time and deadline captured in the snapshot — replacing
+    /// whatever `register_with` computed from the restore-time stream
+    /// clock.
+    fn restore_lifecycle(&mut self, qid: QueryId, registered_at: Timestamp, deadline: Option<f64>);
 }

@@ -17,6 +17,7 @@
 
 pub mod backend;
 pub mod engine;
+pub mod lifecycle;
 pub mod monitor;
 pub mod mrio;
 pub mod naive;
@@ -29,7 +30,12 @@ pub mod traits;
 pub mod walk;
 
 pub use backend::{DocPruning, MonitorBackend, PublishReceipt, PublishRequest, ShardingMode};
-pub use monitor::{Monitor, ShardSnapshot, Snapshot, SnapshotQuery, SNAPSHOT_VERSION};
+pub use lifecycle::{
+    EvictionPolicy, LifecycleManager, NamespaceStats, QueryOptions, RetentionPolicy,
+};
+pub use monitor::{
+    Monitor, ShardSnapshot, Snapshot, SnapshotPolicy, SnapshotQuery, SNAPSHOT_VERSION,
+};
 pub use mrio::{Mrio, MrioBlock, MrioSeg, MrioSuffix};
 pub use naive::Naive;
 pub use rio::Rio;

@@ -15,8 +15,11 @@
 //! and never know which one it got.
 
 use crate::backend::{MonitorBackend, PublishReceipt, PublishRequest};
+use crate::lifecycle::{
+    pick_victim, EvictionPolicy, LifecycleManager, NamespaceStats, QueryOptions, RetentionPolicy,
+};
 use crate::traits::ContinuousTopK;
-use ctk_common::{DocId, FxHashMap, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
+use ctk_common::{DocId, FxHashMap, Namespace, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
 use serde::{Deserialize, Serialize};
 
 /// A monitor wrapping an engine `E`.
@@ -28,11 +31,24 @@ pub struct Monitor<E: ContinuousTopK> {
     /// Tombstone ratio beyond which batch boundaries compact the index
     /// (`0.0` disables the policy).
     compact_at: f64,
+    lifecycle: LifecycleManager,
+    /// Cap evictions since the last publish, attributed to the next
+    /// receipt's first document so lifecycle activity shows up in the
+    /// merged stats stream.
+    pending_evicted: u64,
 }
 
 impl<E: ContinuousTopK> Monitor<E> {
     pub fn new(engine: E) -> Self {
-        Monitor { engine, specs: Vec::new(), next_doc: 0, last_arrival: 0.0, compact_at: 0.0 }
+        Monitor {
+            engine,
+            specs: Vec::new(),
+            next_doc: 0,
+            last_arrival: 0.0,
+            compact_at: 0.0,
+            lifecycle: LifecycleManager::new(),
+            pending_evicted: 0,
+        }
     }
 
     /// Enable tombstone compaction: whenever a publish leaves the engine's
@@ -54,13 +70,22 @@ impl<E: ContinuousTopK> Monitor<E> {
         &self.engine
     }
 
-    /// Register a user's continuous query.
+    /// Register a user's continuous query (default lifecycle options).
     pub fn register(&mut self, spec: QuerySpec) -> QueryId {
+        self.register_with(spec, QueryOptions::default())
+    }
+
+    /// Register a query with lifecycle options; may evict existing members
+    /// of the namespace if a `max_queries` cap is crossed (never the
+    /// newcomer itself).
+    pub fn register_with(&mut self, spec: QuerySpec, opts: QueryOptions) -> QueryId {
         let qid = self.engine.register(spec.clone());
         if self.specs.len() <= qid.index() {
             self.specs.resize(qid.index() + 1, None);
         }
         self.specs[qid.index()] = Some(spec);
+        self.lifecycle.on_register(qid, opts, self.last_arrival);
+        self.enforce_cap(opts.namespace, Some(qid));
         qid
     }
 
@@ -68,9 +93,83 @@ impl<E: ContinuousTopK> Monitor<E> {
     pub fn unregister(&mut self, qid: QueryId) -> bool {
         if self.engine.unregister(qid) {
             self.specs[qid.index()] = None;
+            self.lifecycle.on_unregister(qid);
             true
         } else {
             false
+        }
+    }
+
+    /// Intern a namespace name.
+    pub fn intern_namespace(&mut self, name: &str) -> Namespace {
+        self.lifecycle.intern(name)
+    }
+
+    /// Install a namespace's retention policy; a lowered cap evicts
+    /// immediately.
+    pub fn set_retention(&mut self, ns: Namespace, policy: RetentionPolicy) {
+        self.lifecycle.set_policy(ns, policy);
+        self.enforce_cap(ns, None);
+    }
+
+    /// Remove every query of a namespace: bulk-tombstone, then force a
+    /// compaction so the index sheds the dead postings at once instead of
+    /// waiting for the ratio policy. Returns how many queries were removed.
+    pub fn forget_namespace(&mut self, ns: Namespace) -> usize {
+        let members = self.lifecycle.members(ns);
+        for &qid in &members {
+            self.lifecycle.on_unregister(qid);
+            let removed = self.engine.unregister(qid);
+            debug_assert!(removed, "lifecycle member {qid} must be live in the engine");
+            self.specs[qid.index()] = None;
+        }
+        if !members.is_empty() {
+            self.engine.compact_index();
+        }
+        members.len()
+    }
+
+    /// Expire queries whose deadline passed, using the stream clock
+    /// advanced to the incoming batch's first arrival (clamped monotone).
+    /// O(1) when no query carries a deadline. Returns how many expired.
+    fn expire_due(&mut self, first_arrival: Option<Timestamp>) -> u64 {
+        if self.lifecycle.no_deadlines() {
+            return 0;
+        }
+        let now = first_arrival.map_or(self.last_arrival, |a| a.max(self.last_arrival));
+        let due = self.lifecycle.take_expired(now);
+        for &qid in &due {
+            let removed = self.engine.unregister(qid);
+            debug_assert!(removed, "expired query {qid} must be live in the engine");
+            self.specs[qid.index()] = None;
+        }
+        due.len() as u64
+    }
+
+    /// Evict until the namespace is back under its cap, per its policy's
+    /// victim selection. `protect` (a just-registered newcomer) is never a
+    /// candidate, which also guarantees termination for a cap of 0.
+    fn enforce_cap(&mut self, ns: Namespace, protect: Option<QueryId>) {
+        loop {
+            let Some(policy) = self.lifecycle.policy(ns) else { return };
+            let Some(cap) = policy.max_queries else { return };
+            let members = self.lifecycle.members(ns);
+            if members.len() as u64 <= cap {
+                return;
+            }
+            let candidates: Vec<QueryId> =
+                members.into_iter().filter(|&q| Some(q) != protect).collect();
+            let engine = &self.engine;
+            let Some(victim) = pick_victim(&candidates, policy.eviction, |q| {
+                engine.results(q).and_then(|r| r.first().map(|sd| sd.score.get())).unwrap_or(0.0)
+            }) else {
+                return;
+            };
+            self.lifecycle.note_evicted(victim);
+            let removed = self.engine.unregister(victim);
+            debug_assert!(removed, "cap victim {victim} must be live in the engine");
+            self.specs[victim.index()] = None;
+            self.pending_evicted += 1;
         }
     }
 
@@ -80,6 +179,7 @@ impl<E: ContinuousTopK> Monitor<E> {
     /// the changes land in the receipt directly, with no per-document copy
     /// out of the engine's scratch buffer.
     pub fn publish(&mut self, pairs: Vec<(TermId, f32)>, arrival: Timestamp) -> PublishReceipt {
+        let expired = self.expire_due(Some(arrival));
         let doc = self.admit(pairs, arrival);
         let mut receipt = PublishReceipt {
             doc_ids: vec![doc.id],
@@ -89,6 +189,7 @@ impl<E: ContinuousTopK> Monitor<E> {
         receipt.stats =
             self.engine.process_batch_into(std::slice::from_ref(&doc), &mut receipt.changes);
         self.maybe_compact();
+        self.attribute_lifecycle(&mut receipt, expired);
         receipt
     }
 
@@ -97,6 +198,11 @@ impl<E: ContinuousTopK> Monitor<E> {
     /// across the whole batch, and the receipt covers every document
     /// (attribute changes via `ResultChange::inserted`).
     pub fn publish_batch(&mut self, batch: Vec<(Vec<(TermId, f32)>, Timestamp)>) -> PublishReceipt {
+        let expired = if batch.is_empty() {
+            0 // An empty publish is not a batch boundary: no expiry sweep.
+        } else {
+            self.expire_due(batch.first().map(|(_, at)| *at))
+        };
         let docs: Vec<ctk_common::Document> =
             batch.into_iter().map(|(pairs, arrival)| self.admit(pairs, arrival)).collect();
         let mut receipt = PublishReceipt {
@@ -106,7 +212,19 @@ impl<E: ContinuousTopK> Monitor<E> {
         };
         receipt.stats = self.engine.process_batch_into(&docs, &mut receipt.changes);
         self.maybe_compact();
+        self.attribute_lifecycle(&mut receipt, expired);
         receipt
+    }
+
+    /// Surface the boundary's lifecycle removals on the receipt's first
+    /// document (the boundary the removals happened at). Evictions since
+    /// the previous publish ride along here — registration produces no
+    /// receipt of its own.
+    fn attribute_lifecycle(&mut self, receipt: &mut PublishReceipt, expired: u64) {
+        if let Some(first) = receipt.stats.first_mut() {
+            first.expired += expired;
+            first.evicted += std::mem::take(&mut self.pending_evicted);
+        }
     }
 
     /// Stamp one incoming document: next id, monotone-clamped arrival.
@@ -145,11 +263,13 @@ impl<E: ContinuousTopK> Monitor<E> {
             .filter_map(|(i, s)| {
                 s.as_ref().map(|spec| {
                     let qid = QueryId(i as u32);
-                    SnapshotQuery {
-                        qid: qid.0,
-                        spec: spec.clone(),
-                        results: self.engine.results(qid).unwrap_or_default(),
-                    }
+                    snapshot_query(
+                        qid,
+                        spec,
+                        self.engine.results(qid).unwrap_or_default(),
+                        &self.lifecycle,
+                        self.last_arrival,
+                    )
                 })
             })
             .collect();
@@ -158,6 +278,8 @@ impl<E: ContinuousTopK> Monitor<E> {
             lambda: self.engine.lambda(),
             next_doc: self.next_doc,
             last_arrival: self.last_arrival,
+            namespaces: self.lifecycle.names().to_vec(),
+            policies: snapshot_policies(&self.lifecycle),
             shards: vec![ShardSnapshot { landmark: self.engine.landmark(), queries }],
         }
     }
@@ -174,12 +296,48 @@ impl<E: ContinuousTopK> Monitor<E> {
 }
 
 impl<E: ContinuousTopK> MonitorBackend for Monitor<E> {
-    fn register(&mut self, spec: QuerySpec) -> QueryId {
-        Monitor::register(self, spec)
+    fn register_with(&mut self, spec: QuerySpec, opts: QueryOptions) -> QueryId {
+        Monitor::register_with(self, spec, opts)
     }
 
     fn unregister(&mut self, qid: QueryId) -> bool {
         Monitor::unregister(self, qid)
+    }
+
+    fn intern_namespace(&mut self, name: &str) -> Namespace {
+        Monitor::intern_namespace(self, name)
+    }
+
+    fn find_namespace(&self, name: &str) -> Option<Namespace> {
+        self.lifecycle.find(name)
+    }
+
+    fn set_retention(&mut self, ns: Namespace, policy: RetentionPolicy) {
+        Monitor::set_retention(self, ns, policy);
+    }
+
+    fn retention(&self, ns: Namespace) -> Option<RetentionPolicy> {
+        self.lifecycle.policy(ns)
+    }
+
+    fn forget_namespace(&mut self, ns: Namespace) -> usize {
+        Monitor::forget_namespace(self, ns)
+    }
+
+    fn namespace_of(&self, qid: QueryId) -> Option<Namespace> {
+        self.lifecycle.namespace_of(qid)
+    }
+
+    fn namespace_stats(&self) -> Vec<NamespaceStats> {
+        self.lifecycle.stats()
+    }
+
+    fn lifecycle_totals(&self) -> (u64, u64) {
+        self.lifecycle.totals()
+    }
+
+    fn restore_lifecycle(&mut self, qid: QueryId, registered_at: Timestamp, deadline: Option<f64>) {
+        self.lifecycle.restore_pin(qid, registered_at, deadline);
     }
 
     fn publish_request(&mut self, request: PublishRequest) -> PublishReceipt {
@@ -218,7 +376,7 @@ impl<E: ContinuousTopK> MonitorBackend for Monitor<E> {
 
 /// Current snapshot format version. Bump on any breaking field change and
 /// teach [`Snapshot::from_json`] to migrate the previous shape.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// One query's state inside a [`Snapshot`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -227,6 +385,60 @@ pub struct SnapshotQuery {
     pub qid: u32,
     pub spec: QuerySpec,
     pub results: Vec<ScoredDoc>,
+    /// Handle into the snapshot's `namespaces` table (0 = default).
+    pub namespace: u16,
+    /// Stream time of the original registration.
+    pub registered_at: Timestamp,
+    /// The per-query TTL override, if one was set.
+    pub max_age: Option<f64>,
+    /// The effective expiry deadline at capture (stream time).
+    pub deadline: Option<f64>,
+}
+
+/// One namespace's retention policy inside a [`Snapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotPolicy {
+    /// Handle into the snapshot's `namespaces` table.
+    pub namespace: u16,
+    pub max_age: Option<f64>,
+    pub max_queries: Option<u64>,
+    pub eviction: EvictionPolicy,
+}
+
+/// Build one [`SnapshotQuery`] from a live query plus its lifecycle meta.
+/// Shared by both monitor front-ends so their sections stay field-identical.
+pub(crate) fn snapshot_query(
+    qid: QueryId,
+    spec: &QuerySpec,
+    results: Vec<ScoredDoc>,
+    lifecycle: &LifecycleManager,
+    last_arrival: Timestamp,
+) -> SnapshotQuery {
+    let (registered_at, max_age, deadline) =
+        lifecycle.meta_of(qid).unwrap_or((last_arrival, None, None));
+    SnapshotQuery {
+        qid: qid.0,
+        spec: spec.clone(),
+        results,
+        namespace: lifecycle.namespace_of(qid).unwrap_or(Namespace::DEFAULT).0,
+        registered_at,
+        max_age,
+        deadline,
+    }
+}
+
+/// The lifecycle's installed policies in snapshot form.
+pub(crate) fn snapshot_policies(lifecycle: &LifecycleManager) -> Vec<SnapshotPolicy> {
+    lifecycle
+        .policies()
+        .into_iter()
+        .map(|(ns, p)| SnapshotPolicy {
+            namespace: ns.0,
+            max_age: p.max_age,
+            max_queries: p.max_queries,
+            eviction: p.eviction,
+        })
+        .collect()
 }
 
 /// One shard's section of a [`Snapshot`]: its decay landmark and the
@@ -240,7 +452,7 @@ pub struct ShardSnapshot {
     pub queries: Vec<SnapshotQuery>,
 }
 
-/// A serializable capture of a whole monitor backend (format version 2).
+/// A serializable capture of a whole monitor backend (format version 3).
 ///
 /// The section list records how the capture was partitioned, but restore is
 /// partition-agnostic: [`Snapshot::restore_into`] rebalances the queries
@@ -249,21 +461,76 @@ pub struct ShardSnapshot {
 ///
 /// ## Format history
 ///
-/// * **v2** (current): `version` tag, per-shard `shards` sections each
-///   carrying its `landmark`.
+/// * **v3** (current): adds the lifecycle layer — a `namespaces` string
+///   table, per-namespace retention `policies`, and per-query
+///   `namespace`/`registered_at`/`max_age`/`deadline`.
+/// * **v2** (PR 3): `version` tag, per-shard `shards` sections each
+///   carrying its `landmark`. Migrated into the default namespace with no
+///   deadlines; `registered_at` becomes the capture's `last_arrival`.
 /// * **v1** (PR 2): flat single-engine capture with a top-level `landmark`.
 /// * **v0** (pre-PR-2): as v1 but without `landmark` — migrated with
 ///   `landmark = 0`, which is exact for captures that never renormalized.
 ///
-/// [`Snapshot::from_json`] parses all three; [`Snapshot::to_json`] always
-/// writes v2.
+/// [`Snapshot::from_json`] parses all four; [`Snapshot::to_json`] always
+/// writes v3.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Snapshot {
     pub version: u32,
     pub lambda: f64,
     pub next_doc: u64,
     pub last_arrival: Timestamp,
+    /// Interned namespace names; the index is the handle queries and
+    /// policies refer to. Index 0 is always the default namespace ("").
+    pub namespaces: Vec<String>,
+    /// Installed retention policies, ascending namespace handle.
+    pub policies: Vec<SnapshotPolicy>,
     pub shards: Vec<ShardSnapshot>,
+}
+
+/// The v2 (PR-3) on-disk shape, kept for migration only. The derive shim
+/// ignores unknown fields, so a v3+ document *structurally* parses as v2;
+/// [`Snapshot::from_json`] therefore rejects any `version != 2` here
+/// instead of silently dropping the lifecycle fields.
+#[derive(Deserialize)]
+struct SnapshotV2 {
+    version: u32,
+    lambda: f64,
+    next_doc: u64,
+    last_arrival: Timestamp,
+    shards: Vec<ShardSnapshotV2>,
+}
+
+/// One v2 section: landmark plus lifecycle-less queries.
+#[derive(Deserialize)]
+struct ShardSnapshotV2 {
+    landmark: Timestamp,
+    queries: Vec<SnapshotQueryV2>,
+}
+
+/// One v2 query: no namespace, no deadlines.
+#[derive(Deserialize)]
+struct SnapshotQueryV2 {
+    qid: u32,
+    spec: QuerySpec,
+    results: Vec<ScoredDoc>,
+}
+
+impl SnapshotQueryV2 {
+    /// Lift into the current shape: default namespace, no TTL. The capture
+    /// carries no registration times, so `registered_at` pins to the
+    /// capture's stream clock — the same value `register_with` would use if
+    /// the queries were re-registered at restore time.
+    fn migrate(self, last_arrival: Timestamp) -> SnapshotQuery {
+        SnapshotQuery {
+            qid: self.qid,
+            spec: self.spec,
+            results: self.results,
+            namespace: Namespace::DEFAULT.0,
+            registered_at: last_arrival,
+            max_age: None,
+            deadline: None,
+        }
+    }
 }
 
 /// The v1 (PR-2) on-disk shape, kept for migration only.
@@ -273,7 +540,7 @@ struct SnapshotV1 {
     landmark: Timestamp,
     next_doc: u64,
     last_arrival: Timestamp,
-    queries: Vec<SnapshotQuery>,
+    queries: Vec<SnapshotQueryV2>,
 }
 
 /// The v0 (pre-PR-2) on-disk shape, kept for migration only. **Must be
@@ -284,7 +551,31 @@ struct SnapshotV0 {
     lambda: f64,
     next_doc: u64,
     last_arrival: Timestamp,
-    queries: Vec<SnapshotQuery>,
+    queries: Vec<SnapshotQueryV2>,
+}
+
+/// A lifecycle-less legacy capture lifted to the current in-memory form.
+fn migrate_legacy(
+    lambda: f64,
+    next_doc: u64,
+    last_arrival: Timestamp,
+    sections: Vec<(Timestamp, Vec<SnapshotQueryV2>)>,
+) -> Snapshot {
+    Snapshot {
+        version: SNAPSHOT_VERSION,
+        lambda,
+        next_doc,
+        last_arrival,
+        namespaces: vec![String::new()],
+        policies: Vec::new(),
+        shards: sections
+            .into_iter()
+            .map(|(landmark, queries)| ShardSnapshot {
+                landmark,
+                queries: queries.into_iter().map(|q| q.migrate(last_arrival)).collect(),
+            })
+            .collect(),
+    }
 }
 
 impl Snapshot {
@@ -293,8 +584,9 @@ impl Snapshot {
         serde_json::to_string_pretty(self)
     }
 
-    /// Deserialize from JSON, migrating v1 / v0 captures to the current
-    /// in-memory form (one section; v0 gets `landmark = 0`).
+    /// Deserialize from JSON, migrating v2 / v1 / v0 captures to the
+    /// current in-memory form (legacy queries land in the default namespace
+    /// with no deadlines; v0 gets `landmark = 0`).
     pub fn from_json(s: &str) -> serde_json::Result<Snapshot> {
         match serde_json::from_str::<Snapshot>(s) {
             Ok(snap) => {
@@ -307,26 +599,40 @@ impl Snapshot {
                 }
                 Ok(snap)
             }
-            Err(v2_err) => {
+            Err(v3_err) => {
+                if let Ok(v2) = serde_json::from_str::<SnapshotV2>(s) {
+                    // The shim ignores unknown fields, so any versioned
+                    // document reaches this arm; only a real v2 may migrate
+                    // — anything newer must fail as unsupported, not have
+                    // its lifecycle fields silently dropped.
+                    if v2.version != 2 {
+                        return Err(serde::Error::custom(format!(
+                            "unsupported snapshot version {} (this build reads <= \
+                             {SNAPSHOT_VERSION})",
+                            v2.version
+                        ))
+                        .into());
+                    }
+                    let sections = v2.shards.into_iter().map(|s| (s.landmark, s.queries)).collect();
+                    return Ok(migrate_legacy(v2.lambda, v2.next_doc, v2.last_arrival, sections));
+                }
                 if let Ok(v1) = serde_json::from_str::<SnapshotV1>(s) {
-                    return Ok(Snapshot {
-                        version: SNAPSHOT_VERSION,
-                        lambda: v1.lambda,
-                        next_doc: v1.next_doc,
-                        last_arrival: v1.last_arrival,
-                        shards: vec![ShardSnapshot { landmark: v1.landmark, queries: v1.queries }],
-                    });
+                    return Ok(migrate_legacy(
+                        v1.lambda,
+                        v1.next_doc,
+                        v1.last_arrival,
+                        vec![(v1.landmark, v1.queries)],
+                    ));
                 }
                 if let Ok(v0) = serde_json::from_str::<SnapshotV0>(s) {
-                    return Ok(Snapshot {
-                        version: SNAPSHOT_VERSION,
-                        lambda: v0.lambda,
-                        next_doc: v0.next_doc,
-                        last_arrival: v0.last_arrival,
-                        shards: vec![ShardSnapshot { landmark: 0.0, queries: v0.queries }],
-                    });
+                    return Ok(migrate_legacy(
+                        v0.lambda,
+                        v0.next_doc,
+                        v0.last_arrival,
+                        vec![(0.0, v0.queries)],
+                    ));
                 }
-                Err(v2_err)
+                Err(v3_err)
             }
         }
     }
@@ -381,11 +687,37 @@ impl Snapshot {
         backend.restore_landmark(self.landmark());
         backend.restore_stream_position(self.next_doc, self.last_arrival);
 
+        // Rebuild the lifecycle layer first: intern the capture's namespace
+        // table (the restore target may renumber handles) and install the
+        // policies. No members exist yet, so a `max_queries` cap cannot
+        // evict here.
+        let ns_map: Vec<Namespace> =
+            self.namespaces.iter().map(|name| backend.intern_namespace(name)).collect();
+        let map_ns = |handle: u16| -> Namespace {
+            ns_map.get(handle as usize).copied().unwrap_or(Namespace::DEFAULT)
+        };
+        for p in &self.policies {
+            backend.set_retention(
+                map_ns(p.namespace),
+                RetentionPolicy {
+                    max_age: p.max_age,
+                    max_queries: p.max_queries,
+                    eviction: p.eviction,
+                },
+            );
+        }
+
         let mut captured: Vec<&SnapshotQuery> = self.queries().collect();
         captured.sort_by_key(|q| q.qid);
         let mut mapping = FxHashMap::default();
         for q in captured {
-            let new_qid = backend.register(q.spec.clone());
+            let new_qid = backend.register_with(
+                q.spec.clone(),
+                QueryOptions { namespace: map_ns(q.namespace), max_age: q.max_age },
+            );
+            // Pin the *captured* registration time and deadline: the
+            // restore-time stream clock must not stretch TTLs.
+            backend.restore_lifecycle(new_qid, q.registered_at, q.deadline);
             backend.seed_results(new_qid, &q.results);
             mapping.insert(QueryId(q.qid), new_qid);
         }

@@ -79,7 +79,12 @@
 
 use crate::backend::{DocPruning, MonitorBackend, PublishReceipt, PublishRequest, ShardingMode};
 use crate::engine::EngineBase;
-use crate::monitor::{ShardSnapshot, Snapshot, SnapshotQuery, SNAPSHOT_VERSION};
+use crate::lifecycle::{
+    pick_victim, LifecycleManager, NamespaceStats, QueryOptions, RetentionPolicy,
+};
+use crate::monitor::{
+    snapshot_policies, snapshot_query, ShardSnapshot, Snapshot, SNAPSHOT_VERSION,
+};
 use crate::score::DecayModel;
 use crate::stats::{CumulativeStats, EventStats};
 use crate::traits::{ContinuousTopK, ResultChange};
@@ -87,7 +92,9 @@ use crate::walk::{
     collect_scored_candidates, collect_scored_candidates_bounded, DocEpochBounds, MatchScratch,
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use ctk_common::{DocId, Document, FxHashSet, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
+use ctk_common::{
+    DocId, Document, FxHashSet, Namespace, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp,
+};
 use ctk_index::QueryIndex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -135,6 +142,9 @@ enum Command {
     /// Tombstone ratio beyond which the worker compacts its index after
     /// answering a batch (0 disables).
     SetCompaction(f64),
+    /// Compact the worker's index now, regardless of the configured
+    /// threshold (bulk-forget reclamation); the reply fences completion.
+    Compact(Sender<()>),
     Shutdown,
 }
 
@@ -359,6 +369,14 @@ pub struct ShardedMonitor {
     ingest_batch: usize,
     /// Batches kept in flight by `publish_batch` while chunking.
     ingest_window: usize,
+    /// Namespaces, retention policies, per-query deadlines — the same
+    /// front-end lifecycle layer [`crate::Monitor`] carries, so both
+    /// backends expire and evict at identical batch boundaries.
+    lifecycle: LifecycleManager,
+    /// Cap evictions performed since the last publish receipt (evictions
+    /// fire at registration time, which produces no receipt to attribute
+    /// them to; the next publish flushes the count).
+    pending_evicted: u64,
 }
 
 impl ShardedMonitor {
@@ -421,6 +439,10 @@ impl ShardedMonitor {
                         Command::SetCompaction(ratio) => {
                             compact_at = ratio.max(0.0);
                         }
+                        Command::Compact(reply) => {
+                            engine.compact_index();
+                            let _ = reply.send(());
+                        }
                         Command::Shutdown => break,
                     }
                 }
@@ -441,6 +463,8 @@ impl ShardedMonitor {
             last_arrival: 0.0,
             ingest_batch: 0,
             ingest_window: 1,
+            lifecycle: LifecycleManager::new(),
+            pending_evicted: 0,
         }
     }
 
@@ -492,6 +516,8 @@ impl ShardedMonitor {
             last_arrival: 0.0,
             ingest_batch: 0,
             ingest_window: 1,
+            lifecycle: LifecycleManager::new(),
+            pending_evicted: 0,
         }
     }
 
@@ -559,6 +585,14 @@ impl ShardedMonitor {
     /// the shared index epoch (which must be quiesced — no batches in
     /// flight — so in-flight scoring never races registration churn).
     pub fn register(&mut self, spec: QuerySpec) -> QueryId {
+        self.register_with(spec, QueryOptions::default())
+    }
+
+    /// Register a query with lifecycle options (namespace, optional TTL).
+    /// Same placement rules as [`ShardedMonitor::register`]; may evict an
+    /// existing member of the namespace if a `max_queries` cap is crossed
+    /// (never the newcomer).
+    pub fn register_with(&mut self, spec: QuerySpec, opts: QueryOptions) -> QueryId {
         let global = QueryId(self.specs.len() as u32);
         match &mut self.runtime {
             Runtime::Queries(rt) => {
@@ -594,6 +628,8 @@ impl ShardedMonitor {
         }
         self.specs.push(Some(spec));
         self.live += 1;
+        self.lifecycle.on_register(global, opts, self.last_arrival);
+        self.enforce_cap(opts.namespace, Some(global));
         global
     }
 
@@ -630,7 +666,136 @@ impl ShardedMonitor {
         }
         self.specs[qid.index()] = None;
         self.live -= 1;
+        self.lifecycle.on_unregister(qid);
         true
+    }
+
+    /// Intern a namespace name, allocating its handle on first sight.
+    pub fn intern_namespace(&mut self, name: &str) -> Namespace {
+        self.lifecycle.intern(name)
+    }
+
+    /// Install (or replace) a namespace's retention policy; recomputes
+    /// member deadlines and enforces a lowered `max_queries` cap now.
+    pub fn set_retention(&mut self, ns: Namespace, policy: RetentionPolicy) {
+        self.lifecycle.set_policy(ns, policy);
+        self.enforce_cap(ns, None);
+    }
+
+    /// Remove every query of a namespace at once; returns how many were
+    /// removed. Query mode unregisters per route and then force-compacts
+    /// every shard (fenced); document mode bulk-tombstones the shared epoch
+    /// in one pass and force-compacts it. Requires a quiesced pipeline.
+    pub fn forget_namespace(&mut self, ns: Namespace) -> usize {
+        let members = self.lifecycle.members(ns);
+        if members.is_empty() {
+            return 0;
+        }
+        match self.mode() {
+            ShardingMode::Queries => {
+                for &qid in &members {
+                    let removed = self.unregister(qid);
+                    debug_assert!(removed, "namespace member {qid} must be live");
+                }
+                let Runtime::Queries(rt) = &self.runtime else { unreachable!() };
+                // Broadcast, then fence: shards compact in parallel.
+                let fences: Vec<Receiver<()>> = rt
+                    .workers
+                    .iter()
+                    .map(|w| {
+                        let (reply_tx, reply_rx) = bounded(1);
+                        w.tx.send(Command::Compact(reply_tx)).expect("worker alive");
+                        reply_rx
+                    })
+                    .collect();
+                for fence in fences {
+                    fence.recv().expect("worker reply");
+                }
+            }
+            ShardingMode::Documents => {
+                let Runtime::Documents(rt) = &mut self.runtime else { unreachable!() };
+                assert!(
+                    rt.pending.is_empty(),
+                    "doc-parallel bulk forget requires a quiesced pipeline; drain first"
+                );
+                let removed = Arc::make_mut(&mut rt.index).unregister_many(&members);
+                debug_assert_eq!(removed.len(), members.len(), "every member must be live");
+                for (qid, rec) in &removed {
+                    thawed(&mut rt.bounds).tombstone_registration(&rec.entries);
+                    rt.base.drop_state(*qid);
+                    rt.stale.remove(qid);
+                }
+                rt.filter_cache = None;
+                // Forced compaction reclaims the bulk tombstones at once;
+                // realign the affected lists' bounds exactly as the
+                // threshold-triggered compaction in `drain_batch` does.
+                let changed_lists = Arc::make_mut(&mut rt.index).compact();
+                if !changed_lists.is_empty() {
+                    let (base, index) = (&rt.base, &rt.index);
+                    let b = thawed(&mut rt.bounds);
+                    for li in changed_lists {
+                        b.rebuild_list(index, li, |q, w| base.normalized_of(q, w as f64));
+                    }
+                }
+                for &qid in &members {
+                    self.lifecycle.on_unregister(qid);
+                    self.specs[qid.index()] = None;
+                    self.live -= 1;
+                }
+            }
+        }
+        members.len()
+    }
+
+    /// Expire every query whose deadline has passed, relative to the later
+    /// of the stream clock and the first arrival of the batch about to be
+    /// published. O(1) when no TTLs are in play. Runs only at publish
+    /// entry, where the pipeline is quiesced in both modes.
+    fn expire_due(&mut self, first_arrival: Option<Timestamp>) -> u64 {
+        if self.lifecycle.no_deadlines() {
+            return 0;
+        }
+        let now = first_arrival.map_or(self.last_arrival, |a| a.max(self.last_arrival));
+        let due = self.lifecycle.take_expired(now);
+        for &qid in &due {
+            let removed = self.unregister(qid);
+            debug_assert!(removed, "expired query {qid} must be live");
+        }
+        due.len() as u64
+    }
+
+    /// Evict until the namespace is back under its cap, per its policy's
+    /// victim selection. `protect` (a just-registered newcomer) is never a
+    /// candidate, which also guarantees termination for a cap of 0.
+    fn enforce_cap(&mut self, ns: Namespace, protect: Option<QueryId>) {
+        loop {
+            let Some(policy) = self.lifecycle.policy(ns) else { return };
+            let Some(cap) = policy.max_queries else { return };
+            let members = self.lifecycle.members(ns);
+            if members.len() as u64 <= cap {
+                return;
+            }
+            let candidates: Vec<QueryId> =
+                members.into_iter().filter(|&q| Some(q) != protect).collect();
+            let victim = pick_victim(&candidates, policy.eviction, |q| {
+                self.results(q).and_then(|r| r.first().map(|sd| sd.score.get())).unwrap_or(0.0)
+            });
+            let Some(victim) = victim else { return };
+            self.lifecycle.note_evicted(victim);
+            let removed = self.unregister(victim);
+            debug_assert!(removed, "cap victim {victim} must be live");
+            self.pending_evicted += 1;
+        }
+    }
+
+    /// Fold this publish's lifecycle removals into its receipt: the batch's
+    /// first stat line carries the expiry count plus any cap evictions
+    /// pending since the last receipt.
+    fn attribute_lifecycle(&mut self, receipt: &mut PublishReceipt, expired: u64) {
+        if let Some(first) = receipt.stats.first_mut() {
+            first.expired += expired;
+            first.evicted += std::mem::take(&mut self.pending_evicted);
+        }
     }
 
     /// Warm-start a query's result set (snapshot restore path).
@@ -959,6 +1124,11 @@ impl ShardedMonitor {
             self.in_flight() == 0,
             "publish cannot interleave with an open submit/drain pipeline; drain it first"
         );
+        // TTL expiry fires before the batch is admitted, so an expiring
+        // query never sees documents past its deadline — the exact moment
+        // an oracle unregistering at this boundary would remove it.
+        let expired =
+            if batch.is_empty() { 0 } else { self.expire_due(batch.first().map(|(_, at)| *at)) };
         let docs: Vec<Document> =
             batch.into_iter().map(|(pairs, arrival)| self.admit(pairs, arrival)).collect();
         let mut receipt = PublishReceipt {
@@ -987,6 +1157,7 @@ impl ShardedMonitor {
         while self.in_flight() > 0 {
             drain_into(self, &mut receipt);
         }
+        self.attribute_lifecycle(&mut receipt, expired);
         receipt
     }
 
@@ -1079,17 +1250,21 @@ impl ShardedMonitor {
                 Runtime::Queries(rt) => rt.routes[i].expect("spec implies route").shard as usize,
                 Runtime::Documents(_) => 0,
             };
-            sections[section].queries.push(SnapshotQuery {
-                qid: qid.0,
-                spec: spec.clone(),
-                results: self.results(qid).unwrap_or_default(),
-            });
+            sections[section].queries.push(snapshot_query(
+                qid,
+                spec,
+                self.results(qid).unwrap_or_default(),
+                &self.lifecycle,
+                self.last_arrival,
+            ));
         }
         Snapshot {
             version: SNAPSHOT_VERSION,
             lambda: self.lambda(),
             next_doc: self.next_doc,
             last_arrival: self.last_arrival,
+            namespaces: self.lifecycle.names().to_vec(),
+            policies: snapshot_policies(&self.lifecycle),
             shards: sections,
         }
     }
@@ -1108,12 +1283,44 @@ impl ShardedMonitor {
 }
 
 impl MonitorBackend for ShardedMonitor {
-    fn register(&mut self, spec: QuerySpec) -> QueryId {
-        ShardedMonitor::register(self, spec)
+    fn register_with(&mut self, spec: QuerySpec, opts: QueryOptions) -> QueryId {
+        ShardedMonitor::register_with(self, spec, opts)
     }
 
     fn unregister(&mut self, qid: QueryId) -> bool {
         ShardedMonitor::unregister(self, qid)
+    }
+
+    fn intern_namespace(&mut self, name: &str) -> Namespace {
+        ShardedMonitor::intern_namespace(self, name)
+    }
+
+    fn find_namespace(&self, name: &str) -> Option<Namespace> {
+        self.lifecycle.find(name)
+    }
+
+    fn set_retention(&mut self, ns: Namespace, policy: RetentionPolicy) {
+        ShardedMonitor::set_retention(self, ns, policy)
+    }
+
+    fn retention(&self, ns: Namespace) -> Option<RetentionPolicy> {
+        self.lifecycle.policy(ns)
+    }
+
+    fn forget_namespace(&mut self, ns: Namespace) -> usize {
+        ShardedMonitor::forget_namespace(self, ns)
+    }
+
+    fn namespace_of(&self, qid: QueryId) -> Option<Namespace> {
+        self.lifecycle.namespace_of(qid)
+    }
+
+    fn namespace_stats(&self) -> Vec<NamespaceStats> {
+        self.lifecycle.stats()
+    }
+
+    fn lifecycle_totals(&self) -> (u64, u64) {
+        self.lifecycle.totals()
     }
 
     fn publish_request(&mut self, request: PublishRequest) -> PublishReceipt {
@@ -1170,6 +1377,10 @@ impl MonitorBackend for ShardedMonitor {
 
     fn seed_results(&mut self, qid: QueryId, seeds: &[ScoredDoc]) {
         ShardedMonitor::seed_results(self, qid, seeds)
+    }
+
+    fn restore_lifecycle(&mut self, qid: QueryId, registered_at: Timestamp, deadline: Option<f64>) {
+        self.lifecycle.restore_pin(qid, registered_at, deadline);
     }
 }
 

@@ -32,6 +32,13 @@ pub struct EventStats {
     /// `postings_accessed + postings_skipped >=` the exhaustive walk's
     /// `postings_accessed` on the same event.
     pub postings_skipped: u64,
+    /// Queries removed by TTL expiry at this batch boundary. Set by the
+    /// monitor front-ends (lifecycle layer), never by an engine: oracle
+    /// comparisons of raw engine stats are unaffected.
+    pub expired: u64,
+    /// Queries removed by retention-cap eviction at this batch boundary.
+    /// Front-end-only, like `expired`.
+    pub evicted: u64,
 }
 
 impl EventStats {
@@ -48,6 +55,8 @@ impl EventStats {
         self.matched_lists += other.matched_lists;
         self.zones_skipped += other.zones_skipped;
         self.postings_skipped += other.postings_skipped;
+        self.expired += other.expired;
+        self.evicted += other.evicted;
     }
 
     /// Fold this event into a cumulative record.
@@ -61,6 +70,8 @@ impl EventStats {
         cum.matched_lists += self.matched_lists;
         cum.zones_skipped += self.zones_skipped;
         cum.postings_skipped += self.postings_skipped;
+        cum.expired += self.expired;
+        cum.evicted += self.evicted;
     }
 }
 
@@ -82,6 +93,8 @@ pub struct CumulativeStats {
     pub matched_lists: u64,
     pub zones_skipped: u64,
     pub postings_skipped: u64,
+    pub expired: u64,
+    pub evicted: u64,
     /// Landmark renormalizations performed.
     pub renormalizations: u64,
 }
@@ -122,6 +135,8 @@ mod tests {
             matched_lists: 4,
             zones_skipped: 2,
             postings_skipped: 50,
+            expired: 1,
+            evicted: 2,
         };
         e.accumulate_into(&mut cum);
         e.accumulate_into(&mut cum);
@@ -129,6 +144,7 @@ mod tests {
         assert_eq!(cum.full_evaluations, 6);
         assert_eq!(cum.zones_skipped, 4);
         assert_eq!(cum.postings_skipped, 100);
+        assert_eq!((cum.expired, cum.evicted), (2, 4));
         assert_eq!(cum.avg_full_evaluations(), 3.0);
         assert_eq!(cum.avg_iterations(), 7.0);
     }
@@ -144,6 +160,8 @@ mod tests {
             matched_lists: 6,
             zones_skipped: 7,
             postings_skipped: 8,
+            expired: 9,
+            evicted: 10,
         };
         let mut b = a;
         b.merge(&a);
@@ -158,6 +176,8 @@ mod tests {
                 matched_lists: 12,
                 zones_skipped: 14,
                 postings_skipped: 16,
+                expired: 18,
+                evicted: 20,
             }
         );
         let mut c = EventStats::default();

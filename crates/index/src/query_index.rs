@@ -118,6 +118,21 @@ impl QueryIndex {
         Some(record)
     }
 
+    /// Unregister a batch of queries in one pass (the namespace-forget
+    /// path): tombstones every posting of every live member and returns the
+    /// `(qid, record)` pairs actually removed, in input order. Unknown or
+    /// already-removed ids are skipped. One call-site-visible walk instead
+    /// of `n` lookups lets callers follow with a single forced compaction.
+    pub fn unregister_many(&mut self, qids: &[QueryId]) -> Vec<(QueryId, QueryRecord)> {
+        let mut removed = Vec::with_capacity(qids.len());
+        for &qid in qids {
+            if let Some(record) = self.unregister(qid) {
+                removed.push((qid, record));
+            }
+        }
+        removed
+    }
+
     /// The record of a live query.
     #[inline]
     pub fn record(&self, qid: QueryId) -> Option<&QueryRecord> {

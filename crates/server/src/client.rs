@@ -57,6 +57,11 @@ impl HttpClient {
         self.request("POST", path, body)
     }
 
+    /// `PUT` a JSON body.
+    pub fn put(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("PUT", path, body)
+    }
+
     /// `DELETE` a path.
     pub fn delete(&mut self, path: &str) -> io::Result<(u16, String)> {
         self.request("DELETE", path, "")

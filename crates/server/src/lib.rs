@@ -8,14 +8,17 @@
 //!
 //! | Route | Effect |
 //! |---|---|
-//! | `POST /queries` | register a query → `{"query": id}` |
+//! | `POST /queries` | register a query (optional `"namespace"`, `"max_age"`) → `{"query": id, "namespace": name}` |
 //! | `DELETE /queries/{id}` | unregister |
 //! | `GET /queries/{id}/results` | current top-k, best first |
 //! | `POST /publish` | publish one document or a `{"docs": [...]}` batch → the wire-serialized [`PublishReceipt`] |
 //! | `POST /subscriptions` | subscribe to change events (optional `{"queries": [...]}` filter) |
 //! | `DELETE /subscriptions/{id}` | unsubscribe |
 //! | `GET /changes?subscriber=S&timeout_ms=T&max=N` | long-poll buffered change events |
-//! | `GET /stats` | engine, λ, shards, query/publish counters, fan-out totals |
+//! | `PUT /namespaces/{ns}/retention` | install a retention policy (`max_age`, `max_queries`, `eviction`) |
+//! | `GET /namespaces/{ns}/retention` | read a namespace's policy (404 for unknown namespaces) |
+//! | `POST /forget` | bulk-remove a namespace: `{"namespace": n, "dry_run": true}` previews, `"confirm": true` removes |
+//! | `GET /stats` | engine, λ, shards, query/publish counters, expiry/eviction totals, per-namespace counts, fan-out totals |
 //! | `POST /snapshot` | capture the full monitor state as a versioned JSON snapshot |
 //! | `POST /restore` | replace the live monitor from a snapshot → id mapping |
 //! | `POST /admin/drain` | refuse further publishes (503), flush in-flight ones, wake pollers |

@@ -31,8 +31,11 @@ use crate::subscribers::SubscriberRegistry;
 use crate::wire;
 use continuous_topk::{EngineKind, MonitorBuilder};
 use crossbeam::channel::{self, Receiver, Sender};
-use ctk_common::{QueryId, QuerySpec, ScoredDoc};
-use ctk_core::{DocPruning, PublishReceipt, PublishRequest, ShardingMode, Snapshot};
+use ctk_common::{Namespace, QueryId, ScoredDoc};
+use ctk_core::{
+    DocPruning, NamespaceStats, PublishReceipt, PublishRequest, QueryOptions, RetentionPolicy,
+    ShardingMode, Snapshot,
+};
 use serde::{Number, Serialize, Value};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -249,13 +252,25 @@ struct Shared {
 /// a one-shot reply channel; a handler whose reply channel dies (ingest
 /// thread already stopped) reports 503.
 enum Command {
-    Register(QuerySpec, Sender<QueryId>),
+    Register(wire::RegisterRequest, Sender<QueryId>),
     Unregister(QueryId, Sender<bool>),
     Publish(PublishRequest, Sender<PublishReceipt>),
     Results(QueryId, Sender<Option<Vec<ScoredDoc>>>),
     Stats(Sender<BackendStats>),
     Snapshot(Sender<Snapshot>),
     Restore(Box<Snapshot>, Sender<RestoreOutcome>),
+    /// Install a namespace's retention policy (interning the name).
+    SetRetention(String, RetentionPolicy, Sender<()>),
+    /// Read a namespace's policy; outer `None` = unknown namespace, inner
+    /// `None` = known but no policy installed.
+    GetRetention(String, Sender<Option<Option<RetentionPolicy>>>),
+    /// Bulk-remove a namespace's queries (`dry_run` only counts them);
+    /// `None` = unknown namespace.
+    Forget {
+        namespace: String,
+        dry_run: bool,
+        reply: Sender<Option<usize>>,
+    },
     /// Replies once everything queued before it has been processed.
     Barrier(Sender<()>),
     Stop,
@@ -269,6 +284,9 @@ struct BackendStats {
     lambda: f64,
     publishes: u64,
     docs_published: u64,
+    expired: u64,
+    evicted: u64,
+    namespaces: Vec<NamespaceStats>,
 }
 
 /// The ingest thread's answer to a restore: the new backend's query count
@@ -289,8 +307,13 @@ fn ingest_loop(
     while let Ok(command) = rx.recv() {
         match command {
             Command::Stop => break,
-            Command::Register(spec, reply) => {
-                let _ = reply.send(backend.register(spec));
+            Command::Register(req, reply) => {
+                let namespace = match req.namespace.as_deref() {
+                    None => Namespace::DEFAULT,
+                    Some(name) => backend.intern_namespace(name),
+                };
+                let opts = QueryOptions { namespace, max_age: req.max_age };
+                let _ = reply.send(backend.register_with(req.spec, opts));
             }
             Command::Unregister(qid, reply) => {
                 let _ = reply.send(backend.unregister(qid));
@@ -309,6 +332,7 @@ fn ingest_loop(
                 let _ = reply.send(backend.results(qid));
             }
             Command::Stats(reply) => {
+                let (expired, evicted) = backend.lifecycle_totals();
                 let _ = reply.send(BackendStats {
                     queries: backend.num_queries(),
                     shards: backend.shards(),
@@ -316,6 +340,9 @@ fn ingest_loop(
                     lambda: backend.lambda(),
                     publishes,
                     docs_published,
+                    expired,
+                    evicted,
+                    namespaces: backend.namespace_stats(),
                 });
             }
             Command::Snapshot(reply) => {
@@ -326,7 +353,34 @@ fn ingest_loop(
                 backend = restored;
                 let mut mapping: Vec<(QueryId, QueryId)> = mapping.into_iter().collect();
                 mapping.sort_unstable_by_key(|&(old, _)| old);
+                // Follow the surviving queries to their new ids before the
+                // restorer gets its ack — a subscriber filtered on an old id
+                // must never see (or miss) a post-restore change because its
+                // filter still spoke the pre-restore id space.
+                shared.subscribers.remap_filters(&mapping);
                 let _ = reply.send(RestoreOutcome { queries: backend.num_queries(), mapping });
+            }
+            Command::SetRetention(name, policy, reply) => {
+                let ns = backend.intern_namespace(&name);
+                backend.set_retention(ns, policy);
+                let _ = reply.send(());
+            }
+            Command::GetRetention(name, reply) => {
+                let _ = reply.send(backend.find_namespace(&name).map(|ns| backend.retention(ns)));
+            }
+            Command::Forget { namespace, dry_run, reply } => {
+                let outcome = backend.find_namespace(&namespace).map(|ns| {
+                    if dry_run {
+                        backend
+                            .namespace_stats()
+                            .into_iter()
+                            .find(|s| s.namespace == namespace)
+                            .map_or(0, |s| s.live as usize)
+                    } else {
+                        backend.forget_namespace(ns)
+                    }
+                });
+                let _ = reply.send(outcome);
             }
             Command::Barrier(reply) => {
                 let _ = reply.send(());
@@ -464,6 +518,9 @@ fn route(request: &Request, shared: &Shared) -> Response {
             },
         },
         ("POST", ["restore"]) => handle_restore(request, shared),
+        ("PUT", ["namespaces", ns, "retention"]) => handle_set_retention(ns, request, shared),
+        ("GET", ["namespaces", ns, "retention"]) => handle_get_retention(ns, shared),
+        ("POST", ["forget"]) => handle_forget(request, shared),
         ("POST", ["admin", "drain"]) => {
             drain(shared);
             Response::json(202, object(vec![("draining", Value::Bool(true))]))
@@ -471,7 +528,7 @@ fn route(request: &Request, shared: &Shared) -> Response {
         (
             _,
             ["healthz" | "stats" | "queries" | "publish" | "subscriptions" | "changes" | "snapshot"
-            | "restore" | "admin", ..],
+            | "restore" | "namespaces" | "forget" | "admin", ..],
         ) => Response::error(405, format!("{} is not supported here", request.method)),
         _ => Response::error(404, format!("no route for {}", request.path)),
     }
@@ -491,6 +548,9 @@ fn handle_stats(shared: &Shared) -> Response {
         queries: backend.queries,
         publishes: backend.publishes,
         docs_published: backend.docs_published,
+        expired: backend.expired,
+        evicted: backend.evicted,
+        namespaces: backend.namespaces,
         subscribers: shared.subscribers.len(),
         events_delivered: delivered,
         events_dropped: dropped,
@@ -512,6 +572,13 @@ pub struct ServerStats {
     pub queries: usize,
     pub publishes: u64,
     pub docs_published: u64,
+    /// Queries removed by TTL expiry, lifetime total.
+    pub expired: u64,
+    /// Queries removed by retention-cap eviction, lifetime total.
+    pub evicted: u64,
+    /// Per-namespace live/expired/evicted counts, handle order (the default
+    /// namespace — the empty name — is always first).
+    pub namespaces: Vec<NamespaceStats>,
     pub subscribers: usize,
     pub events_delivered: u64,
     pub events_dropped: u64,
@@ -519,15 +586,77 @@ pub struct ServerStats {
 }
 
 fn handle_register(request: &Request, shared: &Shared) -> Response {
-    let spec = match parse_json_body(request).and_then(|body| wire::parse_register(&body)) {
+    let req = match parse_json_body(request).and_then(|body| wire::parse_register(&body)) {
         Err(message) => return Response::error(400, message),
-        Ok(spec) => spec,
+        Ok(req) => req,
     };
-    match ask(shared, |tx| Command::Register(spec, tx)) {
+    let namespace = req.namespace.clone().unwrap_or_default();
+    match ask(shared, |tx| Command::Register(req, tx)) {
         None => unavailable(),
-        Some(qid) => {
-            Response::json(200, object(vec![("query", Value::Num(Number::U64(qid.0.into())))]))
-        }
+        Some(qid) => Response::json(
+            200,
+            object(vec![
+                ("query", Value::Num(Number::U64(qid.0.into()))),
+                ("namespace", Value::Str(namespace)),
+            ]),
+        ),
+    }
+}
+
+fn handle_set_retention(ns: &str, request: &Request, shared: &Shared) -> Response {
+    let policy = match parse_json_body(request).and_then(|body| wire::parse_retention(&body)) {
+        Err(message) => return Response::error(400, message),
+        Ok(policy) => policy,
+    };
+    match ask(shared, |tx| Command::SetRetention(ns.to_string(), policy, tx)) {
+        None => unavailable(),
+        Some(()) => Response::json(200, retention_body(ns, Some(policy))),
+    }
+}
+
+fn handle_get_retention(ns: &str, shared: &Shared) -> Response {
+    match ask(shared, |tx| Command::GetRetention(ns.to_string(), tx)) {
+        None => unavailable(),
+        Some(None) => Response::error(404, format!("unknown namespace {ns:?}")),
+        Some(Some(policy)) => Response::json(200, retention_body(ns, policy)),
+    }
+}
+
+/// The `{PUT,GET} /namespaces/{ns}/retention` response body; `retention` is
+/// `null` for a namespace with no installed policy.
+fn retention_body(ns: &str, policy: Option<RetentionPolicy>) -> String {
+    let retention = match policy {
+        None => Value::Null,
+        Some(p) => object_value(vec![
+            ("max_age", p.max_age.map_or(Value::Null, |a| Value::Num(Number::F64(a)))),
+            ("max_queries", p.max_queries.map_or(Value::Null, |c| Value::Num(Number::U64(c)))),
+            ("eviction", Value::Str(wire::eviction_token(p.eviction).to_string())),
+        ]),
+    };
+    object(vec![("namespace", Value::Str(ns.to_string())), ("retention", retention)])
+}
+
+fn handle_forget(request: &Request, shared: &Shared) -> Response {
+    let req = match parse_json_body(request).and_then(|body| wire::parse_forget(&body)) {
+        Err(message) => return Response::error(400, message),
+        Ok(req) => req,
+    };
+    if !req.dry_run && shared.draining.load(Ordering::SeqCst) {
+        return Response::error(503, "server is draining; destructive forgets are refused");
+    }
+    let dry_run = req.dry_run;
+    let namespace = req.namespace.clone();
+    match ask(shared, |tx| Command::Forget { namespace: req.namespace, dry_run, reply: tx }) {
+        None => unavailable(),
+        Some(None) => Response::error(404, format!("unknown namespace {namespace:?}")),
+        Some(Some(count)) => Response::json(
+            200,
+            object(vec![
+                ("namespace", Value::Str(namespace)),
+                ("dry_run", Value::Bool(dry_run)),
+                ("removed", Value::Num(Number::U64(count as u64))),
+            ]),
+        ),
     }
 }
 
@@ -596,7 +725,9 @@ fn handle_restore(request: &Request, shared: &Shared) -> Response {
         Err(message) => return Response::error(400, message),
         Ok(body) => body,
     };
-    let snapshot: Snapshot = match serde_json::from_str(body) {
+    // `from_json`, not a plain parse: the wire accepts any snapshot version
+    // this build can migrate (v0–v2 captures restore into a v3 server).
+    let snapshot: Snapshot = match Snapshot::from_json(body) {
         Err(e) => return Response::error(400, format!("invalid snapshot: {e}")),
         Ok(snapshot) => snapshot,
     };
@@ -634,6 +765,10 @@ fn parse_id(raw: &str) -> Result<u32, Response> {
 
 /// Serialize an ad-hoc JSON object body.
 fn object(fields: Vec<(&str, Value)>) -> String {
-    let value = Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect());
-    serde_json::to_string(&value).expect("value trees always serialize")
+    serde_json::to_string(&object_value(fields)).expect("value trees always serialize")
+}
+
+/// An ad-hoc JSON object as a [`Value`] (for nesting inside [`object`]).
+fn object_value(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }

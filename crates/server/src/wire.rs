@@ -8,7 +8,7 @@
 //! a 400 response verbatim, so messages name the offending field.
 
 use ctk_common::{QueryId, QuerySpec, TermId, Timestamp};
-use ctk_core::PublishRequest;
+use ctk_core::{EvictionPolicy, PublishRequest, RetentionPolicy};
 use serde::Value;
 
 /// Parse a `(term, weight)` pair list: `[[1, 0.5], [4, 0.25], ...]`.
@@ -33,9 +33,20 @@ fn parse_terms(value: &Value, field: &str) -> Result<Vec<(TermId, f32)>, String>
     Ok(pairs)
 }
 
-/// `POST /queries` body: `{"terms": [[t, w], ...], "k": 10}`; `k` defaults
-/// to 10 when absent.
-pub fn parse_register(body: &Value) -> Result<QuerySpec, String> {
+/// A parsed `POST /queries` body: the spec plus its lifecycle options.
+#[derive(Debug, Clone)]
+pub struct RegisterRequest {
+    pub spec: QuerySpec,
+    /// Namespace name to intern; `None` registers into the default one.
+    pub namespace: Option<String>,
+    /// Per-query TTL in stream-time units, overriding the namespace
+    /// policy's default.
+    pub max_age: Option<f64>,
+}
+
+/// `POST /queries` body: `{"terms": [[t, w], ...], "k": 10}` plus optional
+/// `"namespace"` and `"max_age"`; `k` defaults to 10 when absent.
+pub fn parse_register(body: &Value) -> Result<RegisterRequest, String> {
     let terms = body.get("terms").ok_or("missing field \"terms\"")?;
     let pairs = parse_terms(terms, "terms")?;
     let k = match body.get("k") {
@@ -45,7 +56,94 @@ pub fn parse_register(body: &Value) -> Result<QuerySpec, String> {
             usize::try_from(k).map_err(|_| "\"k\" is out of range".to_string())?
         }
     };
-    QuerySpec::new(pairs, k).map_err(|e| e.to_string())
+    let namespace = match body.get("namespace") {
+        None => None,
+        Some(ns) => {
+            Some(ns.as_str().map_err(|_| "\"namespace\" must be a string".to_string())?.to_string())
+        }
+    };
+    let spec = QuerySpec::new(pairs, k).map_err(|e| e.to_string())?;
+    Ok(RegisterRequest { spec, namespace, max_age: parse_max_age(body)? })
+}
+
+/// An optional, strictly positive `"max_age"` field (stream-time units).
+fn parse_max_age(body: &Value) -> Result<Option<f64>, String> {
+    match body.get("max_age") {
+        None => Ok(None),
+        Some(v) => {
+            let age = v.as_f64().map_err(|_| "\"max_age\" must be a number".to_string())?;
+            if age.is_nan() || age <= 0.0 {
+                return Err("\"max_age\" must be a positive number".to_string());
+            }
+            Ok(Some(age))
+        }
+    }
+}
+
+/// `PUT /namespaces/{ns}/retention` body: any of `"max_age"` (TTL default
+/// for the namespace), `"max_queries"` (live-member cap) and `"eviction"`
+/// (`"oldest"`, the default, or `"lowest_score"`).
+pub fn parse_retention(body: &Value) -> Result<RetentionPolicy, String> {
+    let max_queries = match body.get("max_queries") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64().map_err(|_| "\"max_queries\" must be a non-negative integer".to_string())?,
+        ),
+    };
+    let eviction = match body.get("eviction") {
+        None => EvictionPolicy::Oldest,
+        Some(v) => match v.as_str().map_err(|_| "\"eviction\" must be a string".to_string())? {
+            "oldest" => EvictionPolicy::Oldest,
+            "lowest_score" => EvictionPolicy::LowestScore,
+            other => {
+                return Err(format!(
+                    "unknown eviction policy {other:?} (expected \"oldest\" or \"lowest_score\")"
+                ))
+            }
+        },
+    };
+    Ok(RetentionPolicy { max_age: parse_max_age(body)?, max_queries, eviction })
+}
+
+/// The wire token of an eviction policy — the same strings
+/// [`parse_retention`] accepts, so `GET` answers round-trip through `PUT`.
+pub fn eviction_token(policy: EvictionPolicy) -> &'static str {
+    match policy {
+        EvictionPolicy::Oldest => "oldest",
+        EvictionPolicy::LowestScore => "lowest_score",
+    }
+}
+
+/// A parsed `POST /forget` body.
+#[derive(Debug, Clone)]
+pub struct ForgetRequest {
+    pub namespace: String,
+    /// Report what would be removed without removing anything.
+    pub dry_run: bool,
+}
+
+/// `POST /forget` body: `{"namespace": "tenant", "dry_run": true}` previews,
+/// `{"namespace": "tenant", "confirm": true}` removes. Exactly one of the
+/// two flags must be set — a bulk delete is never the default.
+pub fn parse_forget(body: &Value) -> Result<ForgetRequest, String> {
+    let namespace = body
+        .get("namespace")
+        .ok_or("missing field \"namespace\"")?
+        .as_str()
+        .map_err(|_| "\"namespace\" must be a string".to_string())?
+        .to_string();
+    let flag = |name: &str| match body.get(name) {
+        None => Ok(false),
+        Some(v) => v.as_bool().map_err(|_| format!("{name:?} must be a boolean")),
+    };
+    match (flag("confirm")?, flag("dry_run")?) {
+        (true, false) => Ok(ForgetRequest { namespace, dry_run: false }),
+        (false, true) => Ok(ForgetRequest { namespace, dry_run: true }),
+        (true, true) => Err("\"confirm\" and \"dry_run\" are mutually exclusive".to_string()),
+        (false, false) => {
+            Err("pass \"dry_run\": true to preview or \"confirm\": true to remove".to_string())
+        }
+    }
 }
 
 /// One document object: `{"terms": [[t, w], ...], "arrival": 12.5}`;
@@ -119,16 +217,60 @@ mod tests {
 
     #[test]
     fn register_parses_terms_and_defaults_k() {
-        let spec = parse_register(&value(r#"{"terms": [[1, 0.6], [2, 0.8]]}"#)).unwrap();
-        assert_eq!(spec.k, 10);
-        assert_eq!(spec.vector.len(), 2);
-        let spec = parse_register(&value(r#"{"terms": [[1, 1.0]], "k": 3}"#)).unwrap();
-        assert_eq!(spec.k, 3);
+        let req = parse_register(&value(r#"{"terms": [[1, 0.6], [2, 0.8]]}"#)).unwrap();
+        assert_eq!(req.spec.k, 10);
+        assert_eq!(req.spec.vector.len(), 2);
+        assert_eq!(req.namespace, None);
+        assert_eq!(req.max_age, None);
+        let req = parse_register(&value(r#"{"terms": [[1, 1.0]], "k": 3}"#)).unwrap();
+        assert_eq!(req.spec.k, 3);
         // Validation errors surface with the QuerySpec message.
         assert!(parse_register(&value(r#"{"terms": [], "k": 3}"#)).is_err());
         assert!(parse_register(&value(r#"{"terms": [[1, 1.0]], "k": 0}"#)).is_err());
         assert!(parse_register(&value(r#"{"k": 3}"#)).unwrap_err().contains("terms"));
         assert!(parse_register(&value(r#"{"terms": [[1]], "k": 3}"#)).is_err());
+    }
+
+    #[test]
+    fn register_parses_lifecycle_options() {
+        let req = parse_register(&value(
+            r#"{"terms": [[1, 1.0]], "namespace": "tenant-a", "max_age": 30.5}"#,
+        ))
+        .unwrap();
+        assert_eq!(req.namespace.as_deref(), Some("tenant-a"));
+        assert_eq!(req.max_age, Some(30.5));
+        let err = parse_register(&value(r#"{"terms": [[1, 1.0]], "max_age": 0}"#)).unwrap_err();
+        assert!(err.contains("max_age"), "{err}");
+        assert!(parse_register(&value(r#"{"terms": [[1, 1.0]], "namespace": 7}"#)).is_err());
+    }
+
+    #[test]
+    fn retention_parses_policy_fields() {
+        let p = parse_retention(&value("{}")).unwrap();
+        assert_eq!((p.max_age, p.max_queries), (None, None));
+        assert_eq!(eviction_token(p.eviction), "oldest");
+        let p = parse_retention(&value(
+            r#"{"max_age": 60, "max_queries": 4, "eviction": "lowest_score"}"#,
+        ))
+        .unwrap();
+        assert_eq!((p.max_age, p.max_queries), (Some(60.0), Some(4)));
+        assert_eq!(eviction_token(p.eviction), "lowest_score");
+        assert!(parse_retention(&value(r#"{"eviction": "newest"}"#)).is_err());
+        assert!(parse_retention(&value(r#"{"max_age": -1}"#)).is_err());
+    }
+
+    #[test]
+    fn forget_requires_exactly_one_flag() {
+        let req = parse_forget(&value(r#"{"namespace": "a", "dry_run": true}"#)).unwrap();
+        assert!(req.dry_run);
+        let req = parse_forget(&value(r#"{"namespace": "a", "confirm": true}"#)).unwrap();
+        assert!(!req.dry_run);
+        // A flag explicitly set to false does not count as set.
+        assert!(parse_forget(&value(r#"{"namespace": "a"}"#)).is_err());
+        assert!(parse_forget(&value(r#"{"namespace": "a", "confirm": false}"#)).is_err());
+        assert!(parse_forget(&value(r#"{"namespace": "a", "confirm": true, "dry_run": true}"#))
+            .is_err());
+        assert!(parse_forget(&value(r#"{"confirm": true}"#)).unwrap_err().contains("namespace"));
     }
 
     #[test]

@@ -71,16 +71,23 @@
 //! * `ShardedMonitor` speaks plain [`QueryId`]s — `ShardedQueryId` is gone;
 //!   the shard route is internal, and result changes are translated to the
 //!   public ids during the merge.
-//! * Snapshots are versioned (`version: 2`, per-shard sections); v1 and
-//!   pre-landmark captures still parse via [`Snapshot::from_json`].
-//!   `Monitor::restore` remains as a thin wrapper over
-//!   [`Snapshot::restore_into`], which works on any backend.
+//! * Snapshots are versioned (`version: 3`, per-shard sections plus
+//!   namespaces, deadlines and retention policies); v2, v1 and pre-landmark
+//!   captures still parse via [`Snapshot::from_json`]. `Monitor::restore`
+//!   remains as a thin wrapper over [`Snapshot::restore_into`], which works
+//!   on any backend.
+//! * Queries can carry lifecycle options: `register_with` takes a
+//!   [`QueryOptions`] (namespace + optional TTL), per-namespace
+//!   [`RetentionPolicy`]s expire and cap-evict queries at publish
+//!   boundaries, and `forget_namespace` bulk-removes a tenant.
 //!
 //! See `examples/` for end-to-end scenarios (`restartable` exercises the
 //! sharded snapshot → kill → restore → continue cycle) and `crates/bench`
 //! for the harness regenerating the paper's figures.
 //!
 //! [`QueryId`]: ctk_common::QueryId
+//! [`QueryOptions`]: ctk_core::QueryOptions
+//! [`RetentionPolicy`]: ctk_core::RetentionPolicy
 //! [`PublishReceipt`]: ctk_core::PublishReceipt
 //! [`MonitorBackend`]: ctk_core::MonitorBackend
 //! [`Snapshot::from_json`]: ctk_core::Snapshot::from_json
@@ -102,14 +109,14 @@ pub mod prelude {
     pub use crate::builder::{EngineKind, MonitorBuilder};
     pub use ctk_baselines::{Rta, SortQuer, Tps};
     pub use ctk_common::{
-        DocId, Document, OrdF64, Query, QueryId, QuerySpec, ScoredDoc, SparseVector, TermId,
-        Timestamp,
+        DocId, Document, Namespace, OrdF64, Query, QueryId, QuerySpec, ScoredDoc, SparseVector,
+        TermId, Timestamp,
     };
     pub use ctk_core::{
-        ContinuousTopK, CumulativeStats, DecayModel, DocPruning, EventStats, Monitor,
-        MonitorBackend, Mrio, MrioBlock, MrioSeg, MrioSuffix, Naive, PublishReceipt,
-        PublishRequest, ResultChange, Rio, ShardSnapshot, ShardedMonitor, ShardingMode, Snapshot,
-        SnapshotQuery, SNAPSHOT_VERSION,
+        ContinuousTopK, CumulativeStats, DecayModel, DocPruning, EventStats, EvictionPolicy,
+        Monitor, MonitorBackend, Mrio, MrioBlock, MrioSeg, MrioSuffix, Naive, NamespaceStats,
+        PublishReceipt, PublishRequest, QueryOptions, ResultChange, RetentionPolicy, Rio,
+        ShardSnapshot, ShardedMonitor, ShardingMode, Snapshot, SnapshotQuery, SNAPSHOT_VERSION,
     };
     pub use ctk_stream::{
         ArrivalClock, CorpusConfig, CorpusModel, DocumentGenerator, QueryGenerator, QueryWorkload,

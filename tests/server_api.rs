@@ -36,6 +36,19 @@ fn field_u64(value: &Value, name: &str) -> u64 {
     value.get(name).expect(name).as_u64().expect("u64 field")
 }
 
+/// The `/stats` entry for one namespace, by name.
+fn ns_stat(stats: &Value, name: &str) -> Value {
+    stats
+        .get("namespaces")
+        .expect("namespaces")
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|n| n.get("namespace").unwrap().as_str().unwrap() == name)
+        .unwrap_or_else(|| panic!("namespace {name:?} missing from /stats"))
+        .clone()
+}
+
 /// Register a couple of overlapping queries; returns their public ids.
 fn register_two(client: &mut HttpClient) -> (u64, u64) {
     let a = ok(client.post("/queries", r#"{"terms": [[1, 1.0], [2, 0.5]], "k": 3}"#), 200);
@@ -194,6 +207,158 @@ fn drain_refuses_new_publishes_but_loses_nothing_in_flight() {
 
     // Drain is idempotent, including over the wire.
     ok(client.post("/admin/drain", ""), 202);
+    server.shutdown();
+}
+
+#[test]
+fn lifecycle_endpoints_expire_evict_and_forget_over_the_wire() {
+    let (server, mut client) = start(EngineKind::Mrio, 2);
+
+    // A namespace nobody has mentioned has no retention resource.
+    ok(client.get("/namespaces/tenant-a/retention"), 404);
+
+    // Install a TTL policy; PUT echoes it and GET reads it back.
+    let put = parse(&ok(client.put("/namespaces/tenant-a/retention", r#"{"max_age": 5.0}"#), 200));
+    assert_eq!(put.get("namespace").unwrap().as_str().unwrap(), "tenant-a");
+    let retention = put.get("retention").expect("retention");
+    assert_eq!(retention.get("max_age").unwrap().as_f64().unwrap(), 5.0);
+    assert_eq!(retention.get("eviction").unwrap().as_str().unwrap(), "oldest");
+    let get = ok(client.get("/namespaces/tenant-a/retention"), 200);
+    assert_eq!(parse(&get), put, "GET must read back exactly what PUT installed");
+
+    // One query inherits the namespace TTL, one carries its own.
+    let body = parse(&ok(
+        client.post("/queries", r#"{"terms": [[1, 1.0]], "k": 2, "namespace": "tenant-a"}"#),
+        200,
+    ));
+    assert_eq!(body.get("namespace").unwrap().as_str().unwrap(), "tenant-a");
+    let q_ns = field_u64(&body, "query");
+    let q_ttl = field_u64(
+        &parse(&ok(
+            client.post("/queries", r#"{"terms": [[2, 1.0]], "k": 2, "max_age": 3.0}"#),
+            200,
+        )),
+        "query",
+    );
+
+    // Within both deadlines nothing expires...
+    let receipt = parse(&ok(
+        client.post("/publish", r#"{"terms": [[1, 0.5], [2, 0.5]], "arrival": 1.0}"#),
+        200,
+    ));
+    assert!(!receipt.get("changes").unwrap().as_array().unwrap().is_empty());
+    assert_eq!(field_u64(&parse(&ok(client.get("/stats"), 200)), "expired"), 0);
+
+    // ...and one arrival past them expires both, attributed on the receipt
+    // and visible in /stats (totals and per-namespace).
+    let receipt =
+        parse(&ok(client.post("/publish", r#"{"terms": [[9, 1.0]], "arrival": 100.0}"#), 200));
+    let expired: u64 = receipt
+        .get("stats")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|s| field_u64(s, "expired"))
+        .sum();
+    assert_eq!(expired, 2, "the receipt attributes the expiries to this publish");
+    ok(client.get(&format!("/queries/{q_ns}/results")), 404);
+    ok(client.get(&format!("/queries/{q_ttl}/results")), 404);
+    let stats = parse(&ok(client.get("/stats"), 200));
+    assert_eq!(field_u64(&stats, "expired"), 2);
+    assert_eq!(field_u64(&ns_stat(&stats, "tenant-a"), "expired"), 1);
+    assert_eq!(field_u64(&ns_stat(&stats, "tenant-a"), "live"), 0);
+    assert_eq!(
+        field_u64(&ns_stat(&stats, ""), "expired"),
+        1,
+        "per-query TTL in the default namespace"
+    );
+
+    // A cap policy evicts at registration time: cap 1, lowest score first.
+    ok(
+        client.put(
+            "/namespaces/tenant-b/retention",
+            r#"{"max_queries": 1, "eviction": "lowest_score"}"#,
+        ),
+        200,
+    );
+    let reg_b = |client: &mut HttpClient| {
+        field_u64(
+            &parse(&ok(
+                client
+                    .post("/queries", r#"{"terms": [[3, 1.0]], "k": 2, "namespace": "tenant-b"}"#),
+                200,
+            )),
+            "query",
+        )
+    };
+    let evicted_q = reg_b(&mut client);
+    let survivor_q = reg_b(&mut client);
+    ok(client.get(&format!("/queries/{evicted_q}/results")), 404);
+    ok(client.get(&format!("/queries/{survivor_q}/results")), 200);
+    let stats = parse(&ok(client.get("/stats"), 200));
+    assert_eq!(field_u64(&stats, "evicted"), 1);
+
+    // /forget needs exactly one of dry_run/confirm, knows its namespaces,
+    // and only removes when confirmed.
+    ok(client.post("/forget", r#"{"namespace": "tenant-b"}"#), 400);
+    ok(
+        client.post("/forget", r#"{"namespace": "tenant-b", "dry_run": true, "confirm": true}"#),
+        400,
+    );
+    ok(client.post("/forget", r#"{"namespace": "nobody", "dry_run": true}"#), 404);
+    let preview =
+        parse(&ok(client.post("/forget", r#"{"namespace": "tenant-b", "dry_run": true}"#), 200));
+    assert_eq!(field_u64(&preview, "removed"), 1);
+    assert_eq!(preview.get("dry_run"), Some(&Value::Bool(true)));
+    ok(client.get(&format!("/queries/{survivor_q}/results")), 200);
+    let removed =
+        parse(&ok(client.post("/forget", r#"{"namespace": "tenant-b", "confirm": true}"#), 200));
+    assert_eq!(field_u64(&removed, "removed"), 1);
+    assert_eq!(removed.get("dry_run"), Some(&Value::Bool(false)));
+    ok(client.get(&format!("/queries/{survivor_q}/results")), 404);
+    let stats = parse(&ok(client.get("/stats"), 200));
+    assert_eq!(field_u64(&stats, "queries"), 0);
+    assert_eq!(field_u64(&ns_stat(&stats, "tenant-b"), "live"), 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn restore_remaps_subscriber_filters_to_the_new_ids() {
+    let (server, mut client) = start(EngineKind::Mrio, 1);
+    let (qa, qb) = register_two(&mut client);
+    let sub = field_u64(
+        &parse(&ok(client.post("/subscriptions", &format!(r#"{{"queries": [{qb}]}}"#)), 200)),
+        "subscriber",
+    );
+
+    // Drop the lower id so the surviving query's captured id cannot equal
+    // its restored id — the remap has to actually move something.
+    ok(client.delete(&format!("/queries/{qa}")), 200);
+    let snapshot = ok(client.post("/snapshot", ""), 200);
+    let restored = parse(&ok(client.post("/restore", &snapshot), 200));
+    let mapping = restored.get("mapping").unwrap().as_array().unwrap();
+    assert_eq!(mapping.len(), 1);
+    let pair = mapping[0].as_array().unwrap();
+    assert_eq!(pair[0].as_u64().unwrap(), qb);
+    let new_qb = pair[1].as_u64().unwrap();
+    assert_ne!(new_qb, qb, "restore must have renumbered the query for this test to bite");
+
+    // A matching publish must reach the filtered subscriber under the NEW
+    // id — before the remap fix this filter still said `qb` and the
+    // subscriber went silent forever.
+    let receipt = parse(&ok(
+        client.post("/publish", r#"{"terms": [[2, 1.0], [3, 1.0]], "arrival": 4.0}"#),
+        200,
+    ));
+    assert!(!receipt.get("changes").unwrap().as_array().unwrap().is_empty());
+    let poll = parse(&ok(client.get(&format!("/changes?subscriber={sub}&timeout_ms=5000")), 200));
+    let events = poll.get("events").unwrap().as_array().unwrap();
+    assert!(!events.is_empty(), "restore stranded the subscriber's filter on a stale id");
+    for event in events {
+        assert_eq!(field_u64(event.get("change").unwrap(), "query"), new_qb);
+    }
     server.shutdown();
 }
 

@@ -182,6 +182,276 @@ proptest! {
     }
 }
 
+/// One namespace's sampled retention setup for the lifecycle proptest.
+#[derive(Debug, Clone)]
+struct NsSetup {
+    max_age: Option<f64>,
+    max_queries: Option<u64>,
+    eviction: EvictionPolicy,
+}
+
+/// The oracle's replica of the lifecycle rules: who belongs where, when
+/// each query dies, what has been counted. Everything it does to the
+/// `Naive` engine is an explicit `unregister` at a batch boundary — the
+/// exact claim under test is that the monitor's expiry/eviction is nothing
+/// more than that.
+struct LifecycleOracle {
+    /// Per live query: `(namespace index, deadline)`.
+    meta: std::collections::HashMap<QueryId, (usize, Option<f64>)>,
+    expired: u64,
+    evicted: u64,
+}
+
+impl LifecycleOracle {
+    fn members(&self, ns: usize) -> Vec<QueryId> {
+        let mut m: Vec<QueryId> =
+            self.meta.iter().filter(|(_, &(n, _))| n == ns).map(|(&q, _)| q).collect();
+        m.sort_unstable();
+        m
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// TTL expiry and cap eviction, in both sharding modes, must be
+    /// bit-identical to an oracle that explicitly unregisters the same
+    /// queries at the same publish boundaries — including across a
+    /// snapshot-v3 round trip into a *different* backend configuration.
+    #[test]
+    fn lifecycle_matches_an_explicitly_unregistering_oracle(
+        mode in prop::sample::select(vec![ShardingMode::Queries, ShardingMode::Documents]),
+        shards in 2usize..4,
+        setups in prop::collection::vec(
+            (
+                prop::option::of(4.0f64..30.0),
+                prop::option::of(1u64..4),
+                prop::sample::select(vec![EvictionPolicy::Oldest, EvictionPolicy::LowestScore]),
+            ),
+            1..4,
+        ),
+        initial in prop::collection::vec(
+            // (terms, k, namespace slot, per-query TTL override)
+            (
+                prop::collection::vec((0u32..30, 0.1f32..2.0), 1..4),
+                1usize..4,
+                0usize..8,
+                prop::option::of(3.0f64..25.0),
+            ),
+            3..10,
+        ),
+        rounds in prop::collection::vec(
+            (
+                // This round's documents (arrivals advance 1.0 per doc).
+                prop::collection::vec(prop::collection::vec((0u32..30, 0.1f32..2.0), 1..6), 1..8),
+                // A candidate registration, applied when gate > 0.
+                (
+                    prop::collection::vec((0u32..30, 0.1f32..2.0), 1..4),
+                    1usize..4,
+                    0usize..8,
+                    prop::option::of(3.0f64..25.0),
+                ),
+                0usize..3,
+            ),
+            2..7,
+        ),
+        lambda in prop::sample::select(vec![0.0, 0.05]),
+    ) {
+        let setups: Vec<NsSetup> = setups
+            .into_iter()
+            .map(|(max_age, max_queries, eviction)| NsSetup { max_age, max_queries, eviction })
+            .collect();
+        let mut sharded = match mode {
+            ShardingMode::Queries => ShardedMonitor::new(shards, || Naive::new(lambda)),
+            ShardingMode::Documents => ShardedMonitor::new_doc_parallel(shards, lambda),
+        };
+        let mut single = Naive::new(lambda);
+        let mut oracle =
+            LifecycleOracle { meta: std::collections::HashMap::new(), expired: 0, evicted: 0 };
+
+        // Install every policy up front (no members yet, so nothing evicts).
+        let handles: Vec<Namespace> = setups
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let ns = sharded.intern_namespace(&format!("ns{i}"));
+                sharded.set_retention(
+                    ns,
+                    RetentionPolicy {
+                        max_age: s.max_age,
+                        max_queries: s.max_queries,
+                        eviction: s.eviction,
+                    },
+                );
+                ns
+            })
+            .collect();
+
+        let mut last_arrival = 0.0f64;
+        let mut next_doc = 0u64;
+        let mut receipt_expired = 0u64;
+
+        // Register on both front-ends, replicate deadline + cap eviction on
+        // the oracle with explicit unregisters.
+        let register =
+            |sharded: &mut ShardedMonitor,
+             single: &mut Naive,
+             oracle: &mut LifecycleOracle,
+             terms: &RawVec,
+             k: usize,
+             slot: usize,
+             ttl: Option<f64>,
+             last_arrival: f64|
+             -> Option<QueryId> {
+                let spec = make_spec(terms, k)?;
+                let ns_idx = slot % setups.len();
+                let qid = sharded.register_with(
+                    spec.clone(),
+                    QueryOptions { namespace: handles[ns_idx], max_age: ttl },
+                );
+                assert_eq!(qid, single.register(spec), "one monotone public id space");
+                let setup = &setups[ns_idx];
+                let deadline = ttl.or(setup.max_age).map(|age| last_arrival + age);
+                oracle.meta.insert(qid, (ns_idx, deadline));
+                if let Some(cap) = setup.max_queries {
+                    loop {
+                        let members = oracle.members(ns_idx);
+                        if members.len() as u64 <= cap {
+                            break;
+                        }
+                        let candidates: Vec<QueryId> =
+                            members.into_iter().filter(|&q| q != qid).collect();
+                        let victim = match setup.eviction {
+                            EvictionPolicy::Oldest => candidates[0],
+                            EvictionPolicy::LowestScore => *candidates
+                                .iter()
+                                .min_by(|&&a, &&b| {
+                                    let top = |q: QueryId| {
+                                        single
+                                            .results(q)
+                                            .and_then(|r| r.first().map(|sd| sd.score.get()))
+                                            .unwrap_or(0.0)
+                                    };
+                                    (top(a), a).partial_cmp(&(top(b), b)).unwrap()
+                                })
+                                .unwrap(),
+                        };
+                        assert!(single.unregister(victim));
+                        oracle.meta.remove(&victim);
+                        oracle.evicted += 1;
+                    }
+                }
+                Some(qid)
+            };
+
+        for (terms, k, slot, ttl) in &initial {
+            register(&mut sharded, &mut single, &mut oracle, terms, *k, *slot, *ttl, last_arrival);
+        }
+        prop_assume!(!oracle.meta.is_empty());
+
+        for (doc_batches, (reg_terms, reg_k, reg_slot, reg_ttl), reg_gate) in &rounds {
+            // Publish boundary: the oracle expires first — strictly-before
+            // the batch's first arrival, exactly the monitor's rule.
+            let first_arrival = last_arrival + 1.0;
+            let mut due: Vec<QueryId> = oracle
+                .meta
+                .iter()
+                .filter(|(_, &(_, dl))| dl.is_some_and(|dl| dl < first_arrival))
+                .map(|(&q, _)| q)
+                .collect();
+            due.sort_unstable();
+            for qid in due {
+                assert!(single.unregister(qid));
+                oracle.meta.remove(&qid);
+                oracle.expired += 1;
+            }
+
+            let batch: Vec<(Vec<(TermId, f32)>, f64)> = doc_batches
+                .iter()
+                .map(|pairs| {
+                    last_arrival += 1.0;
+                    next_doc += 1;
+                    (
+                        pairs.iter().map(|&(t, w)| (TermId(t), w)).collect::<Vec<_>>(),
+                        last_arrival,
+                    )
+                })
+                .collect();
+            let base = next_doc - batch.len() as u64;
+            for (i, (pairs, at)) in batch.iter().enumerate() {
+                single.process(&Document::new(DocId(base + i as u64), pairs.clone(), *at));
+            }
+            let receipt = sharded.publish_batch(batch);
+            receipt_expired += receipt.stats.iter().map(|s| s.expired).sum::<u64>();
+
+            if *reg_gate > 0 {
+                register(
+                    &mut sharded, &mut single, &mut oracle, reg_terms, *reg_k, *reg_slot,
+                    *reg_ttl, last_arrival,
+                );
+            }
+        }
+
+        // Bit-identical results for every survivor; the dead are dead on
+        // both sides.
+        for &qid in oracle.meta.keys() {
+            prop_assert_eq!(
+                sharded.results(qid),
+                single.results(qid),
+                "mode {:?}, query {:?}",
+                mode,
+                qid
+            );
+        }
+        prop_assert_eq!(sharded.num_queries(), oracle.meta.len());
+        prop_assert_eq!(
+            MonitorBackend::lifecycle_totals(&sharded),
+            (oracle.expired, oracle.evicted)
+        );
+        // Every expiry was attributed to the (non-empty) publish that
+        // triggered it.
+        prop_assert_eq!(receipt_expired, oracle.expired);
+
+        // Snapshot-v3 round trip into the *other* mode and a different
+        // shard count: results, policies and deadlines must all survive.
+        let snap = MonitorBackend::snapshot(&sharded);
+        prop_assert_eq!(snap.version, SNAPSHOT_VERSION);
+        let other = MonitorBuilder::new(EngineKind::Mrio)
+            .lambda(lambda)
+            .shards(if shards == 2 { 3 } else { 2 })
+            .sharding(match mode {
+                ShardingMode::Queries => ShardingMode::Documents,
+                ShardingMode::Documents => ShardingMode::Queries,
+            });
+        let (mut restored, mapping) = other.restore(&snap);
+        let mut live: Vec<QueryId> = oracle.meta.keys().copied().collect();
+        live.sort_unstable();
+        for &qid in &live {
+            prop_assert_eq!(restored.results(mapping[&qid]), sharded.results(qid));
+        }
+        for (i, s) in setups.iter().enumerate() {
+            let ns = restored.find_namespace(&format!("ns{i}"));
+            prop_assert!(ns.is_some(), "policy namespaces survive the round trip");
+            let policy = restored.retention(ns.unwrap());
+            prop_assert_eq!(policy.map(|p| (p.max_age, p.max_queries)),
+                Some((s.max_age, s.max_queries)));
+        }
+        // A far-future publish expires the same queries on both sides:
+        // deadlines survived the round trip bit-exactly.
+        let late = vec![(vec![(TermId(0), 1.0)], last_arrival + 1000.0)];
+        sharded.publish_batch(late.clone());
+        restored.publish_batch(late);
+        for &qid in &live {
+            prop_assert_eq!(
+                restored.results(mapping[&qid]).is_some(),
+                sharded.results(qid).is_some(),
+                "query {:?} must be alive (or dead) on both sides",
+                qid
+            );
+        }
+    }
+}
+
 /// The satellite scenario in one deterministic test: a four-digit query
 /// population with tight thresholds, register/unregister churn, a λ = 0.5
 /// renormalization crossing and threshold-triggered compaction — the

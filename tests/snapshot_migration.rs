@@ -1,10 +1,15 @@
-//! Snapshot format migration: v1 (PR-2, flat with `landmark`) and v0
-//! (pre-PR-2, flat without `landmark`) captures — checked in as fixtures in
-//! the exact on-disk bytes those builds wrote — must keep parsing, migrate
-//! into the v2 in-memory form, and restore bit-identically to restoring
-//! their own v2 re-serialization.
+//! Snapshot format migration: v2 (PR-5, sharded sections, no lifecycle),
+//! v1 (PR-2, flat with `landmark`) and v0 (pre-PR-2, flat without
+//! `landmark`) captures — checked in as fixtures in the exact on-disk bytes
+//! those builds wrote — must keep parsing, migrate into the v3 in-memory
+//! form, and restore bit-identically to restoring their own v3
+//! re-serialization.
 
 use continuous_topk::prelude::*;
+
+/// Written by the pre-lifecycle sharded build: v2 sections, no
+/// namespaces/deadlines/policies.
+const V2_FIXTURE: &str = include_str!("fixtures/snapshot_v2.json");
 
 /// Written by the PR-2 build: flat layout, top-level `landmark` (the
 /// capture renormalized at arrival 610 before being taken).
@@ -24,6 +29,35 @@ fn restored_results(snap: &Snapshot, kind: EngineKind) -> Vec<Vec<ScoredDoc>> {
         .into_iter()
         .map(|qid| backend.results(mapping[&QueryId(qid)]).expect("restored query is live"))
         .collect()
+}
+
+#[test]
+fn v2_fixture_migrates_into_the_default_namespace() {
+    let snap = Snapshot::from_json(V2_FIXTURE).expect("v2 parses");
+    assert_eq!(snap.version, SNAPSHOT_VERSION, "migrated into the current version");
+    assert_eq!(snap.shards.len(), 2, "v2 shard sections survive migration");
+    assert_eq!(snap.landmark(), 610.0);
+    assert_eq!(snap.lambda, 0.1);
+    assert_eq!(snap.num_queries(), 3);
+    assert_eq!(snap.next_doc, 64);
+    // Pre-lifecycle queries land in the default namespace with no TTL.
+    assert_eq!(snap.namespaces, vec![String::new()]);
+    assert!(snap.policies.is_empty());
+    for q in snap.queries() {
+        assert_eq!(q.namespace, 0);
+        assert_eq!(q.max_age, None);
+        assert_eq!(q.deadline, None);
+        assert_eq!(q.registered_at, snap.last_arrival);
+    }
+
+    // Sections interleave qids (round-robin placement), so order the stored
+    // sets by captured id before comparing with the (id-ordered) restore.
+    let mut stored: Vec<_> = snap.queries().map(|q| (q.qid, &q.results)).collect();
+    stored.sort_unstable_by_key(|&(qid, _)| qid);
+    for ((_, stored), restored) in stored.into_iter().zip(restored_results(&snap, EngineKind::Mrio))
+    {
+        assert_eq!(stored, &restored);
+    }
 }
 
 #[test]
@@ -60,15 +94,15 @@ fn v0_fixture_migrates_with_landmark_zero() {
     }
 }
 
-/// Both legacy fixtures restore **bit-identically** to restoring their own
-/// v2 re-serialization — i.e. migration is exactly "rewrite in v2".
+/// Every legacy fixture restores **bit-identically** to restoring its own
+/// v3 re-serialization — i.e. migration is exactly "rewrite in v3".
 #[test]
-fn legacy_fixtures_restore_bit_identically_to_v2() {
-    for (name, fixture) in [("v1", V1_FIXTURE), ("v0", V0_FIXTURE)] {
+fn legacy_fixtures_restore_bit_identically_to_v3() {
+    for (name, fixture) in [("v2", V2_FIXTURE), ("v1", V1_FIXTURE), ("v0", V0_FIXTURE)] {
         let migrated = Snapshot::from_json(fixture).expect("legacy parses");
-        let v2_text = migrated.to_json().expect("serializes as v2");
-        assert!(v2_text.contains("\"version\": 2"), "{name}: re-serialization is tagged v2");
-        let reparsed = Snapshot::from_json(&v2_text).expect("v2 parses");
+        let v3_text = migrated.to_json().expect("serializes as v3");
+        assert!(v3_text.contains("\"version\": 3"), "{name}: re-serialization is tagged v3");
+        let reparsed = Snapshot::from_json(&v3_text).expect("v3 parses");
 
         assert_eq!(reparsed.lambda, migrated.lambda);
         assert_eq!(reparsed.landmark(), migrated.landmark());
@@ -78,7 +112,7 @@ fn legacy_fixtures_restore_bit_identically_to_v2() {
             assert_eq!(
                 restored_results(&migrated, kind),
                 restored_results(&reparsed, kind),
-                "{name} via {kind}: legacy restore differs from v2 restore"
+                "{name} via {kind}: legacy restore differs from v3 restore"
             );
         }
     }
@@ -86,9 +120,9 @@ fn legacy_fixtures_restore_bit_identically_to_v2() {
 
 #[test]
 fn future_versions_are_rejected_not_misparsed() {
-    let v2 = Snapshot::from_json(V1_FIXTURE).unwrap().to_json().unwrap();
-    let v3 = v2.replace("\"version\": 2", "\"version\": 3");
-    let err = Snapshot::from_json(&v3).expect_err("a future format must not silently parse");
+    let v3 = Snapshot::from_json(V1_FIXTURE).unwrap().to_json().unwrap();
+    let v4 = v3.replace("\"version\": 3", "\"version\": 4");
+    let err = Snapshot::from_json(&v4).expect_err("a future format must not silently parse");
     assert!(err.to_string().contains("version"), "unhelpful error: {err}");
 }
 

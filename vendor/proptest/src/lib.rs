@@ -1,5 +1,5 @@
 //! Offline stand-in for `proptest`, exposing the subset this workspace's
-//! property tests use: the `proptest!` macro, range/tuple/vec/select
+//! property tests use: the `proptest!` macro, range/tuple/vec/select/option
 //! strategies, `ProptestConfig::with_cases`, and the `prop_assert*` macros.
 //!
 //! Cases are generated from a deterministic per-test seed (override with
@@ -121,6 +121,30 @@ pub mod collection {
     }
 }
 
+/// Mirrors `proptest::option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// `Some` from the inner strategy three times in four, else `None`
+    /// (the real crate's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            rng.gen_bool(0.75).then(|| self.inner.sample(rng))
+        }
+    }
+}
+
 /// Mirrors `proptest::sample`.
 pub mod sample {
     use super::{Strategy, TestRng};
@@ -155,6 +179,7 @@ pub mod prelude {
     /// Mirrors the real prelude's `prop` module alias.
     pub mod prop {
         pub use crate::collection;
+        pub use crate::option;
         pub use crate::sample;
     }
 }
@@ -311,7 +336,11 @@ mod tests {
             x in 3u32..10,
             v in prop::collection::vec((0u64..5, 0.0f64..1.0), 0..8),
             pick in prop::sample::select(vec![1i32, 3, 5]),
+            maybe in prop::option::of(2u32..6),
         ) {
+            if let Some(m) = maybe {
+                prop_assert!((2..6).contains(&m));
+            }
             prop_assert!((3..10).contains(&x));
             prop_assert!(v.len() < 8);
             for (a, b) in &v {
