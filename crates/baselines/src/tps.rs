@@ -21,7 +21,7 @@ use ctk_core::engine::{advance_past_current, advance_to, CursorSet, EngineBase};
 use ctk_core::stats::{CumulativeStats, EventStats};
 use ctk_core::topk::TopKState;
 use ctk_core::traits::{ContinuousTopK, ResultChange};
-use ctk_index::{QueryIndex, VersionedMaxTracker};
+use ctk_index::{QueryIndex, StorageConfig, StorageStats, VersionedMaxTracker};
 
 /// The TPS baseline.
 pub struct Tps {
@@ -36,9 +36,14 @@ pub struct Tps {
 
 impl Tps {
     pub fn new(lambda: f64) -> Self {
+        Tps::with_storage(lambda, &StorageConfig::plain())
+    }
+
+    /// As [`Tps::new`], with an explicit postings-storage configuration.
+    pub fn with_storage(lambda: f64, storage: &StorageConfig) -> Self {
         Tps {
             base: EngineBase::new(lambda),
-            index: QueryIndex::new(),
+            index: QueryIndex::with_storage(storage),
             wmax: Vec::new(),
             inv_sk: Vec::new(),
             cursors: CursorSet::default(),
@@ -51,7 +56,7 @@ impl Tps {
         let inv = if t > 0.0 { 1.0 / t } else { f64::INFINITY };
         let version = state.version();
         let Some(rec) = self.index.record(qid) else { return };
-        for e in &rec.entries {
+        for e in rec.entries() {
             self.inv_sk[e.list as usize].push(qid, version, inv);
         }
     }
@@ -77,7 +82,7 @@ impl ContinuousTopK for Tps {
             self.inv_sk.push(VersionedMaxTracker::new());
         }
         if let Some(rec) = self.index.record(qid) {
-            for e in &rec.entries {
+            for e in rec.entries() {
                 let li = e.list as usize;
                 if (e.weight as f64) > self.wmax[li] {
                     self.wmax[li] = e.weight as f64;
@@ -224,6 +229,10 @@ impl ContinuousTopK for Tps {
         // `wmax` is a stale-valid upper bound and the `inv_sk` trackers are
         // keyed by (qid, version), so neither depends on list positions.
         self.index.compact().len()
+    }
+
+    fn storage_stats(&self) -> StorageStats {
+        self.index.storage_stats()
     }
 }
 

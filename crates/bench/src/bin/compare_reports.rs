@@ -7,9 +7,9 @@
 //!     [--tolerance 0.30] [--absolute]
 //! ```
 //!
-//! Joins the two reports on `(mode, queries, shards, batch)` and fails
-//! (exit 1) when any cell's throughput dropped by more than `tolerance`
-//! (default 30%) versus the baseline. By default the compared metric is
+//! Joins the two reports on `(mode, queries, shards, batch, storage)` and
+//! fails (exit 1) when any cell's throughput dropped by more than
+//! `tolerance` (default 30%) versus the baseline. By default the compared metric is
 //! the **normalized** throughput `docs_per_sec / single_docs_per_sec(queries)`
 //! of each report — CI runners and developer machines differ wildly in
 //! absolute speed, but each report carries its own single-threaded
@@ -19,9 +19,10 @@
 //! `--absolute` switches to raw docs/sec (useful when baseline and current
 //! come from the same machine).
 //!
-//! Reads schema v3 reports natively and still accepts v2 baselines: a v2
-//! report is treated as a v3 report with a single query-population cell
-//! (`queries = num_queries`, one reference in `singles`).
+//! Reads schema v4 reports natively and still accepts v2 and v3 baselines:
+//! a v2 report is treated as a v3 report with a single query-population
+//! cell (`queries = num_queries`, one reference in `singles`), and a v3
+//! report as a v4 report whose every cell ran `plain` postings storage.
 //!
 //! Exit codes: `0` pass, `1` regression, `2` unusable input (missing file,
 //! unrecognized schema version, or reports measured under different
@@ -59,12 +60,33 @@ struct Single {
     docs_per_sec: f64,
 }
 
+/// A v3 cell: no `storage` axis (every v3 cell ran plain storage).
+#[derive(Deserialize)]
+struct CellV3 {
+    mode: String,
+    queries: usize,
+    shards: usize,
+    batch: usize,
+    docs_per_sec: f64,
+}
+
+#[derive(Deserialize)]
+struct ReportV3 {
+    query_counts: Vec<usize>,
+    measured_docs: usize,
+    window: usize,
+    doc_pruning: String,
+    singles: Vec<Single>,
+    cells: Vec<CellV3>,
+}
+
 #[derive(Deserialize)]
 struct Cell {
     mode: String,
     queries: usize,
     shards: usize,
     batch: usize,
+    storage: String,
     docs_per_sec: f64,
 }
 
@@ -74,6 +96,7 @@ struct Report {
     measured_docs: usize,
     window: usize,
     doc_pruning: String,
+    storage_modes: Vec<String>,
     singles: Vec<Single>,
     cells: Vec<Cell>,
 }
@@ -105,7 +128,8 @@ fn load(path: &str) -> Report {
         .unwrap_or_else(|e| usage_exit(&format!("{path} is not a sweep_shards report: {e}")));
     match probe.schema_version {
         2 => {
-            // Migrate: a v2 report is a v3 report with one population.
+            // Migrate: a v2 report is a v3 report with one population
+            // (whose cells, like every pre-v4 cell, ran plain storage).
             let v2: ReportV2 = serde_json::from_str(&contents)
                 .unwrap_or_else(|e| usage_exit(&format!("{path} is not a v2 report: {e}")));
             Report {
@@ -115,6 +139,7 @@ fn load(path: &str) -> Report {
                 // v2 predates walk pruning: its doc cells always ran the
                 // exhaustive walk.
                 doc_pruning: "off".to_string(),
+                storage_modes: vec!["plain".to_string()],
                 singles: vec![Single {
                     queries: v2.num_queries,
                     docs_per_sec: v2.single_docs_per_sec,
@@ -127,6 +152,32 @@ fn load(path: &str) -> Report {
                         queries: v2.num_queries,
                         shards: c.shards,
                         batch: c.batch,
+                        storage: "plain".to_string(),
+                        docs_per_sec: c.docs_per_sec,
+                    })
+                    .collect(),
+            }
+        }
+        3 => {
+            // Migrate: v3 predates the storage axis — plain everywhere.
+            let v3: ReportV3 = serde_json::from_str(&contents)
+                .unwrap_or_else(|e| usage_exit(&format!("{path} is not a v3 report: {e}")));
+            Report {
+                query_counts: v3.query_counts,
+                measured_docs: v3.measured_docs,
+                window: v3.window,
+                doc_pruning: v3.doc_pruning,
+                storage_modes: vec!["plain".to_string()],
+                singles: v3.singles,
+                cells: v3
+                    .cells
+                    .into_iter()
+                    .map(|c| Cell {
+                        mode: c.mode,
+                        queries: c.queries,
+                        shards: c.shards,
+                        batch: c.batch,
+                        storage: "plain".to_string(),
                         docs_per_sec: c.docs_per_sec,
                     })
                     .collect(),
@@ -135,7 +186,7 @@ fn load(path: &str) -> Report {
         v if v == SWEEP_SHARDS_SCHEMA_VERSION => serde_json::from_str(&contents)
             .unwrap_or_else(|e| usage_exit(&format!("{path} is not a v{v} report: {e}"))),
         v => usage_exit(&format!(
-            "{path} has schema_version {v} (this gate understands 2 and \
+            "{path} has schema_version {v} (this gate understands 2, 3 and \
              {SWEEP_SHARDS_SCHEMA_VERSION}); regenerate it with the current sweep_shards binary"
         )),
     }
@@ -163,12 +214,20 @@ fn main() {
     // walk-pruning policy included: a pruned and an unpruned doc cell can
     // legitimately differ by >2× throughput, which must read as a config
     // mismatch, not a regression (or worse, mask one).
-    let base_cfg = (&base.query_counts, base.measured_docs, base.window, &base.doc_pruning);
-    let cur_cfg = (&cur.query_counts, cur.measured_docs, cur.window, &cur.doc_pruning);
+    let base_cfg = (
+        &base.query_counts,
+        base.measured_docs,
+        base.window,
+        &base.doc_pruning,
+        &base.storage_modes,
+    );
+    let cur_cfg =
+        (&cur.query_counts, cur.measured_docs, cur.window, &cur.doc_pruning, &cur.storage_modes);
     if base_cfg != cur_cfg {
         usage_exit(&format!(
-            "workload configs differ: baseline (queries, docs, window, pruning) = {base_cfg:?}, \
-             current = {cur_cfg:?}; regenerate the baseline at the gate's configuration"
+            "workload configs differ: baseline (queries, docs, window, pruning, storage) = \
+             {base_cfg:?}, current = {cur_cfg:?}; regenerate the baseline at the gate's \
+             configuration"
         ));
     }
 
@@ -188,16 +247,16 @@ fn main() {
     let metric_name = if absolute { "docs/sec" } else { "docs/sec vs single" };
 
     println!("### Perf gate: {metric_name}, tolerance -{:.0}%\n", tolerance * 100.0);
-    println!("| mode | queries | shards | batch | baseline | current | delta | status |");
-    println!("|---|---|---|---|---|---|---|---|");
+    println!("| mode | queries | shards | batch | storage | baseline | current | delta | status |");
+    println!("|---|---|---|---|---|---|---|---|---|");
     let mut regressions = 0usize;
     let mut missing = 0usize;
-    let key = |c: &Cell| (c.mode.clone(), c.queries, c.shards, c.batch);
+    let key = |c: &Cell| (c.mode.clone(), c.queries, c.shards, c.batch, c.storage.clone());
     for bc in &base.cells {
         let Some(cc) = cur.cells.iter().find(|c| key(c) == key(bc)) else {
             println!(
-                "| {} | {} | {} | {} | — | — | — | MISSING |",
-                bc.mode, bc.queries, bc.shards, bc.batch
+                "| {} | {} | {} | {} | {} | — | — | — | MISSING |",
+                bc.mode, bc.queries, bc.shards, bc.batch, bc.storage
             );
             missing += 1;
             continue;
@@ -209,11 +268,12 @@ fn main() {
             regressions += 1;
         }
         println!(
-            "| {} | {} | {} | {} | {} | {} | {:+.1}% | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {:+.1}% | {} |",
             bc.mode,
             bc.queries,
             bc.shards,
             bc.batch,
+            bc.storage,
             format_sig(b),
             format_sig(c),
             delta * 100.0,
@@ -224,11 +284,12 @@ fn main() {
         let known = base.cells.iter().any(|b| key(b) == key(cc));
         if !known {
             println!(
-                "| {} | {} | {} | {} | — | {} | — | new (no baseline) |",
+                "| {} | {} | {} | {} | {} | — | {} | — | new (no baseline) |",
                 cc.mode,
                 cc.queries,
                 cc.shards,
                 cc.batch,
+                cc.storage,
                 format_sig(metric(&cur, cc))
             );
         }

@@ -8,7 +8,8 @@
 //! cargo run -p ctk-bench --release --bin sweep_shards \
 //!     [-- --scale smoke|laptop|full] [--mode query|doc|both] \
 //!     [--queries 2000,10000] [--shards 1,2,4] [--batches 1,64,256] \
-//!     [--window 1] [--docs N] [--repeat N] [--pruning off|on|auto]
+//!     [--window 1] [--docs N] [--repeat N] [--pruning off|on|auto] \
+//!     [--storage plain,compressed,paged] [--page-budget BYTES]
 //! ```
 //!
 //! `--queries N[,N...]` sweeps the query population (default: the scale's
@@ -30,8 +31,16 @@
 //! throughput; the CI perf gate uses `--repeat 3` to keep its sub-second
 //! smoke cells out of the noise floor.
 //!
+//! `--storage B[,B...]` sweeps the postings-storage backend (default
+//! `plain`); each cell records the backend's `index_bytes` (summed across
+//! shards after the measured stream) and the derived `bytes_per_query`, so
+//! the report shows the compression ratio next to the throughput cost.
+//! `--page-budget BYTES` caps the pager's RAM for `paged` cells (0 = the
+//! library default).
+//!
 //! Prints a markdown table and writes the machine-readable report
-//! (`schema_version` 3 — cells carry the `queries` axis and skip counters)
+//! (`schema_version` 4 — cells carry the `queries` and `storage` axes,
+//! skip counters and memory footprint)
 //! to `results/sweep_shards.json`, which CI archives as a build artifact
 //! and gates against `results/sweep_shards_baseline.json` with the
 //! `compare_reports` binary. The writer refuses to clobber a report whose
@@ -39,10 +48,10 @@
 
 use ctk_bench::report::format_sig;
 use ctk_bench::{
-    existing_report_schema, make_sharded, prepare, write_json_report, ExperimentConfig, Scale,
+    existing_report_schema, make_sharded_with, prepare, write_json_report, ExperimentConfig, Scale,
     Table, SWEEP_SHARDS_SCHEMA_VERSION,
 };
-use ctk_core::{ContinuousTopK, DocPruning, MrioSeg, ShardingMode};
+use ctk_core::{ContinuousTopK, DocPruning, MrioSeg, PostingsStorage, ShardingMode, StorageConfig};
 use ctk_stream::QueryWorkload;
 use serde::Serialize;
 use std::time::Instant;
@@ -59,6 +68,9 @@ struct Cell {
     queries: usize,
     shards: usize,
     batch: usize,
+    /// Postings-storage backend this cell ran on (`plain` / `compressed` /
+    /// `paged`).
+    storage: String,
     docs_per_sec: f64,
     speedup_vs_single: f64,
     speedup_vs_per_doc_sharded: f64,
@@ -66,6 +78,10 @@ struct Cell {
     /// query mode and for unpruned doc cells).
     zones_skipped: u64,
     postings_skipped: u64,
+    /// Estimated index heap bytes after the measured stream, summed across
+    /// shards (paged cells exclude spilled payloads).
+    index_bytes: u64,
+    bytes_per_query: f64,
 }
 
 #[derive(Serialize)]
@@ -77,6 +93,10 @@ struct SweepReport {
     measured_docs: usize,
     window: usize,
     doc_pruning: String,
+    /// Postings-storage backends swept, cell order.
+    storage_modes: Vec<String>,
+    /// Pager RAM budget for `paged` cells (0 = the library default).
+    page_budget: usize,
     available_parallelism: usize,
     /// Single-threaded reference per query population, `query_counts` order.
     singles: Vec<Single>,
@@ -124,6 +144,18 @@ fn main() {
             }
         },
     };
+    let storages: Vec<PostingsStorage> = match arg_value(&args, "--storage") {
+        None => vec![PostingsStorage::Plain],
+        Some(s) => match s.split(',').map(|p| p.trim().parse()).collect() {
+            Ok(list) => list,
+            Err(e) => {
+                eprintln!("sweep_shards: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let page_budget: usize =
+        arg_value(&args, "--page-budget").and_then(|s| s.parse().ok()).unwrap_or(0);
     let measured_docs: usize =
         arg_value(&args, "--docs").and_then(|s| s.parse().ok()).unwrap_or(match scale {
             Scale::Smoke => 2_000,
@@ -139,11 +171,11 @@ fn main() {
     // understand (e.g. by a newer checkout) — regeneration must be a
     // conscious `rm`, not a silent downgrade.
     match existing_report_schema("sweep_shards") {
-        Ok(Some(v)) if v != 1 && v != 2 && v != SWEEP_SHARDS_SCHEMA_VERSION => {
+        Ok(Some(v)) if !(1..=SWEEP_SHARDS_SCHEMA_VERSION).contains(&v) => {
             eprintln!(
                 "sweep_shards: refusing to overwrite results/sweep_shards.json: \
                  its schema_version {v} is unknown to this binary \
-                 (understands 1, 2 and {SWEEP_SHARDS_SCHEMA_VERSION}); delete it to regenerate"
+                 (understands 1 through {SWEEP_SHARDS_SCHEMA_VERSION}); delete it to regenerate"
             );
             std::process::exit(2);
         }
@@ -164,10 +196,11 @@ fn main() {
 
     // Best-of-N from identical cold state: interference only slows runs,
     // so the fastest repetition is the least-perturbed estimate. `measure`
-    // returns (docs/sec, skip counters); counters are deterministic across
-    // repeats, so folding by throughput keeps a matching triple.
-    let best_of = |measure: &dyn Fn() -> (f64, u64, u64)| {
-        (0..repeat).map(|_| measure()).fold((0.0f64, 0u64, 0u64), |best, run| {
+    // returns (docs/sec, skip counters, index bytes); the counters are
+    // deterministic across repeats, so folding by throughput keeps a
+    // matching tuple.
+    let best_of = |measure: &dyn Fn() -> (f64, u64, u64, u64)| {
+        (0..repeat).map(|_| measure()).fold((0.0f64, 0u64, 0u64, 0u64), |best, run| {
             if run.0 > best.0 {
                 run
             } else {
@@ -178,8 +211,8 @@ fn main() {
 
     let mut table = Table::new(
         "Sharded ingestion throughput (MRIO single reference)",
-        "queries x mode x shards x batch",
-        &["docs/sec", "vs single", "vs per-doc sharded", "zones skipped"],
+        "queries x storage x mode x shards x batch",
+        &["docs/sec", "vs single", "vs per-doc sharded", "zones skipped", "bytes/query"],
         "docs/sec",
     );
     let mut singles = Vec::new();
@@ -194,8 +227,9 @@ fn main() {
             wl.measured.len()
         );
 
-        // Reference 1: the single-threaded engine at this population.
-        let (single_dps, _, _) = best_of(&|| {
+        // Reference 1: the single-threaded engine at this population
+        // (always plain storage — the sharded cells normalize against it).
+        let (single_dps, _, _, _) = best_of(&|| {
             let mut engine = MrioSeg::new(cfg.lambda);
             wl.install(&mut engine);
             for doc in &wl.warmup {
@@ -205,97 +239,117 @@ fn main() {
             for doc in &wl.measured {
                 engine.process(doc);
             }
-            (wl.measured.len() as f64 / start.elapsed().as_secs_f64(), 0, 0)
+            (wl.measured.len() as f64 / start.elapsed().as_secs_f64(), 0, 0, 0)
         });
         eprintln!("  single-threaded MRIO: {} docs/sec (best of {repeat})", format_sig(single_dps));
         singles.push(Single { queries: n, docs_per_sec: single_dps });
 
-        for &mode in &modes {
-            for &shards in &shard_counts {
-                // Reference 2: this mode × shard count fed one document at
-                // a time through the blocking `process` call — the
-                // one-doc-one-barrier design. Always swept first (as the
-                // batch-1 cell, without pipelining) and exactly once,
-                // whatever --batches says.
-                let mut batches = vec![1usize];
-                for &b in &batch_sizes {
-                    if b > 1 && !batches.contains(&b) {
-                        batches.push(b);
+        for &storage in &storages {
+            let storage_cfg =
+                StorageConfig { storage, page_budget_bytes: page_budget, spill_dir: None };
+            for &mode in &modes {
+                for &shards in &shard_counts {
+                    // Reference 2: this mode × shard count fed one document at
+                    // a time through the blocking `process` call — the
+                    // one-doc-one-barrier design. Always swept first (as the
+                    // batch-1 cell, without pipelining) and exactly once,
+                    // whatever --batches says.
+                    let mut batches = vec![1usize];
+                    for &b in &batch_sizes {
+                        if b > 1 && !batches.contains(&b) {
+                            batches.push(b);
+                        }
                     }
-                }
-                let mut per_doc_dps = f64::NAN;
-                for &batch in &batches {
-                    let (dps, zones, postings) = best_of(&|| {
-                        let mut monitor = make_sharded(mode, shards, "MRIO", cfg.lambda, pruning);
-                        let mut ids = Vec::with_capacity(wl.specs.len());
-                        for spec in &wl.specs {
-                            ids.push(monitor.register(spec.clone()));
-                        }
-                        for (i, seeds) in wl.seeds.iter().enumerate() {
-                            if !seeds.is_empty() {
-                                monitor.seed_results(ids[i], seeds);
-                            }
-                        }
-                        for chunk in wl.warmup.chunks(batch.max(1)) {
-                            monitor.process_batch(chunk.to_vec());
-                        }
-                        let warm_skips: Vec<(u64, u64)> = monitor
-                            .shard_cumulative()
-                            .iter()
-                            .map(|c| (c.zones_skipped, c.postings_skipped))
-                            .collect();
-
-                        let start = Instant::now();
-                        if batch == 1 {
-                            // The per-document reference must pay the
-                            // historical cost: one blocking dispatch +
-                            // merge per document.
-                            for doc in &wl.measured {
-                                monitor.process(doc.clone());
-                            }
-                        } else {
-                            monitor.run_pipelined(
-                                wl.measured.chunks(batch).map(<[_]>::to_vec),
-                                window,
-                                |_, _| {},
+                    let mut per_doc_dps = f64::NAN;
+                    for &batch in &batches {
+                        let (dps, zones, postings, index_bytes) = best_of(&|| {
+                            let mut monitor = make_sharded_with(
+                                mode,
+                                shards,
+                                "MRIO",
+                                cfg.lambda,
+                                pruning,
+                                &storage_cfg,
                             );
+                            let mut ids = Vec::with_capacity(wl.specs.len());
+                            for spec in &wl.specs {
+                                ids.push(monitor.register(spec.clone()));
+                            }
+                            for (i, seeds) in wl.seeds.iter().enumerate() {
+                                if !seeds.is_empty() {
+                                    monitor.seed_results(ids[i], seeds);
+                                }
+                            }
+                            for chunk in wl.warmup.chunks(batch.max(1)) {
+                                monitor.process_batch(chunk.to_vec());
+                            }
+                            let warm_skips: Vec<(u64, u64)> = monitor
+                                .shard_cumulative()
+                                .iter()
+                                .map(|c| (c.zones_skipped, c.postings_skipped))
+                                .collect();
+
+                            let start = Instant::now();
+                            if batch == 1 {
+                                // The per-document reference must pay the
+                                // historical cost: one blocking dispatch +
+                                // merge per document.
+                                for doc in &wl.measured {
+                                    monitor.process(doc.clone());
+                                }
+                            } else {
+                                monitor.run_pipelined(
+                                    wl.measured.chunks(batch).map(<[_]>::to_vec),
+                                    window,
+                                    |_, _| {},
+                                );
+                            }
+                            let dps = wl.measured.len() as f64 / start.elapsed().as_secs_f64();
+                            let (wz, wp) = warm_skips
+                                .iter()
+                                .fold((0u64, 0u64), |(z, p), &(az, ap)| (z + az, p + ap));
+                            let (tz, tp) = monitor
+                                .shard_cumulative()
+                                .iter()
+                                .fold((0u64, 0u64), |(z, p), c| {
+                                    (z + c.zones_skipped, p + c.postings_skipped)
+                                });
+                            let index_bytes = monitor.storage_stats().index_bytes;
+                            (dps, tz - wz, tp - wp, index_bytes)
+                        });
+                        if batch == 1 {
+                            per_doc_dps = dps;
                         }
-                        let dps = wl.measured.len() as f64 / start.elapsed().as_secs_f64();
-                        let (wz, wp) = warm_skips
-                            .iter()
-                            .fold((0u64, 0u64), |(z, p), &(az, ap)| (z + az, p + ap));
-                        let (tz, tp) =
-                            monitor.shard_cumulative().iter().fold((0u64, 0u64), |(z, p), c| {
-                                (z + c.zones_skipped, p + c.postings_skipped)
-                            });
-                        (dps, tz - wz, tp - wp)
-                    });
-                    if batch == 1 {
-                        per_doc_dps = dps;
+                        let vs_per_doc = dps / per_doc_dps;
+                        let bytes_per_query = index_bytes as f64 / n as f64;
+                        eprintln!(
+                            "  queries={n} storage={storage} mode={mode} shards={shards} \
+                         batch={batch}: {} docs/sec ({:.2}x single, {:.2}x per-doc, \
+                         {zones} zones skipped, {} bytes/query)",
+                            format_sig(dps),
+                            dps / single_dps,
+                            vs_per_doc,
+                            format_sig(bytes_per_query)
+                        );
+                        table.push_row(
+                            format!("{n} x {storage} x {mode} x {shards} x {batch}"),
+                            vec![dps, dps / single_dps, vs_per_doc, zones as f64, bytes_per_query],
+                        );
+                        cells.push(Cell {
+                            mode: mode.name().to_string(),
+                            queries: n,
+                            shards,
+                            batch,
+                            storage: storage.name().to_string(),
+                            docs_per_sec: dps,
+                            speedup_vs_single: dps / single_dps,
+                            speedup_vs_per_doc_sharded: vs_per_doc,
+                            zones_skipped: zones,
+                            postings_skipped: postings,
+                            index_bytes,
+                            bytes_per_query,
+                        });
                     }
-                    let vs_per_doc = dps / per_doc_dps;
-                    eprintln!(
-                        "  queries={n} mode={mode} shards={shards} batch={batch}: {} docs/sec \
-                         ({:.2}x single, {:.2}x per-doc, {zones} zones skipped)",
-                        format_sig(dps),
-                        dps / single_dps,
-                        vs_per_doc
-                    );
-                    table.push_row(
-                        format!("{n} x {mode} x {shards} x {batch}"),
-                        vec![dps, dps / single_dps, vs_per_doc, zones as f64],
-                    );
-                    cells.push(Cell {
-                        mode: mode.name().to_string(),
-                        queries: n,
-                        shards,
-                        batch,
-                        docs_per_sec: dps,
-                        speedup_vs_single: dps / single_dps,
-                        speedup_vs_per_doc_sharded: vs_per_doc,
-                        zones_skipped: zones,
-                        postings_skipped: postings,
-                    });
                 }
             }
         }
@@ -310,6 +364,8 @@ fn main() {
         measured_docs,
         window,
         doc_pruning: pruning.name().to_string(),
+        storage_modes: storages.iter().map(|s| s.name().to_string()).collect(),
+        page_budget,
         available_parallelism: cores,
         singles,
         cells,

@@ -5,7 +5,7 @@
 //! builder uses, so a new engine kind lands everywhere at once.
 
 use continuous_topk::EngineKind;
-use ctk_core::{ContinuousTopK, DocPruning, ShardedMonitor, ShardingMode};
+use ctk_core::{ContinuousTopK, DocPruning, ShardedMonitor, ShardingMode, StorageConfig};
 
 /// The five methods of the paper's Figure 1, in its legend order.
 pub const PAPER_ALGOS: [&str; 5] = ["RTA", "RIO", "MRIO", "SortQuer", "TPS"];
@@ -17,8 +17,18 @@ pub const ALL_ALGOS: [&str; 8] =
 /// Construct an engine by name. Panics on unknown names (callers pass
 /// compile-time constants).
 pub fn make_engine(name: &str, lambda: f64) -> Box<dyn ContinuousTopK + Send> {
+    make_engine_with(name, lambda, &StorageConfig::plain())
+}
+
+/// [`make_engine`] with an explicit postings-storage configuration (ignored
+/// by engines without a query index).
+pub fn make_engine_with(
+    name: &str,
+    lambda: f64,
+    storage: &StorageConfig,
+) -> Box<dyn ContinuousTopK + Send> {
     let kind: EngineKind = name.parse().unwrap_or_else(|e| panic!("{e}"));
-    kind.build_engine(lambda)
+    kind.build_engine_with(lambda, storage)
 }
 
 /// Construct a sharded monitor in either sharding mode. Query mode runs one
@@ -33,10 +43,25 @@ pub fn make_sharded(
     lambda: f64,
     pruning: DocPruning,
 ) -> ShardedMonitor {
+    make_sharded_with(mode, shards, engine, lambda, pruning, &StorageConfig::plain())
+}
+
+/// [`make_sharded`] with an explicit postings-storage configuration, applied
+/// to every shard's query index.
+pub fn make_sharded_with(
+    mode: ShardingMode,
+    shards: usize,
+    engine: &str,
+    lambda: f64,
+    pruning: DocPruning,
+    storage: &StorageConfig,
+) -> ShardedMonitor {
     match mode {
-        ShardingMode::Queries => ShardedMonitor::new(shards, || make_engine(engine, lambda)),
+        ShardingMode::Queries => {
+            ShardedMonitor::new(shards, || make_engine_with(engine, lambda, storage))
+        }
         ShardingMode::Documents => {
-            let mut m = ShardedMonitor::new_doc_parallel(shards, lambda);
+            let mut m = ShardedMonitor::new_doc_parallel_with(shards, lambda, storage);
             m.set_doc_pruning(pruning);
             m
         }

@@ -124,7 +124,11 @@ pub fn write_json_report<T: serde::Serialize>(
 
 /// Schema version of the `sweep_shards` report format.
 ///
-/// * **v3** (current): cells carry a `queries` axis (the sweep runs at
+/// * **v4** (current): cells carry a `storage` axis (`"plain"` /
+///   `"compressed"` / `"paged"`) plus the memory-footprint counters
+///   `index_bytes` and `bytes_per_query`; the report records the swept
+///   `storage_modes` and the pager budget.
+/// * **v3**: cells carry a `queries` axis (the sweep runs at
 ///   several query populations) plus the doc-mode walk's skip counters;
 ///   the single-threaded reference becomes per-population (`singles`).
 /// * **v2**: `schema_version` tag; cells carry a `mode` axis (`"query"` /
@@ -135,9 +139,10 @@ pub fn write_json_report<T: serde::Serialize>(
 /// The writer refuses to overwrite a report tagged with a version it does
 /// not recognize (see [`existing_report_schema`]), so a future format never
 /// gets silently clobbered by an old binary. The `compare_reports` gate
-/// still *reads* v2 baselines (a v2 report is a v3 report with one
-/// population cell).
-pub const SWEEP_SHARDS_SCHEMA_VERSION: u32 = 3;
+/// still *reads* v2 and v3 baselines (a v2 report is a v3 report with one
+/// population cell; a v3 report is a v4 report whose cells all ran plain
+/// storage).
+pub const SWEEP_SHARDS_SCHEMA_VERSION: u32 = 4;
 
 /// The `schema_version` of an existing `results/<name>.json` report:
 /// `None` when the file does not exist, `Some(1)` for pre-versioned

@@ -17,4 +17,7 @@ pub use float::OrdF64;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{DocId, QueryId, TermId};
 pub use namespace::{Namespace, NamespaceRegistry};
-pub use types::{Document, Query, QuerySpec, ScoredDoc, SparseVector, Timestamp};
+pub use types::{
+    is_tombstone_weight, Document, Query, QuerySpec, ScoredDoc, SparseVector, Timestamp,
+    TOMBSTONE_WEIGHT,
+};

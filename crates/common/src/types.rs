@@ -13,6 +13,22 @@ use serde::{Deserialize, Serialize};
 /// monotonically non-decreasing timestamps to arriving documents.
 pub type Timestamp = f64;
 
+/// The tombstone sentinel for stored posting weights.
+///
+/// Every weight-bearing store in the workspace — the plain `Vec` postings,
+/// the compressed block codec, impact lists, epoch bounds — marks a deleted
+/// slot by zeroing its weight. Live weights are validated strictly positive
+/// at registration, so exact `== 0.0` comparison is unambiguous; this
+/// constant (and [`is_tombstone_weight`]) is the single definition all of
+/// them share, so a storage format can't drift from the in-RAM stores.
+pub const TOMBSTONE_WEIGHT: f32 = 0.0;
+
+/// True when a stored weight is the tombstone sentinel.
+#[inline]
+pub fn is_tombstone_weight(weight: f32) -> bool {
+    weight == TOMBSTONE_WEIGHT
+}
+
 /// A sparse term-weight vector: strictly increasing `TermId`s, strictly
 /// positive finite weights.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]

@@ -20,6 +20,7 @@ use crate::monitor::Snapshot;
 use crate::stats::EventStats;
 use crate::traits::ResultChange;
 use ctk_common::{DocId, Document, Namespace, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp};
+use ctk_index::StorageStats;
 use serde::{Deserialize, Serialize};
 
 /// How a parallel monitor partitions its work across worker shards.
@@ -452,6 +453,13 @@ pub trait MonitorBackend {
 
     /// The decay parameter the backend was built with.
     fn lambda(&self) -> f64;
+
+    /// Point-in-time storage counters of the backend's query index(es):
+    /// estimated heap bytes plus pager activity, summed across shards on
+    /// sharded backends. All-zero when no engine carries an index.
+    fn storage_stats(&self) -> StorageStats {
+        StorageStats::default()
+    }
 
     /// Capture the full monitor state (versioned, engine-agnostic).
     fn snapshot(&self) -> Snapshot;

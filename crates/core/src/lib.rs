@@ -30,6 +30,7 @@ pub mod traits;
 pub mod walk;
 
 pub use backend::{DocPruning, MonitorBackend, PublishReceipt, PublishRequest, ShardingMode};
+pub use ctk_index::{PostingsStorage, StorageConfig, StorageStats};
 pub use lifecycle::{
     EvictionPolicy, LifecycleManager, NamespaceStats, QueryOptions, RetentionPolicy,
 };

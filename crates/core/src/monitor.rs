@@ -356,6 +356,10 @@ impl<E: ContinuousTopK> MonitorBackend for Monitor<E> {
         self.engine.lambda()
     }
 
+    fn storage_stats(&self) -> ctk_index::StorageStats {
+        self.engine.storage_stats()
+    }
+
     fn snapshot(&self) -> Snapshot {
         Monitor::snapshot(self)
     }

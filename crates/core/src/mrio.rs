@@ -28,7 +28,9 @@ use crate::stats::{CumulativeStats, EventStats};
 use crate::topk::TopKState;
 use crate::traits::{ContinuousTopK, ResultChange};
 use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc};
-use ctk_index::{BlockMax, MaxSegTree, QueryIndex, SuffixMax, ZoneMax};
+use ctk_index::{
+    BlockMax, MaxSegTree, QueryIndex, StorageConfig, StorageStats, SuffixMax, ZoneMax,
+};
 
 /// MRIO with a segment-tree zone index (the default, exact variant).
 pub type MrioSeg = Mrio<MaxSegTree>;
@@ -50,29 +52,44 @@ pub struct Mrio<Z: ZoneMax> {
 impl Mrio<MaxSegTree> {
     /// MRIO with exact segment-tree zone maxima.
     pub fn new(lambda: f64) -> Self {
-        Mrio::with_name(lambda, "MRIO")
+        Mrio::with_name(lambda, &StorageConfig::plain(), "MRIO")
+    }
+
+    /// As [`Mrio::new`], with an explicit postings-storage configuration.
+    pub fn with_storage(lambda: f64, storage: &StorageConfig) -> Self {
+        Mrio::with_name(lambda, storage, "MRIO")
     }
 }
 
 impl Mrio<BlockMax> {
     /// MRIO with block-max zone maxima.
     pub fn new(lambda: f64) -> Self {
-        Mrio::with_name(lambda, "MRIO-block")
+        Mrio::with_name(lambda, &StorageConfig::plain(), "MRIO-block")
+    }
+
+    /// As [`Mrio::new`], with an explicit postings-storage configuration.
+    pub fn with_storage(lambda: f64, storage: &StorageConfig) -> Self {
+        Mrio::with_name(lambda, storage, "MRIO-block")
     }
 }
 
 impl Mrio<SuffixMax> {
     /// MRIO with suffix-snapshot zone maxima.
     pub fn new(lambda: f64) -> Self {
-        Mrio::with_name(lambda, "MRIO-suffix")
+        Mrio::with_name(lambda, &StorageConfig::plain(), "MRIO-suffix")
+    }
+
+    /// As [`Mrio::new`], with an explicit postings-storage configuration.
+    pub fn with_storage(lambda: f64, storage: &StorageConfig) -> Self {
+        Mrio::with_name(lambda, storage, "MRIO-suffix")
     }
 }
 
 impl<Z: ZoneMax + Default> Mrio<Z> {
-    fn with_name(lambda: f64, name: &'static str) -> Self {
+    fn with_name(lambda: f64, storage: &StorageConfig, name: &'static str) -> Self {
         Mrio {
             base: EngineBase::new(lambda),
-            index: QueryIndex::new(),
+            index: QueryIndex::with_storage(storage),
             zones: Vec::new(),
             cursors: CursorSet::default(),
             name,
@@ -85,7 +102,7 @@ impl<Z: ZoneMax> Mrio<Z> {
     fn update_query_zones(&mut self, qid: QueryId) {
         let Some(state) = self.base.state(qid) else { return };
         let Some(rec) = self.index.record(qid) else { return };
-        for e in &rec.entries {
+        for e in rec.entries_full() {
             let u = state.normalized(e.weight as f64);
             self.zones[e.list as usize].update(e.pos as usize, u);
         }
@@ -281,8 +298,13 @@ impl<Z: ZoneMax + Default> ContinuousTopK for Mrio<Z> {
         // because lists are append-only).
         let state_u = f64::INFINITY; // fresh queries are unfilled
         if let Some(rec) = self.index.record(qid) {
-            for e in &rec.entries {
-                debug_assert_eq!(e.pos as usize, self.zones[e.list as usize].len());
+            for e in rec.entries() {
+                // The fresh posting is the list's last slot, so the zone's
+                // next append position must be that slot's index.
+                debug_assert_eq!(
+                    self.zones[e.list as usize].len() + 1,
+                    self.index.list(e.list).len()
+                );
                 self.zones[e.list as usize].append(state_u);
             }
         }
@@ -384,6 +406,10 @@ impl<Z: ZoneMax + Default> ContinuousTopK for Mrio<Z> {
             self.rebuild_zone(li, &mut vals);
         }
         changed.len()
+    }
+
+    fn storage_stats(&self) -> StorageStats {
+        self.index.storage_stats()
     }
 }
 

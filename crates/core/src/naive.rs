@@ -12,7 +12,7 @@ use crate::topk::TopKState;
 use crate::traits::{ContinuousTopK, ResultChange};
 use crate::walk::{collect_scored_candidates, MatchScratch};
 use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc};
-use ctk_index::QueryIndex;
+use ctk_index::{QueryIndex, StorageConfig, StorageStats};
 
 /// Term-filtered exhaustive continuous top-k.
 pub struct Naive {
@@ -25,9 +25,14 @@ pub struct Naive {
 
 impl Naive {
     pub fn new(lambda: f64) -> Self {
+        Naive::with_storage(lambda, &StorageConfig::plain())
+    }
+
+    /// As [`Naive::new`], with an explicit postings-storage configuration.
+    pub fn with_storage(lambda: f64, storage: &StorageConfig) -> Self {
         Naive {
             base: EngineBase::new(lambda),
-            index: QueryIndex::new(),
+            index: QueryIndex::with_storage(storage),
             scratch: MatchScratch::default(),
             scored: Vec::new(),
         }
@@ -113,6 +118,10 @@ impl ContinuousTopK for Naive {
 
     fn compact_index(&mut self) -> usize {
         self.index.compact().len()
+    }
+
+    fn storage_stats(&self) -> StorageStats {
+        self.index.storage_stats()
     }
 }
 

@@ -20,7 +20,7 @@ use crate::stats::{CumulativeStats, EventStats};
 use crate::topk::TopKState;
 use crate::traits::{ContinuousTopK, ResultChange};
 use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc};
-use ctk_index::{QueryIndex, VersionedMaxTracker};
+use ctk_index::{QueryIndex, StorageConfig, StorageStats, VersionedMaxTracker};
 
 /// The RIO algorithm.
 pub struct Rio {
@@ -33,9 +33,14 @@ pub struct Rio {
 
 impl Rio {
     pub fn new(lambda: f64) -> Self {
+        Rio::with_storage(lambda, &StorageConfig::plain())
+    }
+
+    /// As [`Rio::new`], with an explicit postings-storage configuration.
+    pub fn with_storage(lambda: f64, storage: &StorageConfig) -> Self {
         Rio {
             base: EngineBase::new(lambda),
-            index: QueryIndex::new(),
+            index: QueryIndex::with_storage(storage),
             trackers: Vec::new(),
             cursors: CursorSet::default(),
         }
@@ -53,7 +58,7 @@ impl Rio {
         let Some(state) = self.base.state(qid) else { return };
         let version = state.version();
         let Some(rec) = self.index.record(qid) else { return };
-        for e in &rec.entries {
+        for e in rec.entries() {
             let u = state.normalized(e.weight as f64);
             self.trackers[e.list as usize].push(qid, version, u);
         }
@@ -221,6 +226,10 @@ impl ContinuousTopK for Rio {
         // Trackers are keyed by (qid, version), not list position, so the
         // postings can move freely underneath them.
         self.index.compact().len()
+    }
+
+    fn storage_stats(&self) -> StorageStats {
+        self.index.storage_stats()
     }
 }
 

@@ -95,7 +95,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use ctk_common::{
     DocId, Document, FxHashSet, Namespace, QueryId, QuerySpec, ScoredDoc, TermId, Timestamp,
 };
-use ctk_index::QueryIndex;
+use ctk_index::{PagePin, PostingsStorage, QueryIndex, StorageConfig, StorageStats};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -145,6 +145,8 @@ enum Command {
     /// Compact the worker's index now, regardless of the configured
     /// threshold (bulk-forget reclamation); the reply fences completion.
     Compact(Sender<()>),
+    /// Point-in-time storage counters of the worker's index.
+    Storage(Sender<StorageStats>),
     Shutdown,
 }
 
@@ -235,6 +237,10 @@ struct PendingDocBatch {
     docs: Arc<[Document]>,
     /// `(worker, count)` slices in stream order; counts sum to `docs.len()`.
     slices: Vec<(u32, usize)>,
+    /// Paged storage only: pins on the epoch's RAM-resident pages, held for
+    /// the batch's lifetime so the pager never spills a page out from under
+    /// an in-flight walk (dropped — releasing the veto — at drain).
+    _pins: Option<Arc<Vec<PagePin>>>,
 }
 
 /// Document-mode runtime: scorer workers over a shared index epoch plus the
@@ -276,6 +282,10 @@ struct DocShards {
     /// deferred tightenings, folded in once enough accumulate. Purely an
     /// optimization debt: stale-high bounds are still upper bounds.
     stale: FxHashSet<QueryId>,
+    /// Memoized pins on the current epoch's RAM-resident pages (paged
+    /// storage only; `None` otherwise or after any epoch mutation). Shared
+    /// with in-flight batches so each submit does not re-walk every list.
+    epoch_pins: Option<Arc<Vec<PagePin>>>,
 }
 
 /// Score one slice of a batch against an index epoch: the term-filtered
@@ -443,6 +453,9 @@ impl ShardedMonitor {
                             engine.compact_index();
                             let _ = reply.send(());
                         }
+                        Command::Storage(reply) => {
+                            let _ = reply.send(engine.storage_stats());
+                        }
                         Command::Shutdown => break,
                     }
                 }
@@ -473,6 +486,14 @@ impl ShardedMonitor {
     /// model; scoring uses the exact term-filtered walk, so results are
     /// bit-identical to any engine kind.
     pub fn new_doc_parallel(shards: usize, lambda: f64) -> Self {
+        ShardedMonitor::new_doc_parallel_with(shards, lambda, &StorageConfig::plain())
+    }
+
+    /// As [`ShardedMonitor::new_doc_parallel`], with an explicit postings-
+    /// storage configuration for the shared index epoch. Under
+    /// [`PostingsStorage::Paged`], every in-flight batch pins the epoch's
+    /// RAM-resident pages so the pager cannot spill them mid-walk.
+    pub fn new_doc_parallel_with(shards: usize, lambda: f64, storage: &StorageConfig) -> Self {
         assert!(shards >= 1);
         let mut workers = Vec::with_capacity(shards);
         for _ in 0..shards {
@@ -499,7 +520,7 @@ impl ShardedMonitor {
             runtime: Runtime::Documents(Box::new(DocShards {
                 worker_cum: vec![CumulativeStats::default(); workers.len()],
                 workers,
-                index: Arc::new(QueryIndex::new()),
+                index: Arc::new(QueryIndex::with_storage(storage)),
                 base: EngineBase::new(lambda),
                 pending: VecDeque::new(),
                 compact_at: 0.0,
@@ -509,6 +530,7 @@ impl ShardedMonitor {
                 pruning: DocPruning::default(),
                 bounds_dirty: false,
                 stale: FxHashSet::default(),
+                epoch_pins: None,
             })),
             specs: Vec::new(),
             live: 0,
@@ -620,10 +642,11 @@ impl ShardedMonitor {
                 // query is unfilled, so its positions carry +inf and its
                 // zones are unprunable until it fills — warm-up semantics).
                 let (base, index) = (&rt.base, &rt.index);
-                let entries = &index.record(qid).expect("just registered").entries;
+                let entries = index.record(qid).expect("just registered").to_record().entries;
                 thawed(&mut rt.bounds)
-                    .append_registration(qid, entries, |q, w| base.normalized_of(q, w as f64));
+                    .append_registration(qid, &entries, |q, w| base.normalized_of(q, w as f64));
                 rt.filter_cache = None;
+                rt.epoch_pins = None;
             }
         }
         self.specs.push(Some(spec));
@@ -662,6 +685,7 @@ impl ShardedMonitor {
                 rt.base.drop_state(qid);
                 rt.stale.remove(&qid);
                 rt.filter_cache = None;
+                rt.epoch_pins = None;
             }
         }
         self.specs[qid.index()] = None;
@@ -726,6 +750,7 @@ impl ShardedMonitor {
                     rt.stale.remove(qid);
                 }
                 rt.filter_cache = None;
+                rt.epoch_pins = None;
                 // Forced compaction reclaims the bulk tombstones at once;
                 // realign the affected lists' bounds exactly as the
                 // threshold-triggered compaction in `drain_batch` does.
@@ -924,7 +949,7 @@ impl ShardedMonitor {
                         let b = thawed(&mut rt.bounds);
                         for qid in rt.stale.drain() {
                             if let Some(rec) = index.record(qid) {
-                                b.refresh_query(qid, &rec.entries, |q, w| {
+                                b.refresh_query(qid, &rec.to_record().entries, |q, w| {
                                     base.normalized_of(q, w as f64)
                                 });
                             }
@@ -965,7 +990,17 @@ impl ShardedMonitor {
                     start += count;
                 }
                 rt.next_start = (rt.next_start + 1) % s;
-                rt.pending.push_back(PendingDocBatch { docs, slices });
+                // Paged storage: pin the epoch's resident pages for the
+                // batch's flight so worker reads never race an eviction.
+                // Memoized per epoch — churn and compaction drop the cache.
+                let pins =
+                    (rt.index.storage_config().storage == PostingsStorage::Paged).then(|| {
+                        Arc::clone(
+                            rt.epoch_pins
+                                .get_or_insert_with(|| Arc::new(rt.index.pin_resident_pages())),
+                        )
+                    });
+                rt.pending.push_back(PendingDocBatch { docs, slices, _pins: pins });
             }
         }
     }
@@ -1054,6 +1089,7 @@ impl ShardedMonitor {
                 // up. In-flight batches keep their (pre-compaction) epoch —
                 // copy-on-write makes this safe even mid-pipeline.
                 if rt.compact_at > 0.0 && rt.index.tombstone_ratio() >= rt.compact_at {
+                    rt.epoch_pins = None;
                     let changed_lists = Arc::make_mut(&mut rt.index).compact();
                     if !changed_lists.is_empty() {
                         // Compaction moved positions AND shrank lists:
@@ -1280,6 +1316,24 @@ impl ShardedMonitor {
             Runtime::Documents(rt) => rt.base.decay.lambda(),
         }
     }
+
+    /// Point-in-time storage counters: summed over every worker's index in
+    /// query mode (each shard owns a slice of the query population), read
+    /// off the shared epoch in document mode.
+    pub fn storage_stats(&self) -> StorageStats {
+        match &self.runtime {
+            Runtime::Queries(rt) => {
+                let mut total = StorageStats::default();
+                for w in &rt.workers {
+                    let (reply_tx, reply_rx) = bounded(1);
+                    w.tx.send(Command::Storage(reply_tx)).expect("worker alive");
+                    total.merge(&reply_rx.recv().expect("worker reply"));
+                }
+                total
+            }
+            Runtime::Documents(rt) => rt.index.storage_stats(),
+        }
+    }
 }
 
 impl MonitorBackend for ShardedMonitor {
@@ -1345,6 +1399,10 @@ impl MonitorBackend for ShardedMonitor {
 
     fn lambda(&self) -> f64 {
         ShardedMonitor::lambda(self)
+    }
+
+    fn storage_stats(&self) -> StorageStats {
+        ShardedMonitor::storage_stats(self)
     }
 
     fn snapshot(&self) -> Snapshot {

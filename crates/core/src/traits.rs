@@ -6,6 +6,7 @@
 
 use crate::stats::{CumulativeStats, EventStats};
 use ctk_common::{Document, QueryId, QuerySpec, ScoredDoc, Timestamp};
+use ctk_index::StorageStats;
 use serde::{Deserialize, Serialize};
 
 /// A change to one query's result set caused by a stream event.
@@ -136,6 +137,12 @@ pub trait ContinuousTopK {
     fn compact_index(&mut self) -> usize {
         0
     }
+
+    /// Point-in-time storage counters of the engine's query index (RAM
+    /// footprint plus pager activity); all-zero for engines without one.
+    fn storage_stats(&self) -> StorageStats {
+        StorageStats::default()
+    }
 }
 
 /// Boxed engines are engines: the monitor front-ends and the builder work
@@ -214,5 +221,9 @@ impl<T: ContinuousTopK + ?Sized> ContinuousTopK for Box<T> {
 
     fn compact_index(&mut self) -> usize {
         (**self).compact_index()
+    }
+
+    fn storage_stats(&self) -> StorageStats {
+        (**self).storage_stats()
     }
 }

@@ -91,7 +91,7 @@ fn score_candidates(
     for (qid, dot) in out.iter_mut() {
         let rec = index.record(*qid).expect("live posting implies record");
         let mut acc = 0.0f64;
-        for e in &rec.entries {
+        for e in rec.entries() {
             if let Some(&f) = s.doc_weights.get(&e.term) {
                 acc += f * e.weight as f64;
             }
@@ -127,14 +127,14 @@ pub fn collect_scored_candidates(
             continue;
         }
         ev.matched_lists += 1;
-        for p in list.iter_live() {
+        list.for_each_live(|qid, _| {
             ev.postings_accessed += 1;
-            let slot = p.qid.index();
+            let slot = qid.index();
             if s.seen[slot] != s.epoch {
                 s.seen[slot] = s.epoch;
-                out.push((p.qid, 0.0));
+                out.push((qid, 0.0));
             }
-        }
+        });
     }
     out.sort_unstable_by_key(|&(qid, _)| qid);
     score_candidates(index, s, ev, out);

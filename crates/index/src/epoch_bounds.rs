@@ -54,13 +54,14 @@ pub fn list_bound_values(
 ) {
     let list = index.list(li);
     vals.clear();
-    vals.extend(list.as_slice().iter().map(|p| {
-        if p.is_tombstone() {
+    vals.reserve(list.len());
+    list.for_each_slot(|qid, weight| {
+        vals.push(if ctk_common::is_tombstone_weight(weight) {
             f64::NEG_INFINITY
         } else {
-            u_of(p.qid, p.weight)
-        }
-    }));
+            u_of(qid, weight)
+        });
+    });
 }
 
 /// Read-only zone-maxima bounds over one [`QueryIndex`] epoch (see the
@@ -267,7 +268,7 @@ mod tests {
         b.freeze();
 
         let li = ix.list_of_term(TermId(1)).unwrap();
-        let w = ix.record(QueryId(0)).unwrap().entries[0].weight as f64;
+        let w = ix.record(QueryId(0)).unwrap().entries().next().unwrap().weight as f64;
         // Position 3 (q3, unfilled) forces +inf into the zone and into the
         // cached global...
         assert_eq!(b.zone_max(li, 0, 4), f64::INFINITY);
@@ -290,7 +291,11 @@ mod tests {
 
         // Register mirrors: index first, then bounds (same append order).
         let q3 = ix.register(&vector(&[(1, 1.0), (99, 2.0)]), 1);
-        inc.append_registration(q3, &ix.record(q3).unwrap().entries.clone(), u_from(&thresholds));
+        inc.append_registration(
+            q3,
+            &ix.record(q3).unwrap().to_record().entries,
+            u_from(&thresholds),
+        );
         // Unregister mirrors.
         let gone = ix.unregister(QueryId(1)).unwrap();
         inc.tombstone_registration(&gone.entries);
@@ -298,7 +303,7 @@ mod tests {
         let thresholds = [0.8, 0.4, 0.0, 0.0, 0.0];
         inc.refresh_query(
             QueryId(0),
-            &ix.record(QueryId(0)).unwrap().entries.clone(),
+            &ix.record(QueryId(0)).unwrap().to_record().entries,
             u_from(&thresholds),
         );
 
@@ -338,7 +343,7 @@ mod tests {
         b.freeze();
         let li = ix.list_of_term(TermId(1)).unwrap();
         assert_eq!(ix.list(li).len(), 3, "compaction dropped the tombstones");
-        let w = ix.record(QueryId(4)).unwrap().entries[0].weight as f64;
+        let w = ix.record(QueryId(4)).unwrap().entries().next().unwrap().weight as f64;
         // q4's tightest bound must sit at its *new* position (1, not 4).
         assert!((b.zone_max(li, 1, 2) - w / 0.25).abs() < 1e-12);
     }
@@ -359,12 +364,12 @@ mod tests {
         // read path would ever settle it.
         for q in 0..200u32 {
             thresholds[q as usize] = 4.0;
-            let entries = ix.record(QueryId(q)).unwrap().entries.clone();
+            let entries = ix.record(QueryId(q)).unwrap().to_record().entries;
             b.refresh_query(QueryId(q), &entries, u_from(&thresholds));
         }
         b.freeze();
         let li = ix.list_of_term(TermId(1)).unwrap();
-        let w = ix.record(QueryId(0)).unwrap().entries[0].weight as f64;
+        let w = ix.record(QueryId(0)).unwrap().entries().next().unwrap().weight as f64;
         // After the settle the snapshot is exact again: the pre-refresh
         // bound (w/0.5) has tightened to the true maximum (w/4.0).
         assert!((b.zone_max(li, 0, 200) - w / 4.0).abs() < 1e-12);
@@ -379,7 +384,7 @@ mod tests {
         let mut b: EpochBounds = EpochBounds::new();
         b.rebuild_all(&ix, u_from(&thresholds));
         b.freeze();
-        let entries = ix.record(QueryId(0)).unwrap().entries.clone();
+        let entries = ix.record(QueryId(0)).unwrap().to_record().entries;
         b.tombstone_registration(&entries); // must panic: batch could be in flight
     }
 }

@@ -10,6 +10,9 @@
 //!   "identifier-ordering paradigm" the paper adapts to query indexing);
 //! * [`query_index`] — the registry mapping terms → lists and queries →
 //!   their posting positions, with tombstone deletion and compaction;
+//! * [`store`] — the postings-storage seam: the [`PostingsStore`] trait
+//!   with plain (Vec-backed), compressed (sealed blocks), and paged
+//!   (RAM/disk pager) backends selected by [`StorageConfig`];
 //! * [`max_tracker`] — exact per-list maxima of `w/S_k` under lazy
 //!   (versioned-heap) maintenance, used by RIO's global bounds (Eq. 2);
 //! * [`segment_tree`], [`block_max`], [`suffix_max`] — the three alternative
@@ -31,15 +34,18 @@ pub mod max_tracker;
 pub mod postings;
 pub mod query_index;
 pub mod segment_tree;
+pub mod store;
 pub mod suffix_max;
 pub mod zone;
 
 pub use block_max::BlockMax;
+pub use ctk_storage::PagePin;
 pub use epoch_bounds::{list_bound_values, EpochBounds};
 pub use impact_lists::{ImpactList, WeightOrderedList};
 pub use max_tracker::VersionedMaxTracker;
 pub use postings::{Posting, PostingsList};
-pub use query_index::{QueryIndex, QueryRecord, RecordEntry};
+pub use query_index::{EntryView, QueryIndex, QueryRecord, RecordEntry, RecordRef};
 pub use segment_tree::MaxSegTree;
+pub use store::{ListRef, PostingsStorage, PostingsStore, StorageConfig, StorageStats};
 pub use suffix_max::SuffixMax;
 pub use zone::ZoneMax;

@@ -70,6 +70,12 @@ impl PostingsList {
         &self.entries
     }
 
+    /// Allocated slots (the `Vec`'s capacity) — what heap accounting counts.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+
     /// Append an entry. `qid` must exceed every id already present, and
     /// `weight` must be strictly positive — `0.0` is the tombstone marker,
     /// so a zero here would desync the tombstone counter from

@@ -1,0 +1,556 @@
+//! The postings-storage seam: backend selection, the [`PostingsStore`]
+//! trait, and the [`Lists`] table the [`crate::QueryIndex`] actually holds.
+//!
+//! Three backends, one read/write contract:
+//!
+//! * [`PostingsStorage::Plain`] — the Vec-backed [`PostingsList`]; the
+//!   default, and the layout every result must stay bit-identical to.
+//! * [`PostingsStorage::Compressed`] — [`CompressedList`]: sealed
+//!   delta + bit-packed blocks (raw f32 weights, so reads are lossless)
+//!   with an uncompressed tail; compaction is the re-compression point.
+//! * [`PostingsStorage::Paged`] — the compressed layout with sealed blocks
+//!   allocated from a byte-budgeted [`PageManager`] that spills cold
+//!   blocks to disk.
+//!
+//! Backends are dispatched at the *table* level ([`Lists`] is an enum of
+//! homogeneous `Vec`s, readers get a [`ListRef`]), not per list: a
+//! per-element enum would cost every backend the size of the fattest
+//! variant per list — which, under heavy-tailed term distributions where
+//! most lists hold a handful of postings, is exactly the fixed overhead
+//! that decides whether compression wins at all.
+//!
+//! Blocks hold exactly [`ctk_storage::BLOCK_LEN`] postings so they align
+//! 1:1 with [`crate::BlockMax`]'s default zones: an `EpochBounds` probe
+//! over a frozen zone maps onto one sealed block.
+
+use crate::postings::{Posting, PostingsList};
+use ctk_common::QueryId;
+use ctk_storage::{CompressedList, PagePin, StoreContext};
+use std::path::PathBuf;
+
+// The block codec and the zone structures must agree on the zone size:
+// document-mode pruning probes `BlockMax` zones and expects each probe to
+// cover exactly one sealed block.
+const _: () = assert!(ctk_storage::BLOCK_LEN == crate::block_max::DEFAULT_BLOCK);
+
+/// Which postings layout a [`crate::QueryIndex`] uses (see module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PostingsStorage {
+    /// Uncompressed `Vec`-backed lists and per-query record `Vec`s.
+    #[default]
+    Plain,
+    /// Compressed sealed blocks + packed record arena, all RAM-resident.
+    Compressed,
+    /// Compressed layout with sealed blocks in a budgeted RAM/disk pager.
+    Paged,
+}
+
+impl PostingsStorage {
+    pub const ALL: [PostingsStorage; 3] =
+        [PostingsStorage::Plain, PostingsStorage::Compressed, PostingsStorage::Paged];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            PostingsStorage::Plain => "plain",
+            PostingsStorage::Compressed => "compressed",
+            PostingsStorage::Paged => "paged",
+        }
+    }
+}
+
+impl std::fmt::Display for PostingsStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PostingsStorage {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "plain" => Ok(PostingsStorage::Plain),
+            "compressed" => Ok(PostingsStorage::Compressed),
+            "paged" => Ok(PostingsStorage::Paged),
+            other => Err(format!("unknown storage '{other}' (expected plain|compressed|paged)")),
+        }
+    }
+}
+
+/// Storage selection plus the paged backend's knobs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StorageConfig {
+    pub storage: PostingsStorage,
+    /// RAM budget for sealed-block payloads under [`PostingsStorage::Paged`];
+    /// `0` means [`StorageConfig::DEFAULT_PAGE_BUDGET`].
+    pub page_budget_bytes: usize,
+    /// Directory for the spill file (default: the system temp directory).
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl StorageConfig {
+    /// 64 MiB — roomy for every benchmark cell; tiny budgets are for tests.
+    pub const DEFAULT_PAGE_BUDGET: usize = 64 << 20;
+
+    pub fn new(storage: PostingsStorage) -> Self {
+        StorageConfig { storage, ..Self::default() }
+    }
+
+    pub fn plain() -> Self {
+        Self::default()
+    }
+
+    /// The effective page budget (resolving the `0` default).
+    pub fn page_budget(&self) -> usize {
+        if self.page_budget_bytes == 0 {
+            Self::DEFAULT_PAGE_BUDGET
+        } else {
+            self.page_budget_bytes
+        }
+    }
+}
+
+/// Point-in-time storage counters, surfaced on the server's `/stats` and in
+/// the bench reports. Page counters are zero for unpaged storage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Estimated heap bytes held by the index (lists + records + tables);
+    /// for paged storage, spilled payloads are excluded — that is the point.
+    pub index_bytes: u64,
+    /// Sealed-block pages currently RAM-resident.
+    pub hot_pages: u64,
+    /// Sealed-block pages currently on disk only.
+    pub cold_pages: u64,
+    /// Reads that had to fault a page back from the spill file.
+    pub page_faults: u64,
+}
+
+impl StorageStats {
+    /// Fold another index's counters into this one (sharded aggregation).
+    pub fn merge(&mut self, other: &StorageStats) {
+        self.index_bytes += other.index_bytes;
+        self.hot_pages += other.hot_pages;
+        self.cold_pages += other.cold_pages;
+        self.page_faults += other.page_faults;
+    }
+}
+
+/// The contract every postings backend satisfies — the seam the engines
+/// read through. Semantics (and the tests pinning them) come from
+/// [`PostingsList`]: ID-ordered slots with stable positions, tombstones as
+/// zero-weight slots that keep their query id, `seek` as "first position
+/// `>= from` with id `>= target`". Mutations take the index's shared
+/// [`StoreContext`] (codec + pager) so lists themselves stay policy-free.
+pub trait PostingsStore {
+    /// Slots, including tombstones.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tombstoned slots.
+    fn tombstones(&self) -> usize;
+
+    /// Live postings.
+    fn live(&self) -> usize;
+
+    /// The slot at `pos` (tombstones read as weight `0.0`).
+    fn get(&self, pos: usize) -> Posting;
+
+    /// Append a live posting; `qid` must exceed every id present.
+    fn push(&mut self, qid: QueryId, weight: f32, cx: &StoreContext);
+
+    /// Tombstone the slot at `pos` (idempotent; position stays valid).
+    fn tombstone(&mut self, pos: usize);
+
+    /// Position of `qid` (live or tombstoned), if present.
+    fn position_of(&self, qid: QueryId) -> Option<usize>;
+
+    /// First position `>= from` with id `>= target`, or `len()`.
+    fn seek(&self, from: usize, target: QueryId) -> usize;
+
+    /// First **live** position `>= from` with id `>= target`, or `len()`.
+    fn seek_live(&self, from: usize, target: QueryId) -> usize;
+
+    /// Visit every slot in position order (tombstones as zero weights).
+    fn for_each_slot(&self, f: &mut dyn FnMut(QueryId, f32));
+
+    /// Visit every live posting in position order.
+    fn for_each_live(&self, f: &mut dyn FnMut(QueryId, f32));
+
+    /// Drop tombstones, appending survivors to `out` in order; positions
+    /// restart from zero afterwards (callers refresh their cached ones).
+    fn compact(&mut self, out: &mut Vec<Posting>, cx: &StoreContext);
+
+    /// RAM bytes owned by this list, excluding `size_of::<Self>()` (the
+    /// containing table accounts for its slots).
+    fn heap_bytes(&self) -> usize;
+}
+
+impl PostingsStore for PostingsList {
+    fn len(&self) -> usize {
+        PostingsList::len(self)
+    }
+
+    fn tombstones(&self) -> usize {
+        PostingsList::tombstones(self)
+    }
+
+    fn live(&self) -> usize {
+        PostingsList::live(self)
+    }
+
+    fn get(&self, pos: usize) -> Posting {
+        PostingsList::get(self, pos)
+    }
+
+    fn push(&mut self, qid: QueryId, weight: f32, _cx: &StoreContext) {
+        PostingsList::push(self, qid, weight)
+    }
+
+    fn tombstone(&mut self, pos: usize) {
+        PostingsList::tombstone(self, pos)
+    }
+
+    fn position_of(&self, qid: QueryId) -> Option<usize> {
+        PostingsList::position_of(self, qid)
+    }
+
+    fn seek(&self, from: usize, target: QueryId) -> usize {
+        PostingsList::seek(self, from, target)
+    }
+
+    fn seek_live(&self, from: usize, target: QueryId) -> usize {
+        PostingsList::seek_live(self, from, target)
+    }
+
+    fn for_each_slot(&self, f: &mut dyn FnMut(QueryId, f32)) {
+        for p in self.as_slice() {
+            f(p.qid, p.weight);
+        }
+    }
+
+    fn for_each_live(&self, f: &mut dyn FnMut(QueryId, f32)) {
+        for p in self.iter_live() {
+            f(p.qid, p.weight);
+        }
+    }
+
+    fn compact(&mut self, out: &mut Vec<Posting>, _cx: &StoreContext) {
+        out.extend_from_slice(PostingsList::compact(self));
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<Posting>()
+    }
+}
+
+impl PostingsStore for CompressedList {
+    fn len(&self) -> usize {
+        CompressedList::len(self)
+    }
+
+    fn tombstones(&self) -> usize {
+        CompressedList::tombstones(self)
+    }
+
+    fn live(&self) -> usize {
+        CompressedList::live(self)
+    }
+
+    fn get(&self, pos: usize) -> Posting {
+        let (qid, weight) = CompressedList::get(self, pos);
+        Posting { qid: QueryId(qid), weight }
+    }
+
+    fn push(&mut self, qid: QueryId, weight: f32, cx: &StoreContext) {
+        CompressedList::push(self, qid.0, weight, cx)
+    }
+
+    fn tombstone(&mut self, pos: usize) {
+        CompressedList::tombstone(self, pos)
+    }
+
+    fn position_of(&self, qid: QueryId) -> Option<usize> {
+        CompressedList::position_of(self, qid.0)
+    }
+
+    fn seek(&self, from: usize, target: QueryId) -> usize {
+        CompressedList::seek(self, from, target.0)
+    }
+
+    fn seek_live(&self, from: usize, target: QueryId) -> usize {
+        CompressedList::seek_live(self, from, target.0)
+    }
+
+    fn for_each_slot(&self, f: &mut dyn FnMut(QueryId, f32)) {
+        CompressedList::for_each_slot(self, |q, w| f(QueryId(q), w));
+    }
+
+    fn for_each_live(&self, f: &mut dyn FnMut(QueryId, f32)) {
+        CompressedList::for_each_live(self, |q, w| f(QueryId(q), w));
+    }
+
+    fn compact(&mut self, out: &mut Vec<Posting>, cx: &StoreContext) {
+        let mut raw = Vec::new();
+        self.compact_into(&mut raw, cx);
+        out.extend(raw.into_iter().map(|(q, w)| Posting { qid: QueryId(q), weight: w }));
+    }
+
+    fn heap_bytes(&self) -> usize {
+        CompressedList::heap_bytes(self)
+    }
+}
+
+/// Borrowed view of one postings list under whichever backend the index
+/// was built with. Statically dispatched (an enum of references, not a
+/// `dyn` pointer) so the plain path stays exactly as cheap as before the
+/// seam existed.
+#[derive(Clone, Copy)]
+pub enum ListRef<'a> {
+    Plain(&'a PostingsList),
+    Compressed(&'a CompressedList),
+}
+
+macro_rules! dispatch_ref {
+    ($self:expr, $list:ident => $body:expr) => {
+        match $self {
+            ListRef::Plain($list) => $body,
+            ListRef::Compressed($list) => $body,
+        }
+    };
+}
+
+impl ListRef<'_> {
+    /// Slots, including tombstones.
+    #[inline]
+    pub fn len(&self) -> usize {
+        dispatch_ref!(self, l => PostingsStore::len(*l))
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tombstoned slots.
+    #[inline]
+    pub fn tombstones(&self) -> usize {
+        dispatch_ref!(self, l => PostingsStore::tombstones(*l))
+    }
+
+    /// Live postings.
+    #[inline]
+    pub fn live(&self) -> usize {
+        dispatch_ref!(self, l => PostingsStore::live(*l))
+    }
+
+    /// The slot at `pos` (tombstones read as weight `0.0`).
+    #[inline]
+    pub fn get(&self, pos: usize) -> Posting {
+        dispatch_ref!(self, l => PostingsStore::get(*l, pos))
+    }
+
+    /// Position of `qid` (live or tombstoned), if present.
+    #[inline]
+    pub fn position_of(&self, qid: QueryId) -> Option<usize> {
+        dispatch_ref!(self, l => PostingsStore::position_of(*l, qid))
+    }
+
+    /// First position `>= from` with id `>= target`, or `len()`.
+    #[inline]
+    pub fn seek(&self, from: usize, target: QueryId) -> usize {
+        dispatch_ref!(self, l => PostingsStore::seek(*l, from, target))
+    }
+
+    /// First live position `>= from` with id `>= target`, or `len()`.
+    #[inline]
+    pub fn seek_live(&self, from: usize, target: QueryId) -> usize {
+        dispatch_ref!(self, l => PostingsStore::seek_live(*l, from, target))
+    }
+
+    /// Visit every slot in position order (tombstones as zero weights).
+    pub fn for_each_slot(&self, mut f: impl FnMut(QueryId, f32)) {
+        dispatch_ref!(self, l => PostingsStore::for_each_slot(*l, &mut f))
+    }
+
+    /// Visit every live posting in position order.
+    pub fn for_each_live(&self, mut f: impl FnMut(QueryId, f32)) {
+        dispatch_ref!(self, l => PostingsStore::for_each_live(*l, &mut f))
+    }
+}
+
+/// The index's list table: one homogeneous `Vec` per backend, so each
+/// backend pays its own per-list footprint and nothing more.
+#[derive(Debug, Clone)]
+pub(crate) enum Lists {
+    Plain(Vec<PostingsList>),
+    Compressed(Vec<CompressedList>),
+}
+
+/// Growth step, in lists, of the compressed table. The plain table keeps
+/// `Vec`'s doubling (the historical layout); the compressed backends grow
+/// in exact chunks instead — at hundreds of thousands of lists, doubling
+/// slack on the table itself would rival the postings it holds.
+const LISTS_CHUNK: usize = 1024;
+
+impl Lists {
+    pub(crate) fn new(storage: PostingsStorage) -> Lists {
+        match storage {
+            PostingsStorage::Plain => Lists::Plain(Vec::new()),
+            _ => Lists::Compressed(Vec::new()),
+        }
+    }
+
+    /// Number of lists.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Lists::Plain(v) => v.len(),
+            Lists::Compressed(v) => v.len(),
+        }
+    }
+
+    /// Append a fresh empty list.
+    pub(crate) fn push_list(&mut self) {
+        match self {
+            Lists::Plain(v) => v.push(PostingsList::new()),
+            Lists::Compressed(v) => {
+                if v.len() == v.capacity() {
+                    v.reserve_exact(LISTS_CHUNK);
+                }
+                v.push(CompressedList::new());
+            }
+        }
+    }
+
+    /// Borrow list `idx` for reading.
+    #[inline]
+    pub(crate) fn get(&self, idx: u32) -> ListRef<'_> {
+        match self {
+            Lists::Plain(v) => ListRef::Plain(&v[idx as usize]),
+            Lists::Compressed(v) => ListRef::Compressed(&v[idx as usize]),
+        }
+    }
+
+    /// Append a live posting to list `idx`.
+    #[inline]
+    pub(crate) fn push_posting(&mut self, idx: u32, qid: QueryId, weight: f32, cx: &StoreContext) {
+        match self {
+            Lists::Plain(v) => v[idx as usize].push(qid, weight),
+            Lists::Compressed(v) => v[idx as usize].push(qid.0, weight, cx),
+        }
+    }
+
+    /// Tombstone slot `pos` of list `idx`.
+    #[inline]
+    pub(crate) fn tombstone(&mut self, idx: u32, pos: usize) {
+        match self {
+            Lists::Plain(v) => v[idx as usize].tombstone(pos),
+            Lists::Compressed(v) => v[idx as usize].tombstone(pos),
+        }
+    }
+
+    /// Compact list `idx`, appending survivors to `out`.
+    pub(crate) fn compact_list(&mut self, idx: u32, out: &mut Vec<Posting>, cx: &StoreContext) {
+        match self {
+            Lists::Plain(v) => PostingsStore::compact(&mut v[idx as usize], out, cx),
+            Lists::Compressed(v) => PostingsStore::compact(&mut v[idx as usize], out, cx),
+        }
+    }
+
+    /// RAM bytes of the table and every list it holds: the backing array
+    /// is counted at capacity times the *actual* per-list element size —
+    /// the accounting the per-element-enum design would have made
+    /// impossible to keep honest.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match self {
+            Lists::Plain(v) => {
+                v.capacity() * std::mem::size_of::<PostingsList>()
+                    + v.iter().map(PostingsStore::heap_bytes).sum::<usize>()
+            }
+            Lists::Compressed(v) => {
+                v.capacity() * std::mem::size_of::<CompressedList>()
+                    + v.iter().map(PostingsStore::heap_bytes).sum::<usize>()
+            }
+        }
+    }
+
+    /// Pin every RAM-resident page of every list (no-op unless paged).
+    pub(crate) fn collect_resident_pins(&self, out: &mut Vec<PagePin>) {
+        if let Lists::Compressed(v) = self {
+            for l in v {
+                l.collect_resident_pins(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_round_trips_through_strings() {
+        for s in PostingsStorage::ALL {
+            assert_eq!(s.name().parse::<PostingsStorage>().unwrap(), s);
+        }
+        assert!("mmap".parse::<PostingsStorage>().is_err());
+    }
+
+    /// Both backends satisfy the same `PostingsStore` contract on the same
+    /// operation sequence.
+    #[test]
+    fn backends_agree_through_the_trait() {
+        let cx = StoreContext::raw();
+        let mut plain = PostingsList::new();
+        let mut comp = CompressedList::new();
+        {
+            let both: [&mut dyn PostingsStore; 2] = [&mut plain, &mut comp];
+            for l in both {
+                for i in 0..200u32 {
+                    l.push(QueryId(i * 3), 0.25 + i as f32, &cx);
+                }
+                for p in (0..200).step_by(7) {
+                    l.tombstone(p);
+                }
+            }
+        }
+        let (plain, comp): (&dyn PostingsStore, &dyn PostingsStore) = (&plain, &comp);
+        assert_eq!(plain.len(), comp.len());
+        assert_eq!(plain.live(), comp.live());
+        for pos in 0..plain.len() {
+            assert_eq!(plain.get(pos), comp.get(pos));
+        }
+        for from in 0..plain.len() {
+            for t in [0u32, 100, 300, 700] {
+                assert_eq!(plain.seek(from, QueryId(t)), comp.seek(from, QueryId(t)));
+                assert_eq!(plain.seek_live(from, QueryId(t)), comp.seek_live(from, QueryId(t)));
+            }
+        }
+    }
+
+    /// The table-level dispatch exists to keep per-backend footprints
+    /// independent: a plain slot must stay the size of a bare
+    /// `PostingsList`, not of the fattest backend.
+    #[test]
+    fn table_slots_cost_their_own_backend_only() {
+        let mut plain = Lists::new(PostingsStorage::Plain);
+        let mut comp = Lists::new(PostingsStorage::Compressed);
+        for _ in 0..100 {
+            plain.push_list();
+            comp.push_list();
+        }
+        let plain_cap = match &plain {
+            Lists::Plain(v) => v.capacity(),
+            _ => unreachable!(),
+        };
+        let comp_cap = match &comp {
+            Lists::Compressed(v) => v.capacity(),
+            _ => unreachable!(),
+        };
+        assert_eq!(plain.heap_bytes(), plain_cap * std::mem::size_of::<PostingsList>());
+        assert_eq!(comp.heap_bytes(), comp_cap * std::mem::size_of::<CompressedList>());
+        assert_eq!(comp_cap, LISTS_CHUNK, "compressed table grows in exact chunks");
+    }
+}

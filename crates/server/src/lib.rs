@@ -18,7 +18,7 @@
 //! | `PUT /namespaces/{ns}/retention` | install a retention policy (`max_age`, `max_queries`, `eviction`) |
 //! | `GET /namespaces/{ns}/retention` | read a namespace's policy (404 for unknown namespaces) |
 //! | `POST /forget` | bulk-remove a namespace: `{"namespace": n, "dry_run": true}` previews, `"confirm": true` removes |
-//! | `GET /stats` | engine, λ, shards, query/publish counters, expiry/eviction totals, per-namespace counts, fan-out totals |
+//! | `GET /stats` | engine, λ, shards, query/publish counters, expiry/eviction totals, per-namespace counts, storage counters (`index_bytes`, `hot_pages`, `cold_pages`, `page_faults`), fan-out totals |
 //! | `POST /snapshot` | capture the full monitor state as a versioned JSON snapshot |
 //! | `POST /restore` | replace the live monitor from a snapshot → id mapping |
 //! | `POST /admin/drain` | refuse further publishes (503), flush in-flight ones, wake pollers |

@@ -33,8 +33,8 @@ use continuous_topk::{EngineKind, MonitorBuilder};
 use crossbeam::channel::{self, Receiver, Sender};
 use ctk_common::{Namespace, QueryId, ScoredDoc};
 use ctk_core::{
-    DocPruning, NamespaceStats, PublishReceipt, PublishRequest, QueryOptions, RetentionPolicy,
-    ShardingMode, Snapshot,
+    DocPruning, NamespaceStats, PostingsStorage, PublishReceipt, PublishRequest, QueryOptions,
+    RetentionPolicy, ShardingMode, Snapshot, StorageStats,
 };
 use serde::{Number, Serialize, Value};
 use std::io::{self, BufReader, BufWriter};
@@ -130,6 +130,18 @@ impl ServerBuilder {
     /// Document-epoch pruning mode.
     pub fn doc_pruning(mut self, pruning: DocPruning) -> ServerBuilder {
         self.monitor = self.monitor.doc_pruning(pruning);
+        self
+    }
+
+    /// Postings-storage backend (see [`MonitorBuilder::postings_storage`]).
+    pub fn postings_storage(mut self, storage: PostingsStorage) -> ServerBuilder {
+        self.monitor = self.monitor.postings_storage(storage);
+        self
+    }
+
+    /// RAM budget for paged storage (see [`MonitorBuilder::page_budget`]).
+    pub fn page_budget(mut self, bytes: usize) -> ServerBuilder {
+        self.monitor = self.monitor.page_budget(bytes);
         self
     }
 
@@ -287,6 +299,7 @@ struct BackendStats {
     expired: u64,
     evicted: u64,
     namespaces: Vec<NamespaceStats>,
+    storage: StorageStats,
 }
 
 /// The ingest thread's answer to a restore: the new backend's query count
@@ -343,6 +356,7 @@ fn ingest_loop(
                     expired,
                     evicted,
                     namespaces: backend.namespace_stats(),
+                    storage: backend.storage_stats(),
                 });
             }
             Command::Snapshot(reply) => {
@@ -551,6 +565,10 @@ fn handle_stats(shared: &Shared) -> Response {
         expired: backend.expired,
         evicted: backend.evicted,
         namespaces: backend.namespaces,
+        index_bytes: backend.storage.index_bytes,
+        hot_pages: backend.storage.hot_pages,
+        cold_pages: backend.storage.cold_pages,
+        page_faults: backend.storage.page_faults,
         subscribers: shared.subscribers.len(),
         events_delivered: delivered,
         events_dropped: dropped,
@@ -579,6 +597,15 @@ pub struct ServerStats {
     /// Per-namespace live/expired/evicted counts, handle order (the default
     /// namespace — the empty name — is always first).
     pub namespaces: Vec<NamespaceStats>,
+    /// Estimated heap bytes of the query index(es), summed across shards;
+    /// paged storage excludes spilled payloads.
+    pub index_bytes: u64,
+    /// Sealed-block pages currently RAM-resident (paged storage only).
+    pub hot_pages: u64,
+    /// Sealed-block pages spilled to disk (paged storage only).
+    pub cold_pages: u64,
+    /// Reads that faulted a page back from the spill file, lifetime total.
+    pub page_faults: u64,
     pub subscribers: usize,
     pub events_delivered: u64,
     pub events_dropped: u64,

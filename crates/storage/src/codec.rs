@@ -1,0 +1,206 @@
+//! The sealed-block postings codec.
+//!
+//! A block holds exactly [`BLOCK_LEN`] postings — the same span as one
+//! `BlockMax` zone, so every frozen `EpochBounds` probe maps 1:1 onto one
+//! sealed block. Query ids are stored as a base id plus bit-packed deltas
+//! (each delta is `qid[i] − qid[i−1] − 1`, since ids are strictly
+//! increasing); the packing width is the smallest that fits the block's
+//! largest gap, so dense id runs cost 0 bits per id. Weights are either raw
+//! f32 bits (lossless — the default, required for bit-identical results) or
+//! 16-bit linear-quantized behind [`WeightCodec::Quantized`]. Tombstones
+//! travel as zero-weight slots in both modes, the same sentinel the plain
+//! `Vec` store uses, so compaction semantics carry over unchanged.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! [0]      flags        bit0: 1 = quantized weights
+//! [1]      width        bits per id delta (0..=32)
+//! [2..6]   base         first query id, u32
+//! [..]     id deltas    63 × width bits, LSB-first bit stream
+//! [..]     weights      raw: 64 × f32
+//!                       quantized: f32 scale, then 64 × u16 codes
+//! ```
+
+use ctk_common::TOMBSTONE_WEIGHT;
+
+/// Postings per sealed block. Must equal the `BlockMax` zone span so epoch
+/// bounds probes align with block boundaries (asserted in `ctk-index`).
+pub const BLOCK_LEN: usize = 64;
+
+const FLAG_QUANTIZED: u8 = 1;
+
+/// Weight encoding for sealed blocks.
+///
+/// `Raw` stores the exact f32 bits and round-trips losslessly — it is the
+/// only mode the monitor uses, because results must stay bit-identical to
+/// the plain store. `Quantized` trades exactness for 2 bytes per weight
+/// (16-bit linear codes against the block's maximum); tombstones still
+/// decode to exactly `0.0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightCodec {
+    #[default]
+    Raw,
+    Quantized,
+}
+
+/// Encode one full block of `(qid, weight)` slots (tombstones as weight
+/// `0.0`) into `out`. `slots` must hold exactly [`BLOCK_LEN`] entries with
+/// strictly increasing ids.
+pub fn encode_block(slots: &[(u32, f32)], codec: WeightCodec, out: &mut Vec<u8>) {
+    assert_eq!(slots.len(), BLOCK_LEN, "sealed blocks are always full");
+    debug_assert!(slots.windows(2).all(|w| w[0].0 < w[1].0), "ids must be strictly increasing");
+
+    let mut max_gap = 0u32;
+    for w in slots.windows(2) {
+        max_gap = max_gap.max(w[1].0 - w[0].0 - 1);
+    }
+    let width = 32 - max_gap.leading_zeros().min(32);
+    let flags = match codec {
+        WeightCodec::Raw => 0,
+        WeightCodec::Quantized => FLAG_QUANTIZED,
+    };
+    out.push(flags);
+    out.push(width as u8);
+    out.extend_from_slice(&slots[0].0.to_le_bytes());
+
+    // Pack the 63 deltas LSB-first through a u64 staging buffer.
+    let mut acc = 0u64;
+    let mut bits = 0u32;
+    for w in slots.windows(2) {
+        let delta = (w[1].0 - w[0].0 - 1) as u64;
+        acc |= delta << bits;
+        bits += width;
+        while bits >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            bits -= 8;
+        }
+    }
+    if bits > 0 {
+        out.push(acc as u8);
+    }
+
+    match codec {
+        WeightCodec::Raw => {
+            for &(_, w) in slots {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        WeightCodec::Quantized => {
+            let max_w = slots.iter().map(|&(_, w)| w).fold(0.0f32, f32::max);
+            let scale = if max_w > 0.0 { max_w / u16::MAX as f32 } else { 0.0 };
+            out.extend_from_slice(&scale.to_le_bytes());
+            for &(_, w) in slots {
+                let code = if w == TOMBSTONE_WEIGHT || scale == 0.0 {
+                    0u16
+                } else {
+                    ((w / scale).round() as u32).clamp(1, u16::MAX as u32) as u16
+                };
+                out.extend_from_slice(&code.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Decode one sealed block into `out`. Inverse of [`encode_block`] (exact
+/// for [`WeightCodec::Raw`]; quantized weights decode to their dequantized
+/// approximation, with tombstones still exactly `0.0`).
+pub fn decode_block(bytes: &[u8], out: &mut [(u32, f32); BLOCK_LEN]) {
+    let flags = bytes[0];
+    let width = bytes[1] as u32;
+    let base = u32::from_le_bytes(bytes[2..6].try_into().unwrap());
+    let id_bytes = ((BLOCK_LEN - 1) * width as usize).div_ceil(8);
+    let (ids, weights) = bytes[6..].split_at(id_bytes);
+
+    out[0].0 = base;
+    let mut acc = 0u64;
+    let mut bits = 0u32;
+    let mask = if width == 0 { 0 } else { u64::MAX >> (64 - width) };
+    let mut next = ids.iter();
+    let mut prev = base;
+    for slot in out.iter_mut().skip(1) {
+        while bits < width {
+            acc |= (*next.next().unwrap() as u64) << bits;
+            bits += 8;
+        }
+        let delta = (acc & mask) as u32;
+        acc >>= width;
+        bits -= width;
+        prev = prev + delta + 1;
+        slot.0 = prev;
+    }
+
+    if flags & FLAG_QUANTIZED == 0 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            slot.1 = f32::from_le_bytes(weights[4 * i..4 * i + 4].try_into().unwrap());
+        }
+    } else {
+        let scale = f32::from_le_bytes(weights[0..4].try_into().unwrap());
+        for (i, slot) in out.iter_mut().enumerate() {
+            let code = u16::from_le_bytes(weights[4 + 2 * i..6 + 2 * i].try_into().unwrap());
+            slot.1 = if code == 0 { TOMBSTONE_WEIGHT } else { code as f32 * scale };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(slots: &[(u32, f32)]) -> [(u32, f32); BLOCK_LEN] {
+        let mut bytes = Vec::new();
+        encode_block(slots, WeightCodec::Raw, &mut bytes);
+        let mut out = [(0u32, 0.0f32); BLOCK_LEN];
+        decode_block(&bytes, &mut out);
+        out
+    }
+
+    #[test]
+    fn dense_ids_cost_zero_id_bits() {
+        let slots: Vec<(u32, f32)> = (0..BLOCK_LEN as u32).map(|i| (i, 0.5)).collect();
+        let mut bytes = Vec::new();
+        encode_block(&slots, WeightCodec::Raw, &mut bytes);
+        // flags + width + base + 0 id bytes + 64 raw weights.
+        assert_eq!(bytes.len(), 2 + 4 + 4 * BLOCK_LEN);
+        assert_eq!(roundtrip(&slots)[..], slots[..]);
+    }
+
+    #[test]
+    fn sparse_ids_and_tombstones_round_trip() {
+        let slots: Vec<(u32, f32)> = (0..BLOCK_LEN as u32)
+            .map(|i| (i * 1000 + (i % 7), if i % 5 == 0 { 0.0 } else { 0.1 + i as f32 }))
+            .collect();
+        assert_eq!(roundtrip(&slots)[..], slots[..]);
+    }
+
+    #[test]
+    fn extreme_gaps_use_full_width() {
+        let mut slots: Vec<(u32, f32)> = vec![(0, 1.0)];
+        slots.push((u32::MAX - 62, 2.0)); // delta-1 needs all 32 bits
+        for i in 2..BLOCK_LEN as u32 {
+            slots.push((u32::MAX - 63 + i, 0.5));
+        }
+        assert_eq!(roundtrip(&slots)[..], slots[..]);
+    }
+
+    #[test]
+    fn quantized_preserves_tombstones_and_bounds_error() {
+        let slots: Vec<(u32, f32)> = (0..BLOCK_LEN as u32)
+            .map(|i| (i * 3, if i % 4 == 0 { 0.0 } else { 0.01 + 0.01 * i as f32 }))
+            .collect();
+        let mut bytes = Vec::new();
+        encode_block(&slots, WeightCodec::Quantized, &mut bytes);
+        let mut out = [(0u32, 0.0f32); BLOCK_LEN];
+        decode_block(&bytes, &mut out);
+        let max_w = slots.iter().map(|s| s.1).fold(0.0f32, f32::max);
+        for (orig, dec) in slots.iter().zip(out.iter()) {
+            assert_eq!(orig.0, dec.0);
+            if orig.1 == 0.0 {
+                assert_eq!(dec.1, 0.0, "tombstones must decode exactly");
+            } else {
+                assert!((orig.1 - dec.1).abs() <= max_w / u16::MAX as f32);
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! `ctk-storage`: compressed block postings and paged RAM/disk storage.
+//!
+//! The space side of the monitor's scaling story. Three layers:
+//!
+//! * [`codec`] — the sealed-block format: delta + bit-packed query ids,
+//!   f32 weights raw (lossless, the default) or 16-bit quantized behind
+//!   [`WeightCodec`], tombstones as zero-weight slots. Blocks hold exactly
+//!   [`BLOCK_LEN`] postings so they align 1:1 with `BlockMax` zones.
+//! * [`pager`] — [`PageManager`]: a byte-budgeted hot/cold page pool with
+//!   second-chance eviction, spill-to-disk via plain `std::fs`, and
+//!   [`PagePin`]s so frozen index epochs keep their resident pages.
+//! * [`list`] — [`CompressedList`]: the ID-ordered postings list built from
+//!   sealed blocks plus an uncompressed tail, with liveness-word tombstones
+//!   and compaction as the re-compression point.
+//!
+//! `ctk-index` plugs [`CompressedList`] in behind its `PostingsStore` seam;
+//! this crate knows nothing about the index layer (it depends only on
+//! `ctk-common` for the tombstone sentinel).
+
+pub mod codec;
+pub mod list;
+pub mod pager;
+
+pub use codec::{decode_block, encode_block, WeightCodec, BLOCK_LEN};
+pub use list::{CompressedList, StoreContext};
+pub use pager::{Page, PageManager, PagePin, PagerStats};

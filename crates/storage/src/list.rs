@@ -1,0 +1,615 @@
+//! A compressed, optionally paged ID-ordered postings list.
+//!
+//! Full blocks of [`BLOCK_LEN`] postings are sealed through the block codec
+//! (delta + bit-packed ids, raw or quantized weights); the newest postings
+//! live in an uncompressed tail until it fills. Sealed payloads are
+//! immutable and structurally shared by clones (the doc-parallel monitor's
+//! copy-on-write epochs), so cloning a list is O(blocks) pointer copies.
+//!
+//! Tombstones never rewrite sealed bytes: a per-block liveness word (one
+//! bit per slot) overrides the stored weight with the `0.0` sentinel on
+//! read, and `seek_live` skips dead runs by scanning liveness words without
+//! decoding. Compaction re-encodes the survivors — sealed blocks are
+//! rebuilt, which is exactly the "compaction is the re-compression point"
+//! design from the storage subsystem issue.
+//!
+//! Reads decode through a small thread-local direct-mapped block cache
+//! keyed by a globally unique per-block id, so sequential walks decode each
+//! block once per thread, and clones sharing a block share its cache entry.
+//!
+//! **Memory layout.** Real-world term/query distributions are heavy-tailed:
+//! most lists hold a handful of postings and never seal a block, so the
+//! per-list *fixed* cost decides whether compression wins at all. The
+//! struct is therefore minimal — an exact-fit boxed-slice tail and an
+//! `Option<Box>` of sealed-side tables ([`SealedState`], allocated on the
+//! first seal) — 24 bytes in release builds, *smaller* than a plain
+//! `Vec`-backed list's 32. The sealing policy (codec and pager) lives in
+//! the caller's [`StoreContext`], not in every list.
+
+use crate::codec::{decode_block, encode_block, WeightCodec, BLOCK_LEN};
+use crate::pager::{Page, PageManager, PagePin};
+use ctk_common::is_tombstone_weight;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Globally unique sealed-block ids; 0 is reserved as "no block" so a
+/// zeroed cache slot never matches.
+static NEXT_BLOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+const CACHE_SLOTS: usize = 16;
+
+struct CacheSlot {
+    id: u64,
+    data: [(u32, f32); BLOCK_LEN],
+}
+
+thread_local! {
+    static BLOCK_CACHE: RefCell<Box<[CacheSlot; CACHE_SLOTS]>> = RefCell::new(Box::new(
+        std::array::from_fn(|_| CacheSlot { id: 0, data: [(0, 0.0); BLOCK_LEN] }),
+    ));
+}
+
+/// The sealing policy a [`CompressedList`] writes under: which weight codec
+/// blocks encode with, and which pager (if any) their payloads are
+/// allocated from. One context is shared by every list of an index — lists
+/// themselves carry no policy, keeping their fixed footprint at two words.
+#[derive(Debug, Clone, Default)]
+pub struct StoreContext {
+    pub codec: WeightCodec,
+    pub pager: Option<Arc<PageManager>>,
+}
+
+impl StoreContext {
+    /// Lossless raw-f32 blocks, RAM-resident.
+    pub fn raw() -> Self {
+        StoreContext { codec: WeightCodec::Raw, pager: None }
+    }
+
+    /// Lossless raw-f32 blocks allocated from `pager` (may spill to disk).
+    pub fn paged(pager: Arc<PageManager>) -> Self {
+        StoreContext { codec: WeightCodec::Raw, pager: Some(pager) }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum BlockData {
+    Ram(Arc<[u8]>),
+    Paged(Page),
+}
+
+#[derive(Debug, Clone)]
+struct Sealed {
+    id: u64,
+    data: BlockData,
+}
+
+/// The sealed side of a list: every table that only exists once at least
+/// one block has been sealed. Boxed inside [`CompressedList`] so the ~99%
+/// of lists that stay shorter than [`BLOCK_LEN`] never pay for it.
+#[derive(Debug, Clone)]
+struct SealedState {
+    blocks: Vec<Sealed>,
+    /// First query id of each sealed block, for block-level binary search.
+    first_qids: Vec<u32>,
+    /// One liveness word per sealed block, bit `i` = slot `i` is live.
+    live_bits: Vec<u64>,
+    sealed_live: u32,
+    /// Cloned from the [`StoreContext`] at the first seal: reads must be
+    /// able to fault spilled payloads back in without caller help.
+    pager: Option<Arc<PageManager>>,
+}
+
+impl SealedState {
+    fn seal_block(&mut self, slots: &[(u32, f32)], codec: WeightCodec) {
+        let mut bytes = Vec::new();
+        encode_block(slots, codec, &mut bytes);
+        let payload: Arc<[u8]> = bytes.into();
+        let data = match &self.pager {
+            Some(pager) => BlockData::Paged(pager.alloc(payload)),
+            None => BlockData::Ram(payload),
+        };
+        let mut word = 0u64;
+        for (i, &(_, w)) in slots.iter().enumerate() {
+            if !is_tombstone_weight(w) {
+                word |= 1 << i;
+            }
+        }
+        self.sealed_live += word.count_ones();
+        self.live_bits.push(word);
+        self.first_qids.push(slots[0].0);
+        self.blocks.push(Sealed { id: NEXT_BLOCK_ID.fetch_add(1, Ordering::Relaxed), data });
+    }
+}
+
+/// Compressed block postings with an uncompressed tail (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct CompressedList {
+    /// Exact-fit boxed slice (regrown one slot at a time — bounded by
+    /// [`BLOCK_LEN`], so reallocation cost is capped, and zero capacity
+    /// slack accumulates across tens of thousands of short lists).
+    tail: Box<[(u32, f32)]>,
+    sealed: Option<Box<SealedState>>,
+    #[cfg(debug_assertions)]
+    last_qid: u32,
+}
+
+impl CompressedList {
+    /// An empty list. Sealing policy arrives with each mutation via
+    /// [`StoreContext`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn sealed_len(&self) -> usize {
+        self.sealed.as_ref().map_or(0, |s| s.blocks.len() * BLOCK_LEN)
+    }
+
+    /// Total slots, live + tombstoned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sealed_len() + self.tail.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tombstoned slots. The tail (at most [`BLOCK_LEN`] − 1 slots) is
+    /// scanned; the sealed side is O(1) from its live counter.
+    pub fn tombstones(&self) -> usize {
+        let sealed_dead =
+            self.sealed.as_ref().map_or(0, |s| s.blocks.len() * BLOCK_LEN - s.sealed_live as usize);
+        sealed_dead + self.tail.iter().filter(|&&(_, w)| is_tombstone_weight(w)).count()
+    }
+
+    /// Live slots.
+    pub fn live(&self) -> usize {
+        self.len() - self.tombstones()
+    }
+
+    /// Number of sealed (compressed) blocks.
+    pub fn sealed_blocks(&self) -> usize {
+        self.sealed.as_ref().map_or(0, |s| s.blocks.len())
+    }
+
+    /// True when slot `pos` is live.
+    #[inline]
+    pub fn is_live(&self, pos: usize) -> bool {
+        let sealed = self.sealed_len();
+        if pos < sealed {
+            let s = self.sealed.as_ref().expect("sealed_len > 0");
+            s.live_bits[pos / BLOCK_LEN] >> (pos % BLOCK_LEN) & 1 == 1
+        } else {
+            !is_tombstone_weight(self.tail[pos - sealed].1)
+        }
+    }
+
+    /// Decode block `b` through the thread-local cache and read it.
+    fn with_block<R>(&self, b: usize, f: impl FnOnce(&[(u32, f32); BLOCK_LEN]) -> R) -> R {
+        let s = self.sealed.as_ref().expect("sealed block read on unsealed list");
+        let blk = &s.blocks[b];
+        BLOCK_CACHE.with(|cache| {
+            let cache = &mut **cache.borrow_mut();
+            let slot = &mut cache[blk.id as usize % CACHE_SLOTS];
+            if slot.id != blk.id {
+                let paged_bytes;
+                let bytes: &[u8] = match &blk.data {
+                    BlockData::Ram(bytes) => bytes,
+                    BlockData::Paged(page) => {
+                        paged_bytes =
+                            s.pager.as_ref().expect("paged block without a pager").load(page);
+                        &paged_bytes
+                    }
+                };
+                decode_block(bytes, &mut slot.data);
+                slot.id = blk.id;
+            }
+            f(&slot.data)
+        })
+    }
+
+    /// The slot at `pos`: `(qid, weight)`, weight `0.0` when tombstoned.
+    #[inline]
+    pub fn get(&self, pos: usize) -> (u32, f32) {
+        let sealed = self.sealed_len();
+        if pos < sealed {
+            let (qid, w) = self.with_block(pos / BLOCK_LEN, |d| d[pos % BLOCK_LEN]);
+            if self.is_live(pos) {
+                (qid, w)
+            } else {
+                (qid, 0.0)
+            }
+        } else {
+            self.tail[pos - sealed]
+        }
+    }
+
+    /// Append a live posting; ids must be strictly increasing. Seals the
+    /// tail into a compressed block (under `cx`'s codec and pager) when it
+    /// reaches [`BLOCK_LEN`].
+    pub fn push(&mut self, qid: u32, weight: f32, cx: &StoreContext) {
+        debug_assert!(!is_tombstone_weight(weight), "zero-weight pushes would read as deleted");
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(self.is_empty() || qid > self.last_qid, "ids must be pushed in order");
+            self.last_qid = qid;
+        }
+        let mut grown = Vec::with_capacity(self.tail.len() + 1);
+        grown.extend_from_slice(&self.tail);
+        grown.push((qid, weight));
+        if grown.len() == BLOCK_LEN {
+            self.tail = Box::default();
+            self.sealed_mut(cx).seal_block(&grown, cx.codec);
+        } else {
+            self.tail = grown.into_boxed_slice();
+        }
+    }
+
+    /// The sealed state, created on first use with `cx`'s pager.
+    fn sealed_mut(&mut self, cx: &StoreContext) -> &mut SealedState {
+        self.sealed.get_or_insert_with(|| {
+            Box::new(SealedState {
+                blocks: Vec::new(),
+                first_qids: Vec::new(),
+                live_bits: Vec::new(),
+                sealed_live: 0,
+                pager: cx.pager.clone(),
+            })
+        })
+    }
+
+    /// Tombstone the slot at `pos` (idempotent). Sealed bytes are never
+    /// rewritten: only the liveness word flips.
+    pub fn tombstone(&mut self, pos: usize) {
+        let sealed = self.sealed_len();
+        if pos < sealed {
+            let s = self.sealed.as_mut().expect("sealed_len > 0");
+            let (word, bit) = (pos / BLOCK_LEN, pos % BLOCK_LEN);
+            if s.live_bits[word] >> bit & 1 == 1 {
+                s.live_bits[word] &= !(1u64 << bit);
+                s.sealed_live -= 1;
+            }
+        } else {
+            let slot = &mut self.tail[pos - sealed];
+            slot.1 = 0.0;
+        }
+    }
+
+    fn seek_slice(slice: &[(u32, f32)], from: usize, target: u32) -> usize {
+        from + slice[from..].partition_point(|&(q, _)| q < target)
+    }
+
+    /// First position `>= from` whose query id is `>= target` (tombstones
+    /// included), or `len()`. Block-level binary search on the sealed
+    /// region; at most one block is decoded.
+    pub fn seek(&self, from: usize, target: u32) -> usize {
+        let n = self.len();
+        let sealed = self.sealed_len();
+        if from >= n {
+            return n;
+        }
+        if from >= sealed {
+            return sealed + Self::seek_slice(&self.tail, from - sealed, target);
+        }
+        // First block whose first qid exceeds the target; the answer sits
+        // in the block before it (or wherever `from` points, if later).
+        let s = self.sealed.as_ref().expect("sealed_len > 0");
+        let cb = s.first_qids.partition_point(|&fq| fq <= target);
+        if cb == 0 {
+            return from; // every sealed id is already >= target
+        }
+        let b0 = from / BLOCK_LEN;
+        let b = b0.max(cb - 1);
+        let lo = if b == b0 { from % BLOCK_LEN } else { 0 };
+        let i = self.with_block(b, |d| lo + d[lo..].partition_point(|&(q, _)| q < target));
+        let pos = b * BLOCK_LEN + i;
+        if i < BLOCK_LEN || pos < sealed {
+            // In-block hit, or the exhausted block's successor (whose first
+            // qid exceeds the target by choice of `cb`).
+            pos
+        } else {
+            sealed + Self::seek_slice(&self.tail, 0, target)
+        }
+    }
+
+    /// First **live** position `>= pos`, or `len()`. Dead sealed runs are
+    /// skipped by scanning liveness words — no block is decoded.
+    pub fn next_live(&self, mut pos: usize) -> usize {
+        let n = self.len();
+        let sealed = self.sealed_len();
+        while pos < n {
+            if pos < sealed {
+                let s = self.sealed.as_ref().expect("sealed_len > 0");
+                let word = pos / BLOCK_LEN;
+                let rest = s.live_bits[word] >> (pos % BLOCK_LEN);
+                if rest != 0 {
+                    return pos + rest.trailing_zeros() as usize;
+                }
+                pos = (word + 1) * BLOCK_LEN;
+            } else if is_tombstone_weight(self.tail[pos - sealed].1) {
+                pos += 1;
+            } else {
+                return pos;
+            }
+        }
+        n
+    }
+
+    /// First live position `>= from` with id `>= target`.
+    pub fn seek_live(&self, from: usize, target: u32) -> usize {
+        self.next_live(self.seek(from, target))
+    }
+
+    /// Position of `qid` (live or tombstoned), if present.
+    pub fn position_of(&self, qid: u32) -> Option<usize> {
+        let pos = self.seek(0, qid);
+        (pos < self.len() && self.get(pos).0 == qid).then_some(pos)
+    }
+
+    /// Visit every slot in position order (tombstones as zero weights).
+    pub fn for_each_slot(&self, mut f: impl FnMut(u32, f32)) {
+        for b in 0..self.sealed_blocks() {
+            let word = self.sealed.as_ref().expect("has blocks").live_bits[b];
+            self.with_block(b, |d| {
+                for (i, &(q, w)) in d.iter().enumerate() {
+                    f(q, if word >> i & 1 == 1 { w } else { 0.0 });
+                }
+            });
+        }
+        for &(q, w) in self.tail.iter() {
+            f(q, w);
+        }
+    }
+
+    /// Visit every live posting in position order.
+    pub fn for_each_live(&self, mut f: impl FnMut(u32, f32)) {
+        for b in 0..self.sealed_blocks() {
+            let word = self.sealed.as_ref().expect("has blocks").live_bits[b];
+            if word == 0 {
+                continue;
+            }
+            self.with_block(b, |d| {
+                for (i, &(q, w)) in d.iter().enumerate() {
+                    if word >> i & 1 == 1 {
+                        f(q, w);
+                    }
+                }
+            });
+        }
+        for &(q, w) in self.tail.iter() {
+            if !is_tombstone_weight(w) {
+                f(q, w);
+            }
+        }
+    }
+
+    /// Drop tombstones and re-encode: survivors are appended to `out` (for
+    /// the caller's record refresh) and the list is rebuilt from them —
+    /// full blocks re-seal, the remainder becomes the new tail.
+    pub fn compact_into(&mut self, out: &mut Vec<(u32, f32)>, cx: &StoreContext) {
+        let start = out.len();
+        self.for_each_live(|q, w| out.push((q, w)));
+        self.sealed = None;
+        let survivors = &out[start..];
+        let mut chunks = survivors.chunks_exact(BLOCK_LEN);
+        for chunk in &mut chunks {
+            self.sealed_mut(cx).seal_block(chunk, cx.codec);
+        }
+        self.tail = Box::from(chunks.remainder());
+    }
+
+    /// RAM bytes *owned* by this list — tables, tail, and the payloads of
+    /// RAM-resident sealed blocks (disk-resident pages count only their
+    /// fixed page-handle overhead — that is the point of paging). Excludes
+    /// `size_of::<Self>()`: the container holding the list accounts for its
+    /// slot, whatever it is embedded in.
+    pub fn heap_bytes(&self) -> usize {
+        let mut bytes = self.tail.len() * std::mem::size_of::<(u32, f32)>();
+        if let Some(s) = &self.sealed {
+            bytes += std::mem::size_of::<SealedState>()
+                + s.blocks.capacity() * std::mem::size_of::<Sealed>()
+                + s.first_qids.capacity() * 4
+                + s.live_bits.capacity() * 8;
+            for blk in &s.blocks {
+                bytes += match &blk.data {
+                    BlockData::Ram(payload) => payload.len(),
+                    BlockData::Paged(page) => {
+                        std::mem::size_of_val(&**page)
+                            + if page.is_resident() { page.len() } else { 0 }
+                    }
+                };
+            }
+        }
+        bytes
+    }
+
+    /// Pin every currently RAM-resident page of this list (no-op for
+    /// unpaged lists). Frozen index epochs hold these pins so scorer
+    /// workers never fault on pages the epoch had in RAM at freeze time.
+    pub fn collect_resident_pins(&self, out: &mut Vec<PagePin>) {
+        let Some(s) = &self.sealed else { return };
+        for blk in &s.blocks {
+            if let BlockData::Paged(page) = &blk.data {
+                if page.is_resident() {
+                    out.push(PagePin::new(Arc::clone(page)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The fixed footprint is the whole game for heavy-tailed term
+    /// distributions: a never-sealed list must cost *less* than a plain
+    /// `Vec`-backed one (16-byte boxed slice + 8-byte `Option<Box>` vs a
+    /// 24-byte `Vec` + tombstone counter).
+    #[test]
+    fn struct_stays_small() {
+        if !cfg!(debug_assertions) {
+            assert_eq!(std::mem::size_of::<CompressedList>(), 24);
+        }
+        assert!(CompressedList::new().heap_bytes() == 0, "empty list owns nothing");
+    }
+
+    /// Plain mirror of the expected slot sequence.
+    fn mirror(list: &CompressedList) -> Vec<(u32, f32)> {
+        (0..list.len()).map(|p| list.get(p)).collect()
+    }
+
+    fn build(ids: &[u32]) -> CompressedList {
+        let cx = StoreContext::raw();
+        let mut l = CompressedList::new();
+        for &i in ids {
+            l.push(i, 0.5 + i as f32, &cx);
+        }
+        l
+    }
+
+    #[test]
+    fn push_seals_full_blocks_and_reads_back() {
+        let ids: Vec<u32> = (0..200).map(|i| i * 3 + (i % 2)).collect();
+        let l = build(&ids);
+        assert_eq!(l.sealed_blocks(), 3);
+        assert_eq!(l.len(), 200);
+        assert_eq!(l.live(), 200);
+        for (p, &i) in ids.iter().enumerate() {
+            assert_eq!(l.get(p), (i, 0.5 + i as f32));
+        }
+    }
+
+    #[test]
+    fn seek_exhaustive_against_linear_scan() {
+        let ids: Vec<u32> = (0..200).map(|i| i * 3 + (i % 2)).collect();
+        let l = build(&ids);
+        let slots = mirror(&l);
+        for from in 0..=l.len() {
+            for t in 0..620u32 {
+                let expect = (from..l.len()).find(|&p| slots[p].0 >= t).unwrap_or(l.len());
+                assert_eq!(l.seek(from, t), expect, "from={from} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn tombstones_and_seek_live_across_blocks() {
+        let ids: Vec<u32> = (0..160).collect();
+        let mut l = build(&ids);
+        // Kill a whole sealed block plus a tail stretch.
+        for p in 64..128 {
+            l.tombstone(p);
+        }
+        l.tombstone(130);
+        l.tombstone(130); // idempotent
+        assert_eq!(l.tombstones(), 65);
+        assert_eq!(l.live(), 95);
+        assert_eq!(l.get(70), (70, 0.0), "dead sealed slot keeps its id, zeroes its weight");
+        assert_eq!(l.seek_live(0, 64), 128, "skips the dead block without decoding");
+        assert_eq!(l.seek_live(0, 130), 131);
+        // seek (not seek_live) still lands on tombstones.
+        assert_eq!(l.seek(0, 70), 70);
+    }
+
+    #[test]
+    fn seek_live_matches_linear_oracle_after_churn() {
+        let ids: Vec<u32> = (0..300).map(|i| i * 2).collect();
+        let mut l = build(&ids);
+        for p in (0..300).step_by(3) {
+            l.tombstone(p);
+        }
+        let slots = mirror(&l);
+        for from in 0..=l.len() {
+            for t in (0..620u32).step_by(7) {
+                let expect = (from..l.len())
+                    .find(|&p| slots[p].0 >= t && !is_tombstone_weight(slots[p].1))
+                    .unwrap_or(l.len());
+                assert_eq!(l.seek_live(from, t), expect, "from={from} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_reseals_survivors() {
+        let ids: Vec<u32> = (0..150).collect();
+        let mut l = build(&ids);
+        for p in (0..150).step_by(2) {
+            l.tombstone(p);
+        }
+        let mut survivors = Vec::new();
+        l.compact_into(&mut survivors, &StoreContext::raw());
+        assert_eq!(survivors.len(), 75);
+        assert_eq!(l.len(), 75);
+        assert_eq!(l.tombstones(), 0);
+        assert_eq!(l.sealed_blocks(), 1);
+        for (p, &(q, w)) in survivors.iter().enumerate() {
+            assert_eq!(l.get(p), (q, w));
+            assert!(q % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn position_of_finds_sealed_and_tail_slots() {
+        let ids: Vec<u32> = (0..100).map(|i| i * 5).collect();
+        let l = build(&ids);
+        assert_eq!(l.position_of(0), Some(0));
+        assert_eq!(l.position_of(5 * 80), Some(80), "tail slot");
+        assert_eq!(l.position_of(5 * 63), Some(63), "sealed slot");
+        assert_eq!(l.position_of(7), None);
+    }
+
+    #[test]
+    fn paged_list_reads_identically_under_tiny_budget() {
+        let pager = Arc::new(PageManager::new(256, None)); // forces spills
+        let paged_cx = StoreContext::paged(Arc::clone(&pager));
+        let ram_cx = StoreContext::raw();
+        let mut paged = CompressedList::new();
+        let mut ram = CompressedList::new();
+        for i in 0..500u32 {
+            paged.push(i * 2, 0.1 + i as f32, &paged_cx);
+            ram.push(i * 2, 0.1 + i as f32, &ram_cx);
+        }
+        for p in (0..500).step_by(5) {
+            paged.tombstone(p);
+            ram.tombstone(p);
+        }
+        assert!(pager.stats().cold_pages > 0, "budget must force spills");
+        assert_eq!(mirror(&paged), mirror(&ram));
+        assert!(pager.stats().page_faults > 0, "reading cold pages faults");
+        assert!(paged.heap_bytes() < ram.heap_bytes(), "spilled payloads leave RAM accounting");
+    }
+
+    #[test]
+    fn clones_share_sealed_blocks_and_diverge_in_tail() {
+        let cx = StoreContext::raw();
+        let ids: Vec<u32> = (0..70).collect();
+        let a = build(&ids);
+        let mut b = a.clone();
+        b.push(100, 9.0, &cx);
+        b.tombstone(0);
+        assert_eq!(a.get(0), (0, 0.5));
+        assert_eq!(b.get(0), (0, 0.0));
+        assert_eq!(a.len(), 70);
+        assert_eq!(b.len(), 71);
+        assert_eq!(b.get(70), (100, 9.0));
+    }
+
+    #[test]
+    fn for_each_slot_and_live_agree_with_get() {
+        let ids: Vec<u32> = (0..130).collect();
+        let mut l = build(&ids);
+        l.tombstone(5);
+        l.tombstone(128);
+        let mut slots = Vec::new();
+        l.for_each_slot(|q, w| slots.push((q, w)));
+        assert_eq!(slots, mirror(&l));
+        let mut live = Vec::new();
+        l.for_each_live(|q, w| live.push((q, w)));
+        assert_eq!(live.len(), 128);
+        assert!(live.iter().all(|&(_, w)| !is_tombstone_weight(w)));
+    }
+}

@@ -11,7 +11,7 @@ use ctk_baselines::{Rta, SortQuer, Tps};
 use ctk_common::{FxHashMap, QueryId};
 use ctk_core::{
     ContinuousTopK, DocPruning, Monitor, MonitorBackend, MrioBlock, MrioSeg, MrioSuffix, Naive,
-    Rio, ShardedMonitor, ShardingMode, Snapshot,
+    PostingsStorage, Rio, ShardedMonitor, ShardingMode, Snapshot, StorageConfig,
 };
 
 /// Every engine a monitor can run on: the paper's algorithms, the three
@@ -72,17 +72,29 @@ impl EngineKind {
         EngineKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
-    /// Construct a boxed engine of this kind.
+    /// Construct a boxed engine of this kind (plain postings storage).
     pub fn build_engine(self, lambda: f64) -> Box<dyn ContinuousTopK + Send> {
+        self.build_engine_with(lambda, &StorageConfig::plain())
+    }
+
+    /// Construct a boxed engine of this kind with an explicit
+    /// postings-storage configuration. RTA and SortQuer keep their own
+    /// impact-ordered snapshot structures instead of a `QueryIndex`, so the
+    /// storage selection does not apply to them.
+    pub fn build_engine_with(
+        self,
+        lambda: f64,
+        storage: &StorageConfig,
+    ) -> Box<dyn ContinuousTopK + Send> {
         match self {
             EngineKind::Rta => Box::new(Rta::new(lambda)),
-            EngineKind::Rio => Box::new(Rio::new(lambda)),
-            EngineKind::Mrio => Box::new(MrioSeg::new(lambda)),
-            EngineKind::MrioBlock => Box::new(MrioBlock::new(lambda)),
-            EngineKind::MrioSuffix => Box::new(MrioSuffix::new(lambda)),
+            EngineKind::Rio => Box::new(Rio::with_storage(lambda, storage)),
+            EngineKind::Mrio => Box::new(MrioSeg::with_storage(lambda, storage)),
+            EngineKind::MrioBlock => Box::new(MrioBlock::with_storage(lambda, storage)),
+            EngineKind::MrioSuffix => Box::new(MrioSuffix::with_storage(lambda, storage)),
             EngineKind::SortQuer => Box::new(SortQuer::new(lambda)),
-            EngineKind::Tps => Box::new(Tps::new(lambda)),
-            EngineKind::Naive => Box::new(Naive::new(lambda)),
+            EngineKind::Tps => Box::new(Tps::with_storage(lambda, storage)),
+            EngineKind::Naive => Box::new(Naive::with_storage(lambda, storage)),
         }
     }
 }
@@ -202,11 +214,12 @@ pub struct MonitorBuilder {
     pipeline_window: usize,
     compaction_threshold: f64,
     doc_pruning: DocPruning,
+    storage: StorageConfig,
 }
 
 impl MonitorBuilder {
-    /// A builder for `kind` with λ = 0, one shard, whole-publish batches
-    /// and compaction disabled.
+    /// A builder for `kind` with λ = 0, one shard, whole-publish batches,
+    /// compaction disabled and plain postings storage.
     pub fn new(kind: EngineKind) -> Self {
         MonitorBuilder {
             kind,
@@ -217,6 +230,7 @@ impl MonitorBuilder {
             pipeline_window: 1,
             compaction_threshold: 0.0,
             doc_pruning: DocPruning::Auto,
+            storage: StorageConfig::plain(),
         }
     }
 
@@ -298,16 +312,49 @@ impl MonitorBuilder {
         self
     }
 
+    /// Which postings layout the query index(es) use (see
+    /// [`PostingsStorage`]). All three backends are bit-identical on every
+    /// read — the selection only moves the RAM footprint and throughput:
+    ///
+    /// * [`PostingsStorage::Plain`] (default) — `Vec`-backed lists and
+    ///   per-query record `Vec`s; the fastest layout, and the baseline every
+    ///   other backend is proptested against.
+    /// * [`PostingsStorage::Compressed`] — sealed delta + bit-packed blocks
+    ///   (raw f32 weights, lossless) plus a packed record arena; several
+    ///   times fewer bytes per registered query at scale.
+    /// * [`PostingsStorage::Paged`] — the compressed layout with sealed
+    ///   blocks in a byte-budgeted RAM/disk pager (see
+    ///   [`MonitorBuilder::page_budget`]); cold blocks spill to disk, hot
+    ///   reads stay in RAM.
+    ///
+    /// Applies to every engine carrying a `QueryIndex` (RIO, the MRIO
+    /// variants, TPS, Naive — and the document-mode shared epoch); RTA and
+    /// SortQuer keep their own snapshot structures.
+    pub fn postings_storage(mut self, storage: PostingsStorage) -> Self {
+        self.storage.storage = storage;
+        self
+    }
+
+    /// RAM budget (bytes) for sealed-block payloads under
+    /// [`PostingsStorage::Paged`]; `0` (the default) means
+    /// [`StorageConfig::DEFAULT_PAGE_BUDGET`]. Ignored by the other
+    /// storage backends.
+    pub fn page_budget(mut self, bytes: usize) -> Self {
+        self.storage.page_budget_bytes = bytes;
+        self
+    }
+
     /// Build the configured backend.
     pub fn build(&self) -> Box<dyn MonitorBackend + Send> {
         match self.sharding {
             ShardingMode::Queries if self.shards == 1 => Box::new(
-                Monitor::new(self.kind.build_engine(self.lambda))
+                Monitor::new(self.kind.build_engine_with(self.lambda, &self.storage))
                     .with_compaction(self.compaction_threshold),
             ),
             ShardingMode::Queries => {
-                let mut sharded =
-                    ShardedMonitor::new(self.shards, || self.kind.build_engine(self.lambda));
+                let mut sharded = ShardedMonitor::new(self.shards, || {
+                    self.kind.build_engine_with(self.lambda, &self.storage)
+                });
                 sharded.set_ingest_chunking(self.batch_size, self.pipeline_window);
                 if self.compaction_threshold > 0.0 {
                     sharded.set_compaction_threshold(self.compaction_threshold);
@@ -315,7 +362,8 @@ impl MonitorBuilder {
                 Box::new(sharded)
             }
             ShardingMode::Documents => {
-                let mut sharded = ShardedMonitor::new_doc_parallel(self.shards, self.lambda);
+                let mut sharded =
+                    ShardedMonitor::new_doc_parallel_with(self.shards, self.lambda, &self.storage);
                 sharded.set_ingest_chunking(self.batch_size, self.pipeline_window);
                 sharded.set_doc_pruning(self.doc_pruning);
                 if self.compaction_threshold > 0.0 {
@@ -381,6 +429,30 @@ mod tests {
             assert_eq!(doc.shards(), shards);
             assert_eq!(doc.sharding_mode(), ShardingMode::Documents);
             assert_eq!(doc.lambda(), 0.5);
+        }
+    }
+
+    #[test]
+    fn storage_knob_reaches_every_front_end() {
+        use ctk_common::{QuerySpec, TermId};
+        for storage in PostingsStorage::ALL {
+            for (shards, mode) in [
+                (1, ShardingMode::Queries),
+                (2, ShardingMode::Queries),
+                (2, ShardingMode::Documents),
+            ] {
+                let mut m = MonitorBuilder::new(EngineKind::Mrio)
+                    .lambda(0.001)
+                    .shards(shards)
+                    .sharding(mode)
+                    .postings_storage(storage)
+                    .page_budget(4096)
+                    .build();
+                let q = m.register(QuerySpec::uniform(&[TermId(1)], 2).unwrap());
+                m.publish(vec![(TermId(1), 1.0)], 0.0);
+                assert_eq!(m.results(q).unwrap().len(), 1, "{storage} {mode} x{shards}");
+                assert!(m.storage_stats().index_bytes > 0, "{storage} {mode} x{shards}");
+            }
         }
     }
 

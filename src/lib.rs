@@ -115,8 +115,9 @@ pub mod prelude {
     pub use ctk_core::{
         ContinuousTopK, CumulativeStats, DecayModel, DocPruning, EventStats, EvictionPolicy,
         Monitor, MonitorBackend, Mrio, MrioBlock, MrioSeg, MrioSuffix, Naive, NamespaceStats,
-        PublishReceipt, PublishRequest, QueryOptions, ResultChange, RetentionPolicy, Rio,
-        ShardSnapshot, ShardedMonitor, ShardingMode, Snapshot, SnapshotQuery, SNAPSHOT_VERSION,
+        PostingsStorage, PublishReceipt, PublishRequest, QueryOptions, ResultChange,
+        RetentionPolicy, Rio, ShardSnapshot, ShardedMonitor, ShardingMode, Snapshot, SnapshotQuery,
+        StorageConfig, StorageStats, SNAPSHOT_VERSION,
     };
     pub use ctk_stream::{
         ArrivalClock, CorpusConfig, CorpusModel, DocumentGenerator, QueryGenerator, QueryWorkload,

@@ -378,3 +378,31 @@ fn malformed_requests_get_client_errors_not_hangs() {
     ok(client.get("/healthz"), 200);
     server.shutdown();
 }
+
+#[test]
+fn stats_report_storage_counters_for_a_paged_backend() {
+    use continuous_topk::prelude::PostingsStorage;
+    let server = ServerBuilder::new(EngineKind::Mrio)
+        .lambda(1e-3)
+        .postings_storage(PostingsStorage::Paged)
+        .page_budget(4096) // tiny: force spills so cold pages + faults show up
+        .bind("127.0.0.1:0")
+        .expect("bind ephemeral loopback port");
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Enough registrations to seal compressed blocks (64 slots each) and
+    // overflow the 4 KiB page budget.
+    for q in 0..2048 {
+        let term = q % 4 + 1;
+        let body = format!(r#"{{"terms": [[{term}, 1.0]], "k": 2}}"#);
+        ok(client.post("/queries", &body), 200);
+    }
+    ok(client.post("/publish", r#"{"terms": [[1, 1.0], [3, 0.5]], "arrival": 1.0}"#), 200);
+
+    let stats = parse(&ok(client.get("/stats"), 200));
+    assert!(field_u64(&stats, "index_bytes") > 0, "index_bytes must be populated");
+    assert!(field_u64(&stats, "hot_pages") + field_u64(&stats, "cold_pages") > 0);
+    assert!(field_u64(&stats, "cold_pages") > 0, "a 4 KiB budget must have spilled pages");
+    server.shutdown();
+}

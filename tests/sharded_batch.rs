@@ -62,11 +62,24 @@ proptest! {
         lambda in prop::sample::select(vec![0.0, 0.05, 0.8]),
         pruning in prop::sample::select(vec![DocPruning::Off, DocPruning::On]),
         compact_at in prop::sample::select(vec![0.0, 0.2]),
+        storage in prop::sample::select(vec![
+            PostingsStorage::Plain,
+            PostingsStorage::Compressed,
+            PostingsStorage::Paged,
+        ]),
     ) {
+        // Tiny pager budget: paged cases must spill (and fault pages back)
+        // mid-stream rather than staying effectively RAM-resident. The
+        // oracle always runs plain storage — the claim under test is that
+        // the backend is invisible to results.
+        let storage_cfg =
+            StorageConfig { storage, page_budget_bytes: 2048, spill_dir: None };
         let mut sharded = match mode {
-            ShardingMode::Queries => ShardedMonitor::new(shards, || Naive::new(lambda)),
+            ShardingMode::Queries => {
+                ShardedMonitor::new(shards, || Naive::with_storage(lambda, &storage_cfg))
+            }
             ShardingMode::Documents => {
-                let mut m = ShardedMonitor::new_doc_parallel(shards, lambda);
+                let mut m = ShardedMonitor::new_doc_parallel_with(shards, lambda, &storage_cfg);
                 m.set_doc_pruning(pruning);
                 m
             }
@@ -130,8 +143,9 @@ proptest! {
             prop_assert_eq!(
                 sharded.results(*qid),
                 single.results(*qid),
-                "mode {:?}, query {:?}",
+                "mode {:?}, storage {:?}, query {:?}",
                 mode,
+                storage,
                 qid
             );
         }
@@ -538,4 +552,93 @@ fn bounded_walk_skips_at_scale_while_staying_bit_identical() {
             >= single.cumulative().postings_accessed
     );
     assert_eq!(sum(|c| c.updates), single.cumulative().updates);
+}
+
+/// The storage-subsystem scenario in one deterministic test: every postings
+/// backend (plain Vec, compressed blocks, RAM/disk paged with a budget tiny
+/// enough to force spills), in both sharding modes, driven through
+/// registration churn, threshold-triggered compaction and a λ = 0.5
+/// renormalization crossing — all against one plain-storage `Naive` oracle.
+/// Results must stay bit-identical: the storage layer is a representation
+/// choice, never a semantics choice.
+#[test]
+fn storage_backends_stay_bit_identical_across_compaction_and_renorm() {
+    let lambda = 0.5;
+    let mk = |terms: &[(u32, f32)], id: u64, at: f64| {
+        Document::new(DocId(id), terms.iter().map(|&(t, w)| (TermId(t), w)).collect(), at)
+    };
+    for storage in PostingsStorage::ALL {
+        for mode in [ShardingMode::Queries, ShardingMode::Documents] {
+            let cfg = StorageConfig { storage, page_budget_bytes: 1024, spill_dir: None };
+            let mut sharded = match mode {
+                ShardingMode::Queries => {
+                    ShardedMonitor::new(2, || Naive::with_storage(lambda, &cfg))
+                }
+                ShardingMode::Documents => ShardedMonitor::new_doc_parallel_with(2, lambda, &cfg),
+            };
+            sharded.set_compaction_threshold(0.15);
+            let mut single = Naive::new(lambda);
+
+            // Two hot terms shared by most queries (their lists seal many
+            // blocks) plus a fringe of short lists that never seal.
+            let mut live: Vec<QueryId> = Vec::new();
+            for i in 0..600u32 {
+                let spec = if i % 4 == 3 {
+                    QuerySpec::uniform(&[TermId(1), TermId(10 + i % 7)], 1).unwrap()
+                } else {
+                    QuerySpec::uniform(&[TermId(1), TermId(2)], 1).unwrap()
+                };
+                let qid = sharded.register(spec.clone());
+                assert_eq!(qid, single.register(spec));
+                live.push(qid);
+            }
+
+            // Rounds advance the clock 16 units; round 8 crosses the
+            // λ·Δτ > 60 renormalization headroom (t > 120) mid-stream, and
+            // per-round unregister slabs push tombstone ratios over the
+            // compaction threshold — so sealed blocks get re-encoded while
+            // the stream is still running.
+            let mut next_doc = 0u64;
+            for round in 0..9u64 {
+                if round > 0 {
+                    for _ in 0..20 {
+                        let qid = live.remove((round as usize * 7) % live.len());
+                        assert!(sharded.unregister(qid));
+                        assert!(single.unregister(qid));
+                    }
+                }
+                let t0 = round as f64 * 16.0;
+                let docs: Vec<Document> = (0..12)
+                    .map(|i| {
+                        let d = if i % 3 == 0 {
+                            mk(&[(1, 1.0), (2, 1.0)], next_doc, t0 + 0.1 * i as f64)
+                        } else {
+                            mk(&[(1, 0.2), (12, 2.0)], next_doc, t0 + 0.1 * i as f64)
+                        };
+                        next_doc += 1;
+                        d
+                    })
+                    .collect();
+                for d in &docs {
+                    single.process(d);
+                }
+                sharded.process_batch(docs);
+            }
+            assert!(single.cumulative().renormalizations > 0, "stream must cross a renorm");
+
+            for qid in &live {
+                assert_eq!(
+                    sharded.results(*qid),
+                    single.results(*qid),
+                    "storage {storage}, mode {mode:?}, query {qid}"
+                );
+            }
+            let stats = sharded.storage_stats();
+            assert!(stats.index_bytes > 0);
+            if storage == PostingsStorage::Paged {
+                assert!(stats.cold_pages > 0, "1 KiB budget must spill sealed blocks");
+                assert!(stats.page_faults > 0, "the walk must fault spilled blocks back in");
+            }
+        }
+    }
 }
