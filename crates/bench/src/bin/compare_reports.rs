@@ -7,7 +7,8 @@
 //!     [--tolerance 0.30] [--absolute]
 //! ```
 //!
-//! Joins the two reports on `(mode, queries, shards, batch, storage)` and
+//! Joins the two reports on `(mode, queries, shards, batch, batching,
+//! storage)` and
 //! fails (exit 1) when any cell's throughput dropped by more than
 //! `tolerance` (default 30%) versus the baseline. By default the compared metric is
 //! the **normalized** throughput `docs_per_sec / single_docs_per_sec(queries)`
@@ -19,10 +20,12 @@
 //! `--absolute` switches to raw docs/sec (useful when baseline and current
 //! come from the same machine).
 //!
-//! Reads schema v4 reports natively and still accepts v2 and v3 baselines:
-//! a v2 report is treated as a v3 report with a single query-population
-//! cell (`queries = num_queries`, one reference in `singles`), and a v3
-//! report as a v4 report whose every cell ran `plain` postings storage.
+//! Reads schema v5 reports natively and still accepts v2, v3 and v4
+//! baselines: a v2 report is treated as a v3 report with a single
+//! query-population cell (`queries = num_queries`, one reference in
+//! `singles`), a v3 report as a v4 report whose every cell ran `plain`
+//! postings storage, and a v4 report as a v5 report whose every cell ran
+//! `fixed` batching.
 //!
 //! Exit codes: `0` pass, `1` regression, `2` unusable input (missing file,
 //! unrecognized schema version, or reports measured under different
@@ -80,12 +83,35 @@ struct ReportV3 {
     cells: Vec<CellV3>,
 }
 
+/// A v4 cell: no `batching` axis (every v4 cell ran fixed-window chunks).
+#[derive(Deserialize)]
+struct CellV4 {
+    mode: String,
+    queries: usize,
+    shards: usize,
+    batch: usize,
+    storage: String,
+    docs_per_sec: f64,
+}
+
+#[derive(Deserialize)]
+struct ReportV4 {
+    query_counts: Vec<usize>,
+    measured_docs: usize,
+    window: usize,
+    doc_pruning: String,
+    storage_modes: Vec<String>,
+    singles: Vec<Single>,
+    cells: Vec<CellV4>,
+}
+
 #[derive(Deserialize)]
 struct Cell {
     mode: String,
     queries: usize,
     shards: usize,
     batch: usize,
+    batching: String,
     storage: String,
     docs_per_sec: f64,
 }
@@ -152,6 +178,7 @@ fn load(path: &str) -> Report {
                         queries: v2.num_queries,
                         shards: c.shards,
                         batch: c.batch,
+                        batching: "fixed".to_string(),
                         storage: "plain".to_string(),
                         docs_per_sec: c.docs_per_sec,
                     })
@@ -177,7 +204,34 @@ fn load(path: &str) -> Report {
                         queries: c.queries,
                         shards: c.shards,
                         batch: c.batch,
+                        batching: "fixed".to_string(),
                         storage: "plain".to_string(),
+                        docs_per_sec: c.docs_per_sec,
+                    })
+                    .collect(),
+            }
+        }
+        4 => {
+            // Migrate: v4 predates the batching axis — fixed everywhere.
+            let v4: ReportV4 = serde_json::from_str(&contents)
+                .unwrap_or_else(|e| usage_exit(&format!("{path} is not a v4 report: {e}")));
+            Report {
+                query_counts: v4.query_counts,
+                measured_docs: v4.measured_docs,
+                window: v4.window,
+                doc_pruning: v4.doc_pruning,
+                storage_modes: v4.storage_modes,
+                singles: v4.singles,
+                cells: v4
+                    .cells
+                    .into_iter()
+                    .map(|c| Cell {
+                        mode: c.mode,
+                        queries: c.queries,
+                        shards: c.shards,
+                        batch: c.batch,
+                        batching: "fixed".to_string(),
+                        storage: c.storage,
                         docs_per_sec: c.docs_per_sec,
                     })
                     .collect(),
@@ -186,7 +240,7 @@ fn load(path: &str) -> Report {
         v if v == SWEEP_SHARDS_SCHEMA_VERSION => serde_json::from_str(&contents)
             .unwrap_or_else(|e| usage_exit(&format!("{path} is not a v{v} report: {e}"))),
         v => usage_exit(&format!(
-            "{path} has schema_version {v} (this gate understands 2, 3 and \
+            "{path} has schema_version {v} (this gate understands 2 through \
              {SWEEP_SHARDS_SCHEMA_VERSION}); regenerate it with the current sweep_shards binary"
         )),
     }
@@ -247,16 +301,21 @@ fn main() {
     let metric_name = if absolute { "docs/sec" } else { "docs/sec vs single" };
 
     println!("### Perf gate: {metric_name}, tolerance -{:.0}%\n", tolerance * 100.0);
-    println!("| mode | queries | shards | batch | storage | baseline | current | delta | status |");
-    println!("|---|---|---|---|---|---|---|---|---|");
+    println!(
+        "| mode | queries | shards | batch | batching | storage | baseline | current | delta | \
+         status |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|");
     let mut regressions = 0usize;
     let mut missing = 0usize;
-    let key = |c: &Cell| (c.mode.clone(), c.queries, c.shards, c.batch, c.storage.clone());
+    let key = |c: &Cell| {
+        (c.mode.clone(), c.queries, c.shards, c.batch, c.batching.clone(), c.storage.clone())
+    };
     for bc in &base.cells {
         let Some(cc) = cur.cells.iter().find(|c| key(c) == key(bc)) else {
             println!(
-                "| {} | {} | {} | {} | {} | — | — | — | MISSING |",
-                bc.mode, bc.queries, bc.shards, bc.batch, bc.storage
+                "| {} | {} | {} | {} | {} | {} | — | — | — | MISSING |",
+                bc.mode, bc.queries, bc.shards, bc.batch, bc.batching, bc.storage
             );
             missing += 1;
             continue;
@@ -268,11 +327,12 @@ fn main() {
             regressions += 1;
         }
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {:+.1}% | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:+.1}% | {} |",
             bc.mode,
             bc.queries,
             bc.shards,
             bc.batch,
+            bc.batching,
             bc.storage,
             format_sig(b),
             format_sig(c),
@@ -284,11 +344,12 @@ fn main() {
         let known = base.cells.iter().any(|b| key(b) == key(cc));
         if !known {
             println!(
-                "| {} | {} | {} | {} | {} | — | {} | — | new (no baseline) |",
+                "| {} | {} | {} | {} | {} | {} | — | {} | — | new (no baseline) |",
                 cc.mode,
                 cc.queries,
                 cc.shards,
                 cc.batch,
+                cc.batching,
                 cc.storage,
                 format_sig(metric(&cur, cc))
             );

@@ -5,7 +5,8 @@
 //! cargo run -p ctk-bench --release --bin http_load -- \
 //!     [--addr 127.0.0.1:8722] [--queries 200] [--docs 2000] [--batch 64] \
 //!     [--engine mrio] [--lambda 1e-3] [--shards 1] [--mode query|doc] \
-//!     [--pruning off|on|auto] [--drain] [--out http_load]
+//!     [--pruning off|on|auto] [--adaptive [target_ms]] [--queue-depth N] \
+//!     [--admission block|reject[:retry_secs]] [--drain] [--out http_load]
 //! ```
 //!
 //! Without `--addr` the harness self-hosts a server on an ephemeral
@@ -18,13 +19,17 @@
 //! `--drain` it finishes by draining the daemon and asserting that a late
 //! publish is refused with 503 while buffered notifications still flush.
 //!
-//! Writes `results/<out>.json` (`schema_version` 1): batch-publish latency
-//! percentiles, wire docs/sec, and the subscriber's delivery counters.
+//! Writes `results/<out>.json` (`schema_version` 2): batch-publish latency
+//! percentiles, wire docs/sec, the subscriber's delivery counters, and the
+//! admission counters — how often a publish drew `429 Too Many Requests`
+//! (`rejects`) and was retried after honoring `Retry-After` (`retries`).
+//! Against a blocking-admission daemon both stay 0; against a rejecting
+//! one they measure how hard the publisher actually pushed.
 
 use continuous_topk::EngineKind;
 use ctk_bench::write_json_report;
-use ctk_core::{DocPruning, ShardingMode};
-use ctk_server::{HttpClient, ServerBuilder};
+use ctk_core::{AdaptiveConfig, DocPruning, ShardingMode};
+use ctk_server::{AdmissionPolicy, HttpClient, ServerBuilder};
 use ctk_stream::{
     ArrivalClock, CorpusConfig, QueryGenerator, QueryWorkload, StreamDriver, WorkloadConfig,
 };
@@ -53,6 +58,8 @@ struct Report {
     publish_latency_ms: LatencyMs,
     changes_received: u64,
     changes_dropped: u64,
+    rejects: u64,
+    retries: u64,
     drained: bool,
 }
 
@@ -149,6 +156,30 @@ fn main() {
             if let Some(pruning) = parsed::<DocPruning>(&args, "--pruning") {
                 builder = builder.doc_pruning(pruning);
             }
+            if args.iter().any(|a| a == "--adaptive") {
+                let mut adaptive = AdaptiveConfig::default();
+                if let Some(raw) = arg_value(&args, "--adaptive").filter(|v| !v.starts_with("--")) {
+                    match raw.parse() {
+                        Ok(target) => adaptive = adaptive.target_drain_ms(target),
+                        Err(_) => die(format!("bad value {raw:?} for --adaptive")),
+                    }
+                }
+                builder = builder.adaptive_batching(adaptive);
+            }
+            if let Some(depth) = parsed::<usize>(&args, "--queue-depth") {
+                builder = builder.queue_depth(depth);
+            }
+            if let Some(raw) = arg_value(&args, "--admission") {
+                let policy = match raw.as_str() {
+                    "block" => AdmissionPolicy::Block,
+                    "reject" => AdmissionPolicy::Reject { retry_after: 1.0 },
+                    other => match other.strip_prefix("reject:").and_then(|s| s.parse().ok()) {
+                        Some(retry_after) => AdmissionPolicy::Reject { retry_after },
+                        None => die(format!("bad value {raw:?} for --admission")),
+                    },
+                };
+                builder = builder.admission(policy);
+            }
             let server = builder.bind("127.0.0.1:0").unwrap_or_else(|e| die(format!("bind: {e}")));
             let addr = server.addr();
             (Some(server), addr)
@@ -190,6 +221,7 @@ fn main() {
     let mut driver = StreamDriver::new(corpus, ArrivalClock::unit());
     let stream: Vec<_> = driver.by_ref().take(docs).collect();
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(docs / batch + 1);
+    let (mut rejects, mut retries) = (0u64, 0u64);
     let start = Instant::now();
     for chunk in stream.chunks(batch) {
         let docs_json: Vec<String> = chunk
@@ -200,9 +232,26 @@ fn main() {
             })
             .collect();
         let body = format!("{{\"docs\":[{}]}}", docs_json.join(","));
-        let sent = Instant::now();
-        expect(client.post("/publish", &body), 200, "publish");
-        latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+        // Publish until admitted: a 429 means the daemon's ingest queue is
+        // full, so honor its Retry-After and resubmit the same batch. The
+        // recorded latency is the *accepted* attempt's round trip.
+        loop {
+            let sent = Instant::now();
+            match client.post("/publish", &body) {
+                Err(e) => die(format!("publish: transport error: {e}")),
+                Ok((200, _)) => {
+                    latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                    break;
+                }
+                Ok((429, _)) => {
+                    rejects += 1;
+                    let backoff = client.retry_after().unwrap_or(1.0).min(5.0);
+                    std::thread::sleep(Duration::from_secs_f64(backoff));
+                    retries += 1;
+                }
+                Ok((status, body)) => die(format!("publish: expected 200, got {status}: {body}")),
+            }
+        }
     }
     let elapsed = start.elapsed().as_secs_f64();
 
@@ -231,7 +280,7 @@ fn main() {
 
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
     let report = Report {
-        schema_version: 1,
+        schema_version: 2,
         engine: engine.to_string(),
         queries,
         docs,
@@ -245,12 +294,15 @@ fn main() {
         },
         changes_received,
         changes_dropped,
+        rejects,
+        retries,
         drained,
     };
     let path = write_json_report(&out, &report).unwrap_or_else(|e| die(format!("report: {e}")));
     println!(
         "http_load: {:.0} docs/sec over the wire, publish p50 {:.2} ms / p95 {:.2} ms, \
-         {changes_received} changes ({changes_dropped} dropped) -> {}",
+         {changes_received} changes ({changes_dropped} dropped), \
+         {rejects} rejects / {retries} retries -> {}",
         report.docs_per_sec,
         report.publish_latency_ms.p50,
         report.publish_latency_ms.p95,

@@ -9,7 +9,8 @@
 //!     [-- --scale smoke|laptop|full] [--mode query|doc|both] \
 //!     [--queries 2000,10000] [--shards 1,2,4] [--batches 1,64,256] \
 //!     [--window 1] [--docs N] [--repeat N] [--pruning off|on|auto] \
-//!     [--storage plain,compressed,paged] [--page-budget BYTES]
+//!     [--storage plain,compressed,paged] [--page-budget BYTES] \
+//!     [--adaptive [target_ms]]
 //! ```
 //!
 //! `--queries N[,N...]` sweeps the query population (default: the scale's
@@ -38,9 +39,17 @@
 //! `--page-budget BYTES` caps the pager's RAM for `paged` cells (0 = the
 //! library default).
 //!
+//! `--adaptive [target_ms]` adds one **adaptive-batching** cell per
+//! `queries × storage × mode × shards` point: the whole measured stream is
+//! handed to `publish_batch` in one call and the AIMD controller picks the
+//! chunk size against the given drain-latency target (default
+//! `AdaptiveConfig`'s). Such cells report `batching: "adaptive"` and
+//! `batch: 0` — the controller, not a flag, chooses the chunk — so the
+//! fixed-window cells they ride next to are directly comparable.
+//!
 //! Prints a markdown table and writes the machine-readable report
-//! (`schema_version` 4 — cells carry the `queries` and `storage` axes,
-//! skip counters and memory footprint)
+//! (`schema_version` 5 — cells carry the `queries`, `storage` and
+//! `batching` axes, skip counters and memory footprint)
 //! to `results/sweep_shards.json`, which CI archives as a build artifact
 //! and gates against `results/sweep_shards_baseline.json` with the
 //! `compare_reports` binary. The writer refuses to clobber a report whose
@@ -51,7 +60,10 @@ use ctk_bench::{
     existing_report_schema, make_sharded_with, prepare, write_json_report, ExperimentConfig, Scale,
     Table, SWEEP_SHARDS_SCHEMA_VERSION,
 };
-use ctk_core::{ContinuousTopK, DocPruning, MrioSeg, PostingsStorage, ShardingMode, StorageConfig};
+use ctk_core::{
+    AdaptiveConfig, ContinuousTopK, DocPruning, MrioSeg, PostingsStorage, ShardingMode,
+    StorageConfig,
+};
 use ctk_stream::QueryWorkload;
 use serde::Serialize;
 use std::time::Instant;
@@ -67,7 +79,11 @@ struct Cell {
     mode: String,
     queries: usize,
     shards: usize,
+    /// Fixed chunk size for `batching: "fixed"` cells; 0 for adaptive
+    /// cells, whose chunk the AIMD controller chooses at runtime.
     batch: usize,
+    /// `"fixed"` (chunk size = `batch`) or `"adaptive"` (AIMD-controlled).
+    batching: String,
     /// Postings-storage backend this cell ran on (`plain` / `compressed` /
     /// `paged`).
     storage: String,
@@ -156,6 +172,23 @@ fn main() {
     };
     let page_budget: usize =
         arg_value(&args, "--page-budget").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let adaptive: Option<AdaptiveConfig> = if args.iter().any(|a| a == "--adaptive") {
+        let mut acfg = AdaptiveConfig::default();
+        // The drain-latency target is optional: `--adaptive` alone takes
+        // the library default.
+        if let Some(raw) = arg_value(&args, "--adaptive").filter(|v| !v.starts_with("--")) {
+            match raw.parse() {
+                Ok(target) => acfg = acfg.target_drain_ms(target),
+                Err(_) => {
+                    eprintln!("sweep_shards: bad value {raw:?} for --adaptive");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some(acfg)
+    } else {
+        None
+    };
     let measured_docs: usize =
         arg_value(&args, "--docs").and_then(|s| s.parse().ok()).unwrap_or(match scale {
             Scale::Smoke => 2_000,
@@ -340,10 +373,103 @@ fn main() {
                             queries: n,
                             shards,
                             batch,
+                            batching: "fixed".to_string(),
                             storage: storage.name().to_string(),
                             docs_per_sec: dps,
                             speedup_vs_single: dps / single_dps,
                             speedup_vs_per_doc_sharded: vs_per_doc,
+                            zones_skipped: zones,
+                            postings_skipped: postings,
+                            index_bytes,
+                            bytes_per_query,
+                        });
+                    }
+
+                    // The adaptive cell: hand the whole measured stream to
+                    // `publish_batch` and let the AIMD controller choose the
+                    // chunk size against its drain-latency target. The raw
+                    // (terms, arrival) batch is prepared outside the timed
+                    // section; ids continue past the warmup's.
+                    if let Some(acfg) = adaptive {
+                        let raw: Vec<(Vec<_>, f64)> = wl
+                            .measured
+                            .iter()
+                            .map(|d| (d.vector.iter().collect(), d.arrival))
+                            .collect();
+                        let (dps, zones, postings, index_bytes) = best_of(&|| {
+                            let mut monitor = make_sharded_with(
+                                mode,
+                                shards,
+                                "MRIO",
+                                cfg.lambda,
+                                pruning,
+                                &storage_cfg,
+                            );
+                            let mut ids = Vec::with_capacity(wl.specs.len());
+                            for spec in &wl.specs {
+                                ids.push(monitor.register(spec.clone()));
+                            }
+                            for (i, seeds) in wl.seeds.iter().enumerate() {
+                                if !seeds.is_empty() {
+                                    monitor.seed_results(ids[i], seeds);
+                                }
+                            }
+                            for chunk in wl.warmup.chunks(256) {
+                                monitor.process_batch(chunk.to_vec());
+                            }
+                            let warm_skips: Vec<(u64, u64)> = monitor
+                                .shard_cumulative()
+                                .iter()
+                                .map(|c| (c.zones_skipped, c.postings_skipped))
+                                .collect();
+                            monitor.set_adaptive_batching(acfg);
+                            let batch = raw.clone();
+
+                            let start = Instant::now();
+                            monitor.publish_batch(batch);
+                            let dps = wl.measured.len() as f64 / start.elapsed().as_secs_f64();
+                            let (wz, wp) = warm_skips
+                                .iter()
+                                .fold((0u64, 0u64), |(z, p), &(az, ap)| (z + az, p + ap));
+                            let (tz, tp) = monitor
+                                .shard_cumulative()
+                                .iter()
+                                .fold((0u64, 0u64), |(z, p), c| {
+                                    (z + c.zones_skipped, p + c.postings_skipped)
+                                });
+                            let index_bytes = monitor.storage_stats().index_bytes;
+                            (dps, tz - wz, tp - wp, index_bytes)
+                        });
+                        let bytes_per_query = index_bytes as f64 / n as f64;
+                        eprintln!(
+                            "  queries={n} storage={storage} mode={mode} shards={shards} \
+                         batch=adaptive: {} docs/sec ({:.2}x single, {:.2}x per-doc, \
+                         {zones} zones skipped, {} bytes/query)",
+                            format_sig(dps),
+                            dps / single_dps,
+                            dps / per_doc_dps,
+                            format_sig(bytes_per_query)
+                        );
+                        table.push_row(
+                            format!("{n} x {storage} x {mode} x {shards} x adaptive"),
+                            vec![
+                                dps,
+                                dps / single_dps,
+                                dps / per_doc_dps,
+                                zones as f64,
+                                bytes_per_query,
+                            ],
+                        );
+                        cells.push(Cell {
+                            mode: mode.name().to_string(),
+                            queries: n,
+                            shards,
+                            batch: 0,
+                            batching: "adaptive".to_string(),
+                            storage: storage.name().to_string(),
+                            docs_per_sec: dps,
+                            speedup_vs_single: dps / single_dps,
+                            speedup_vs_per_doc_sharded: dps / per_doc_dps,
                             zones_skipped: zones,
                             postings_skipped: postings,
                             index_bytes,

@@ -124,7 +124,11 @@ pub fn write_json_report<T: serde::Serialize>(
 
 /// Schema version of the `sweep_shards` report format.
 ///
-/// * **v4** (current): cells carry a `storage` axis (`"plain"` /
+/// * **v5** (current): cells carry a `batching` axis (`"fixed"` /
+///   `"adaptive"`) — `--adaptive` sweeps an AIMD-chunked ingestion cell
+///   next to the fixed-window ones (`batch` is 0 for adaptive cells: the
+///   controller, not the flag, chooses the chunk).
+/// * **v4**: cells carry a `storage` axis (`"plain"` /
 ///   `"compressed"` / `"paged"`) plus the memory-footprint counters
 ///   `index_bytes` and `bytes_per_query`; the report records the swept
 ///   `storage_modes` and the pager budget.
@@ -139,10 +143,11 @@ pub fn write_json_report<T: serde::Serialize>(
 /// The writer refuses to overwrite a report tagged with a version it does
 /// not recognize (see [`existing_report_schema`]), so a future format never
 /// gets silently clobbered by an old binary. The `compare_reports` gate
-/// still *reads* v2 and v3 baselines (a v2 report is a v3 report with one
-/// population cell; a v3 report is a v4 report whose cells all ran plain
-/// storage).
-pub const SWEEP_SHARDS_SCHEMA_VERSION: u32 = 4;
+/// still *reads* v2, v3 and v4 baselines (a v2 report is a v3 report with
+/// one population cell; a v3 report is a v4 report whose cells all ran
+/// plain storage; a v4 report is a v5 report whose cells all ran fixed
+/// batching).
+pub const SWEEP_SHARDS_SCHEMA_VERSION: u32 = 5;
 
 /// The `schema_version` of an existing `results/<name>.json` report:
 /// `None` when the file does not exist, `Some(1)` for pre-versioned

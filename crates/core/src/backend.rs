@@ -254,6 +254,85 @@ impl FromIterator<(Vec<(TermId, f32)>, Timestamp)> for PublishRequest {
     }
 }
 
+/// The typed admission outcome of a publish: what the ingest path did with
+/// the request *before* (or instead of) processing it.
+///
+/// Embedded backends ([`crate::Monitor`], [`crate::ShardedMonitor`]) are
+/// synchronous — the publish runs on the caller's thread — so their
+/// [`MonitorBackend::try_publish`] always reports
+/// [`Admission::Accepted`]. The variants beyond `Accepted` exist for
+/// queueing front doors: the `ctk-server` ingest thread reports
+/// [`Admission::Enqueued`] with the observed queue depth, and — under its
+/// reject admission policy — [`Admission::Overloaded`] with a retry hint
+/// when the bounded ingest queue is full, which the HTTP layer maps to
+/// `429 Too Many Requests` + `Retry-After`.
+///
+/// Wire shape (serde): `{"state": "accepted"}`,
+/// `{"state": "enqueued", "depth": N}`, or
+/// `{"state": "overloaded", "retry_after": seconds}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// The publish was processed synchronously.
+    Accepted,
+    /// The publish entered a bounded queue at the given depth (this request
+    /// included) and was then processed.
+    Enqueued {
+        /// Queue occupancy observed at admission, including this request.
+        depth: usize,
+    },
+    /// The ingest queue was full and the publish was **not** processed.
+    Overloaded {
+        /// Suggested wait before retrying, in seconds.
+        retry_after: f64,
+    },
+}
+
+impl Admission {
+    /// True when the publish was actually processed (accepted or enqueued).
+    pub fn is_admitted(&self) -> bool {
+        !matches!(self, Admission::Overloaded { .. })
+    }
+}
+
+impl Serialize for Admission {
+    fn to_value(&self) -> serde::Value {
+        use serde::{Number, Value};
+        let mut entries = Vec::with_capacity(2);
+        match self {
+            Admission::Accepted => {
+                entries.push(("state".to_string(), Value::Str("accepted".into())))
+            }
+            Admission::Enqueued { depth } => {
+                entries.push(("state".to_string(), Value::Str("enqueued".into())));
+                entries.push(("depth".to_string(), Value::Num(Number::U64(*depth as u64))));
+            }
+            Admission::Overloaded { retry_after } => {
+                entries.push(("state".to_string(), Value::Str("overloaded".into())));
+                entries.push(("retry_after".to_string(), Value::Num(Number::F64(*retry_after))));
+            }
+        }
+        serde::Value::Object(entries)
+    }
+}
+
+impl Deserialize for Admission {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let state = value.field("state")?.as_str()?;
+        match state {
+            "accepted" => Ok(Admission::Accepted),
+            "enqueued" => {
+                let depth = value.field("depth")?.as_u64()?;
+                Ok(Admission::Enqueued { depth: depth as usize })
+            }
+            "overloaded" => {
+                let retry_after = value.field("retry_after")?.as_f64()?;
+                Ok(Admission::Overloaded { retry_after })
+            }
+            other => Err(serde::Error::custom(format!("unknown admission state {other:?}"))),
+        }
+    }
+}
+
 /// The typed outcome of a [`MonitorBackend::publish`] /
 /// [`MonitorBackend::publish_batch`] call: the ids assigned to the admitted
 /// documents, every result change they caused, and per-document work
@@ -420,6 +499,23 @@ pub trait MonitorBackend {
     /// [`MonitorBackend::publish`] and [`MonitorBackend::publish_batch`]
     /// are thin wrappers over it.
     fn publish_request(&mut self, request: PublishRequest) -> PublishReceipt;
+
+    /// Publish with a typed admission outcome instead of silent blocking.
+    ///
+    /// Returns what the ingest path did with the request
+    /// ([`Admission`]) and — whenever the request was admitted — the
+    /// receipt. The receipt is `None` **iff** the admission is
+    /// [`Admission::Overloaded`]: an overloaded publish has no effects at
+    /// all (no ids allocated, no documents scored) and may be retried
+    /// verbatim after the suggested backoff.
+    ///
+    /// Embedded backends process the request on the caller's thread, so
+    /// this default implementation always admits; queueing front ends (the
+    /// `ctk-server` ingest thread) override the *semantics* by reporting
+    /// their bounded-queue occupancy through the same type on the wire.
+    fn try_publish(&mut self, request: PublishRequest) -> (Admission, Option<PublishReceipt>) {
+        (Admission::Accepted, Some(self.publish_request(request)))
+    }
 
     /// Publish one document to the stream. Wrapper over
     /// [`MonitorBackend::publish_request`].

@@ -16,6 +16,7 @@
 //! ```
 
 pub mod backend;
+pub mod config;
 pub mod engine;
 pub mod lifecycle;
 pub mod monitor;
@@ -24,12 +25,16 @@ pub mod naive;
 pub mod rio;
 pub mod score;
 pub mod sharded;
+pub mod snapshot_stream;
 pub mod stats;
 pub mod topk;
 pub mod traits;
 pub mod walk;
 
-pub use backend::{DocPruning, MonitorBackend, PublishReceipt, PublishRequest, ShardingMode};
+pub use backend::{
+    Admission, DocPruning, MonitorBackend, PublishReceipt, PublishRequest, ShardingMode,
+};
+pub use config::{AdaptiveConfig, IndexConfig, IngestConfig};
 pub use ctk_index::{PostingsStorage, StorageConfig, StorageStats};
 pub use lifecycle::{
     EvictionPolicy, LifecycleManager, NamespaceStats, QueryOptions, RetentionPolicy,
@@ -41,7 +46,8 @@ pub use mrio::{Mrio, MrioBlock, MrioSeg, MrioSuffix};
 pub use naive::Naive;
 pub use rio::Rio;
 pub use score::DecayModel;
-pub use sharded::{BatchOutcome, ShardedMonitor, DOC_PRUNING_AUTO_MIN_QUERIES};
+pub use sharded::{AdaptiveBatcher, BatchOutcome, ShardedMonitor, DOC_PRUNING_AUTO_MIN_QUERIES};
+pub use snapshot_stream::{SnapshotStreamStats, SnapshotWriter};
 pub use stats::{CumulativeStats, EventStats};
 pub use topk::{Offer, TopKState};
 pub use traits::{ContinuousTopK, ResultChange};

@@ -78,6 +78,7 @@
 //! (no locks on the hot path in either mode).
 
 use crate::backend::{DocPruning, MonitorBackend, PublishReceipt, PublishRequest, ShardingMode};
+use crate::config::AdaptiveConfig;
 use crate::engine::EngineBase;
 use crate::lifecycle::{
     pick_victim, LifecycleManager, NamespaceStats, QueryOptions, RetentionPolicy,
@@ -366,6 +367,52 @@ enum Runtime {
     Documents(Box<DocShards>),
 }
 
+/// AIMD controller over the `publish_batch` chunk size.
+///
+/// One decision per pipeline drain: a drain slower than the configured
+/// target halves the chunk (multiplicative decrease), an on-target drain
+/// grows it by the additive step — both clamped to the configured bounds.
+/// The controller never touches *what* is computed, only how the publish
+/// is cut into pipeline chunks, and chunking is result-invariant (see
+/// [`AdaptiveConfig`] and the proptests in `tests/sharded_batch.rs`).
+#[derive(Debug, Clone)]
+pub struct AdaptiveBatcher {
+    cfg: AdaptiveConfig,
+    chunk: usize,
+}
+
+impl AdaptiveBatcher {
+    /// A controller starting at the configured minimum chunk size (additive
+    /// growth probes upward from there, like TCP slow-start's conservative
+    /// cousin).
+    pub fn new(cfg: AdaptiveConfig) -> Self {
+        assert!(
+            1 <= cfg.min_chunk && cfg.min_chunk <= cfg.max_chunk,
+            "need 1 <= min_chunk <= max_chunk"
+        );
+        AdaptiveBatcher { chunk: cfg.min_chunk, cfg }
+    }
+
+    /// The chunk size the next submit should use.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Feed one measured drain latency (milliseconds) into the controller.
+    pub fn observe(&mut self, drain_ms: f64) {
+        if drain_ms > self.cfg.target_drain_ms {
+            self.chunk = (self.chunk / 2).max(self.cfg.min_chunk);
+        } else {
+            self.chunk = self.chunk.saturating_add(self.cfg.increase_step).min(self.cfg.max_chunk);
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+}
+
 /// A monitor that spreads stream work across `S` worker threads, in either
 /// sharding mode (see the module docs and [`ShardingMode`]).
 pub struct ShardedMonitor {
@@ -379,6 +426,9 @@ pub struct ShardedMonitor {
     ingest_batch: usize,
     /// Batches kept in flight by `publish_batch` while chunking.
     ingest_window: usize,
+    /// AIMD chunk-size controller; when set it overrides `ingest_batch`
+    /// with a chunk size retuned from measured drain latency.
+    adaptive: Option<AdaptiveBatcher>,
     /// Namespaces, retention policies, per-query deadlines — the same
     /// front-end lifecycle layer [`crate::Monitor`] carries, so both
     /// backends expire and evict at identical batch boundaries.
@@ -476,6 +526,7 @@ impl ShardedMonitor {
             last_arrival: 0.0,
             ingest_batch: 0,
             ingest_window: 1,
+            adaptive: None,
             lifecycle: LifecycleManager::new(),
             pending_evicted: 0,
         }
@@ -538,6 +589,7 @@ impl ShardedMonitor {
             last_arrival: 0.0,
             ingest_batch: 0,
             ingest_window: 1,
+            adaptive: None,
             lifecycle: LifecycleManager::new(),
             pending_evicted: 0,
         }
@@ -600,6 +652,27 @@ impl ShardedMonitor {
     pub fn set_ingest_chunking(&mut self, batch_size: usize, window: usize) {
         self.ingest_batch = batch_size;
         self.ingest_window = window;
+    }
+
+    /// Enable the AIMD chunk-size controller: [`ShardedMonitor::publish_batch`]
+    /// re-reads the controller's chunk size before every submit and feeds it
+    /// each drain's wall-clock latency, so sustained ingest pressure grows
+    /// the chunk (fewer submit/drain round-trips per document) while a slow
+    /// drain halves it (bounded per-chunk latency). Results are unaffected —
+    /// chunking is result-invariant (see [`AdaptiveConfig`]).
+    pub fn set_adaptive_batching(&mut self, cfg: AdaptiveConfig) {
+        self.adaptive = Some(AdaptiveBatcher::new(cfg));
+    }
+
+    /// Disable adaptive chunking, reverting to the fixed
+    /// [`ShardedMonitor::set_ingest_chunking`] batch size.
+    pub fn clear_adaptive_batching(&mut self) {
+        self.adaptive = None;
+    }
+
+    /// The adaptive controller's current chunk size, when one is installed.
+    pub fn adaptive_chunk(&self) -> Option<usize> {
+        self.adaptive.as_ref().map(AdaptiveBatcher::chunk)
     }
 
     /// Register a query; returns its public id. Query mode places it on the
@@ -1172,10 +1245,19 @@ impl ShardedMonitor {
             changes: Vec::new(),
             stats: Vec::with_capacity(docs.len()),
         };
-        let chunk = if self.ingest_batch == 0 { docs.len().max(1) } else { self.ingest_batch };
+        let fixed_chunk =
+            if self.ingest_batch == 0 { docs.len().max(1) } else { self.ingest_batch };
         let window = self.ingest_window;
+        // Each drain is timed and fed to the AIMD controller (when one is
+        // installed): over-target drains halve the next chunk, on-target
+        // drains grow it. The chunk schedule never affects the receipt —
+        // chunking is result-invariant.
         let drain_into = |m: &mut Self, receipt: &mut PublishReceipt| {
+            let started = std::time::Instant::now();
             let (stats, changes) = m.drain_batch().expect("in-flight batch");
+            if let Some(ctl) = &mut m.adaptive {
+                ctl.observe(started.elapsed().as_secs_f64() * 1e3);
+            }
             receipt.stats.extend(stats);
             receipt.changes.extend(changes.into_iter().map(|(_, c)| c));
         };
@@ -1183,6 +1265,10 @@ impl ShardedMonitor {
         // document: `split_off` moves the tail, the head is submitted.
         let mut rest = docs;
         while !rest.is_empty() {
+            let chunk = match &self.adaptive {
+                Some(ctl) => ctl.chunk(),
+                None => fixed_chunk,
+            };
             let tail = rest.split_off(chunk.min(rest.len()));
             let part = std::mem::replace(&mut rest, tail);
             self.submit_batch(part);
@@ -2098,5 +2184,77 @@ mod tests {
         m.register(spec(&[1], 1));
         m.submit_batch(vec![doc(0, &[(1, 1.0)], 0.0)]);
         m.register(spec(&[2], 1)); // must panic: batch in flight
+    }
+
+    // --- adaptive batching ---
+
+    #[test]
+    fn adaptive_controller_is_aimd_within_bounds() {
+        let cfg = AdaptiveConfig::default().chunk_bounds(4, 64).increase_step(10);
+        let mut ctl = AdaptiveBatcher::new(cfg);
+        assert_eq!(ctl.chunk(), 4, "starts at the lower clamp");
+        // Fast drains: additive growth, clamped at the top.
+        for _ in 0..10 {
+            ctl.observe(0.0);
+        }
+        assert_eq!(ctl.chunk(), 64);
+        // One slow drain: multiplicative halving...
+        ctl.observe(cfg.target_drain_ms + 1.0);
+        assert_eq!(ctl.chunk(), 32);
+        // ...repeated, clamped at the bottom.
+        for _ in 0..10 {
+            ctl.observe(cfg.target_drain_ms + 1.0);
+        }
+        assert_eq!(ctl.chunk(), 4);
+    }
+
+    #[test]
+    fn adaptive_publish_is_bit_identical_to_fixed_in_both_modes() {
+        // A zero-millisecond target forces a halve on every drain and an
+        // unreachable target forces growth on every drain: the two extreme
+        // chunk schedules (and a fixed one) must produce identical receipts.
+        let batch: Vec<(Vec<(TermId, f32)>, Timestamp)> = (0..60u32)
+            .map(|i| (vec![(TermId(i % 4), 1.0), (TermId(4 + i % 3), 0.7)], i as f64))
+            .collect();
+        for mode in [ShardingMode::Queries, ShardingMode::Documents] {
+            let mk = || match mode {
+                ShardingMode::Queries => ShardedMonitor::new(3, || Naive::new(0.01)),
+                ShardingMode::Documents => ShardedMonitor::new_doc_parallel(3, 0.01),
+            };
+            let run = |m: &mut ShardedMonitor| {
+                for i in 0..12u32 {
+                    m.register(spec(&[i % 4, 4 + i % 3], 2));
+                }
+                let mut r = m.publish_batch(batch.clone());
+                r.changes.sort_by_key(|c| (c.query, c.inserted.doc));
+                r
+            };
+
+            let mut fixed = mk();
+            fixed.set_ingest_chunking(7, 1);
+            let want = run(&mut fixed);
+
+            for target in [0.0, f64::INFINITY] {
+                let mut adaptive = mk();
+                adaptive.set_ingest_chunking(7, 1);
+                adaptive.set_adaptive_batching(
+                    AdaptiveConfig::default().target_drain_ms(target).chunk_bounds(2, 16),
+                );
+                let got = run(&mut adaptive);
+                assert_eq!(got, want, "mode {mode:?}, target {target}");
+                let chunk = adaptive.adaptive_chunk().unwrap();
+                if target == 0.0 {
+                    assert_eq!(chunk, 2, "every drain over a 0ms target shrinks to the clamp");
+                } else {
+                    assert_eq!(
+                        chunk, 16,
+                        "every drain under an infinite target grows to the clamp"
+                    );
+                }
+                for q in 0..12u32 {
+                    assert_eq!(adaptive.results(QueryId(q)), fixed.results(QueryId(q)));
+                }
+            }
+        }
     }
 }

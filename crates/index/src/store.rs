@@ -1,5 +1,5 @@
 //! The postings-storage seam: backend selection, the [`PostingsStore`]
-//! trait, and the [`Lists`] table the [`crate::QueryIndex`] actually holds.
+//! trait, and the `Lists` table the [`crate::QueryIndex`] actually holds.
 //!
 //! Three backends, one read/write contract:
 //!
@@ -9,10 +9,10 @@
 //!   delta + bit-packed blocks (raw f32 weights, so reads are lossless)
 //!   with an uncompressed tail; compaction is the re-compression point.
 //! * [`PostingsStorage::Paged`] — the compressed layout with sealed blocks
-//!   allocated from a byte-budgeted [`PageManager`] that spills cold
+//!   allocated from a byte-budgeted [`ctk_storage::PageManager`] that spills cold
 //!   blocks to disk.
 //!
-//! Backends are dispatched at the *table* level ([`Lists`] is an enum of
+//! Backends are dispatched at the *table* level (`Lists` is an enum of
 //! homogeneous `Vec`s, readers get a [`ListRef`]), not per list: a
 //! per-element enum would cost every backend the size of the fattest
 //! variant per list — which, under heavy-tailed term distributions where

@@ -14,6 +14,7 @@ use std::time::Duration;
 /// One keep-alive connection to a server.
 pub struct HttpClient {
     reader: BufReader<TcpStream>,
+    last_retry_after: Option<f64>,
 }
 
 impl HttpClient {
@@ -21,7 +22,13 @@ impl HttpClient {
     pub fn connect(addr: SocketAddr) -> io::Result<HttpClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(HttpClient { reader: BufReader::new(stream) })
+        Ok(HttpClient { reader: BufReader::new(stream), last_retry_after: None })
+    }
+
+    /// The `Retry-After` value (seconds) of the most recent response, if it
+    /// carried one — how long a 429'd publisher should back off.
+    pub fn retry_after(&self) -> Option<f64> {
+        self.last_retry_after
     }
 
     /// Cap how long a single response may take to arrive. Long-polls block
@@ -68,13 +75,14 @@ impl HttpClient {
     }
 
     fn read_response(&mut self) -> io::Result<(u16, String)> {
+        self.last_retry_after = None;
         let status_line = self.read_line()?;
         let status: u16 = status_line
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| invalid(format!("malformed status line: {status_line:?}")))?;
-        let mut content_length = 0usize;
+        let mut content_length: Option<usize> = None;
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
@@ -82,15 +90,33 @@ impl HttpClient {
             }
             if let Some((name, value)) = line.split_once(':') {
                 if name.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = value
-                        .trim()
-                        .parse()
-                        .map_err(|_| invalid(format!("bad content-length: {value:?}")))?;
+                    content_length = Some(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|_| invalid(format!("bad content-length: {value:?}")))?,
+                    );
+                } else if name.trim().eq_ignore_ascii_case("retry-after") {
+                    self.last_retry_after = value.trim().parse().ok();
                 }
             }
         }
-        let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body)?;
+        let body = match content_length {
+            Some(len) => {
+                let mut body = vec![0u8; len];
+                self.reader.read_exact(&mut body)?;
+                body
+            }
+            // No `Content-Length` — a streamed response framed by EOF
+            // (`POST /snapshot?stream=1`). The server closes the connection
+            // after it; further requests on this client will fail, so use a
+            // dedicated connection for streams.
+            None => {
+                let mut body = Vec::new();
+                self.reader.read_to_end(&mut body)?;
+                body
+            }
+        };
         String::from_utf8(body).map(|b| (status, b)).map_err(|_| invalid("non-UTF-8 body"))
     }
 

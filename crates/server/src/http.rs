@@ -118,12 +118,15 @@ impl Request {
 pub struct Response {
     pub status: u16,
     pub body: String,
+    /// Extra headers beyond the framing set (e.g. `retry-after` on 429s);
+    /// names are expected lowercase.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
     /// A response with a pre-serialized JSON body.
     pub fn json(status: u16, body: impl Into<String>) -> Response {
-        Response { status, body: body.into() }
+        Response { status, body: body.into(), headers: Vec::new() }
     }
 
     /// An error response with an `{"error": ...}` body.
@@ -133,7 +136,13 @@ impl Response {
             serde::Value::Str(message.to_string()),
         )]))
         .expect("string-only object serializes");
-        Response { status, body }
+        Response::json(status, body)
+    }
+
+    /// Attach an extra response header (lowercase name).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
     }
 
     /// Write the response with `Content-Length` framing. `keep_alive`
@@ -142,15 +151,31 @@ impl Response {
         let connection = if keep_alive { "keep-alive" } else { "close" };
         write!(
             w,
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             reason(self.status),
             self.body.len(),
             connection
         )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(self.body.as_bytes())?;
         w.flush()
     }
+}
+
+/// Write the head of a streamed response: no `Content-Length`, so the body
+/// is framed by connection close (EOF). The caller streams the body after
+/// this and must then drop the connection.
+pub fn write_stream_head<W: Write>(w: &mut W, status: u16) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\nconnection: close\r\n\r\n",
+        status,
+        reason(status)
+    )
 }
 
 /// The reason phrase for the status codes this API emits.
@@ -163,6 +188,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -275,5 +301,26 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with(r#"{"error":"draining"}"#));
+    }
+
+    #[test]
+    fn extra_headers_and_stream_head_frame_correctly() {
+        let mut out = Vec::new();
+        Response::error(429, "overloaded")
+            .with_header("retry-after", "2")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"));
+        assert!(text.contains("\r\n\r\n{\"error\":\"overloaded\"}"));
+
+        let mut out = Vec::new();
+        write_stream_head(&mut out, 200).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(!text.contains("content-length"), "streamed bodies are framed by EOF");
+        assert!(text.ends_with("\r\n\r\n"));
     }
 }

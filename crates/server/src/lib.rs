@@ -11,15 +11,15 @@
 //! | `POST /queries` | register a query (optional `"namespace"`, `"max_age"`) → `{"query": id, "namespace": name}` |
 //! | `DELETE /queries/{id}` | unregister |
 //! | `GET /queries/{id}/results` | current top-k, best first |
-//! | `POST /publish` | publish one document or a `{"docs": [...]}` batch → the wire-serialized [`PublishReceipt`] |
+//! | `POST /publish` | publish one document or a `{"docs": [...]}` batch → the wire-serialized [`PublishReceipt`] plus an `"admission"` object; under [`AdmissionPolicy::Reject`] a full ingest queue answers `429 Too Many Requests` with a `Retry-After` header instead of blocking |
 //! | `POST /subscriptions` | subscribe to change events (optional `{"queries": [...]}` filter) |
 //! | `DELETE /subscriptions/{id}` | unsubscribe |
 //! | `GET /changes?subscriber=S&timeout_ms=T&max=N` | long-poll buffered change events |
 //! | `PUT /namespaces/{ns}/retention` | install a retention policy (`max_age`, `max_queries`, `eviction`) |
 //! | `GET /namespaces/{ns}/retention` | read a namespace's policy (404 for unknown namespaces) |
 //! | `POST /forget` | bulk-remove a namespace: `{"namespace": n, "dry_run": true}` previews, `"confirm": true` removes |
-//! | `GET /stats` | engine, λ, shards, query/publish counters, expiry/eviction totals, per-namespace counts, storage counters (`index_bytes`, `hot_pages`, `cold_pages`, `page_faults`), fan-out totals |
-//! | `POST /snapshot` | capture the full monitor state as a versioned JSON snapshot |
+//! | `GET /stats` | engine, λ, shards, query/publish counters, expiry/eviction totals, per-namespace counts, storage counters (`index_bytes`, `hot_pages`, `cold_pages`, `page_faults`), ingest-queue occupancy (`queue_depth`, `queue_capacity`, `queue_highwater`), fan-out totals |
+//! | `POST /snapshot` | capture the full monitor state as a versioned JSON snapshot; `?stream=1` streams the same bytes section-by-section (EOF-framed, connection closes) without materializing the JSON tree |
 //! | `POST /restore` | replace the live monitor from a snapshot → id mapping |
 //! | `POST /admin/drain` | refuse further publishes (503), flush in-flight ones, wake pollers |
 //! | `GET /healthz` | liveness + draining flag |
@@ -45,5 +45,5 @@ pub mod subscribers;
 pub mod wire;
 
 pub use client::HttpClient;
-pub use server::{CtkServer, ServerBuilder, ServerStats};
+pub use server::{AdmissionPolicy, CtkServer, ServeConfig, ServerBuilder, ServerStats};
 pub use subscribers::{ChangeEvent, PollOutcome, SubscriberRegistry};

@@ -26,20 +26,21 @@
 //! [`CtkServer::shutdown`] drains, stops the ingest thread, unblocks the
 //! accept loop and joins both.
 
-use crate::http::{Request, Response};
+use crate::http::{self, Request, Response};
 use crate::subscribers::SubscriberRegistry;
 use crate::wire;
 use continuous_topk::{EngineKind, MonitorBuilder};
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use ctk_common::{Namespace, QueryId, ScoredDoc};
 use ctk_core::{
-    DocPruning, NamespaceStats, PostingsStorage, PublishReceipt, PublishRequest, QueryOptions,
-    RetentionPolicy, ShardingMode, Snapshot, StorageStats,
+    AdaptiveConfig, Admission, DocPruning, IndexConfig, IngestConfig, NamespaceStats,
+    PostingsStorage, PublishReceipt, PublishRequest, QueryOptions, RetentionPolicy, ShardingMode,
+    Snapshot, SnapshotWriter, StorageStats,
 };
 use serde::{Number, Serialize, Value};
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -53,17 +54,104 @@ const MAX_POLL_TIMEOUT: Duration = Duration::from_secs(30);
 /// thread re-checks whether the server is stopping.
 const IDLE_RECHECK: Duration = Duration::from_secs(5);
 
+/// What a publish handler does when the bounded ingest queue is full — the
+/// server's typed backpressure policy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AdmissionPolicy {
+    /// Block the handler thread in `send` until a slot frees (the classic
+    /// TCP-backpressure behavior: a slow monitor pushes back on publishers
+    /// through their own sockets). The default.
+    #[default]
+    Block,
+    /// Refuse immediately with HTTP 429 + `Retry-After` and an
+    /// [`Admission::Overloaded`] body instead of blocking. `retry_after` is
+    /// the hint (in seconds) sent to the client.
+    Reject {
+        /// Seconds the client should wait before retrying (also sent as the
+        /// `Retry-After` header, rounded up to whole seconds, minimum 1).
+        retry_after: f64,
+    },
+}
+
+impl AdmissionPolicy {
+    /// The `Retry-After` header value: whole seconds, rounded up, min 1.
+    fn retry_after_secs(retry_after: f64) -> u64 {
+        retry_after.ceil().max(1.0) as u64
+    }
+}
+
+/// The server-side knobs as one value — the daemon counterpart of the
+/// monitor's [`IngestConfig`]/[`IndexConfig`]: ingest-queue bound, admission
+/// policy, and subscriber delivery limits. The flat [`ServerBuilder`]
+/// methods write through to the same fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// In-flight command bound of the ingest queue (must be ≥ 1). Publish
+    /// handlers block — or are refused, per
+    /// [`ServeConfig::admission`] — once this many commands are queued.
+    pub queue_depth: usize,
+    /// Per-subscriber buffered-change cap; beyond it the oldest events are
+    /// dropped and the gap is reported on the next poll.
+    pub subscriber_buffer: usize,
+    /// Most events one `GET /changes` response may carry (must be ≥ 1).
+    pub max_poll_events: usize,
+    /// Full-queue behavior on the publish path.
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_depth: 16,
+            subscriber_buffer: 1024,
+            max_poll_events: 512,
+            admission: AdmissionPolicy::Block,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Set the ingest-queue bound.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "the ingest queue needs at least one slot");
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Set the per-subscriber buffered-change cap.
+    pub fn subscriber_buffer(mut self, capacity: usize) -> Self {
+        self.subscriber_buffer = capacity;
+        self
+    }
+
+    /// Set the per-poll event cap.
+    pub fn max_poll_events(mut self, max: usize) -> Self {
+        assert!(max >= 1, "a poll must be able to deliver at least one event");
+        self.max_poll_events = max;
+        self
+    }
+
+    /// Set the full-queue publish behavior.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+}
+
 /// Configures and starts a [`CtkServer`]. Forwards every [`MonitorBuilder`]
-/// knob, then adds the server-side ones (queue depth, subscriber buffers).
+/// knob, then adds the server-side ones (queue depth, admission policy,
+/// subscriber buffers) — flat per-knob methods or whole profiles via
+/// [`ServerBuilder::serve`]/[`ServerBuilder::ingest`]/[`ServerBuilder::index`].
 ///
 /// ```no_run
-/// use ctk_server::ServerBuilder;
+/// use ctk_server::{AdmissionPolicy, ServerBuilder};
 /// use continuous_topk::EngineKind;
 ///
 /// let server = ServerBuilder::new(EngineKind::Mrio)
 ///     .lambda(1e-3)
 ///     .shards(4)
 ///     .queue_depth(32)
+///     .admission(AdmissionPolicy::Reject { retry_after: 0.25 })
 ///     .bind("127.0.0.1:0")
 ///     .unwrap();
 /// println!("listening on {}", server.addr());
@@ -72,9 +160,7 @@ const IDLE_RECHECK: Duration = Duration::from_secs(5);
 pub struct ServerBuilder {
     monitor: MonitorBuilder,
     engine: EngineKind,
-    queue_depth: usize,
-    subscriber_buffer: usize,
-    max_poll_events: usize,
+    serve: ServeConfig,
 }
 
 impl ServerBuilder {
@@ -83,9 +169,7 @@ impl ServerBuilder {
         ServerBuilder {
             monitor: MonitorBuilder::new(engine),
             engine,
-            queue_depth: 16,
-            subscriber_buffer: 1024,
-            max_poll_events: 512,
+            serve: ServeConfig::default(),
         }
     }
 
@@ -121,6 +205,27 @@ impl ServerBuilder {
         self
     }
 
+    /// AIMD adaptive ingest chunking on sharded backends (see
+    /// [`MonitorBuilder::adaptive_batching`]).
+    pub fn adaptive_batching(mut self, cfg: AdaptiveConfig) -> ServerBuilder {
+        self.monitor = self.monitor.adaptive_batching(cfg);
+        self
+    }
+
+    /// Replace the backend's whole ingestion profile (see
+    /// [`MonitorBuilder::ingest`]).
+    pub fn ingest(mut self, ingest: IngestConfig) -> ServerBuilder {
+        self.monitor = self.monitor.ingest(ingest);
+        self
+    }
+
+    /// Replace the backend's whole index profile (see
+    /// [`MonitorBuilder::index`]).
+    pub fn index(mut self, index: IndexConfig) -> ServerBuilder {
+        self.monitor = self.monitor.index(index);
+        self
+    }
+
     /// Index compaction threshold.
     pub fn compact_at(mut self, ratio: f64) -> ServerBuilder {
         self.monitor = self.monitor.compact_at(ratio);
@@ -148,40 +253,59 @@ impl ServerBuilder {
     // --- Server-side knobs. ---
 
     /// In-flight command bound of the ingest queue. Publish handlers block
-    /// once this many commands are queued — the backpressure knob.
+    /// (or are refused, per [`ServerBuilder::admission`]) once this many
+    /// commands are queued — the backpressure knob.
     pub fn queue_depth(mut self, depth: usize) -> ServerBuilder {
-        assert!(depth >= 1, "the ingest queue needs at least one slot");
-        self.queue_depth = depth;
+        self.serve = self.serve.queue_depth(depth);
         self
     }
 
     /// Per-subscriber buffered-change cap; beyond it the oldest events are
     /// dropped and the gap is reported on the next poll.
     pub fn subscriber_buffer(mut self, capacity: usize) -> ServerBuilder {
-        self.subscriber_buffer = capacity;
+        self.serve = self.serve.subscriber_buffer(capacity);
         self
     }
 
     /// Most events one `GET /changes` response may carry.
     pub fn max_poll_events(mut self, max: usize) -> ServerBuilder {
-        assert!(max >= 1, "a poll must be able to deliver at least one event");
-        self.max_poll_events = max;
+        self.serve = self.serve.max_poll_events(max);
+        self
+    }
+
+    /// Full-queue behavior on the publish path (see [`AdmissionPolicy`]).
+    pub fn admission(mut self, policy: AdmissionPolicy) -> ServerBuilder {
+        self.serve = self.serve.admission(policy);
+        self
+    }
+
+    /// Replace the whole server-side profile at once (see [`ServeConfig`]).
+    pub fn serve(mut self, serve: ServeConfig) -> ServerBuilder {
+        self.serve = serve;
         self
     }
 
     /// Bind a listener, spawn the ingest and accept threads, and return the
     /// running server. Bind to port 0 for an ephemeral port (tests).
     pub fn bind(self, addr: impl ToSocketAddrs) -> io::Result<CtkServer> {
+        assert!(self.serve.queue_depth >= 1, "the ingest queue needs at least one slot");
+        assert!(self.serve.max_poll_events >= 1, "a poll must deliver at least one event");
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let backend = self.monitor.build();
-        let (tx, rx) = channel::bounded::<Command>(self.queue_depth);
+        let (tx, rx) = channel::bounded::<Command>(self.serve.queue_depth);
         let shared = Arc::new(Shared {
             commands: tx,
-            subscribers: SubscriberRegistry::new(self.subscriber_buffer),
+            queue: QueueGauge {
+                capacity: self.serve.queue_depth,
+                depth: AtomicUsize::new(0),
+                highwater: AtomicUsize::new(0),
+            },
+            admission: self.serve.admission,
+            subscribers: SubscriberRegistry::new(self.serve.subscriber_buffer),
             draining: AtomicBool::new(false),
             stopping: AtomicBool::new(false),
-            max_poll_events: self.max_poll_events,
+            max_poll_events: self.serve.max_poll_events,
             engine: self.engine,
         });
 
@@ -237,7 +361,7 @@ impl CtkServer {
     pub fn shutdown(mut self) {
         self.drain();
         self.shared.stopping.store(true, Ordering::SeqCst);
-        let _ = self.shared.commands.send(Command::Stop);
+        let _ = self.shared.enqueue(Command::Stop);
         if let Some(ingest) = self.ingest.take() {
             let _ = ingest.join();
         }
@@ -249,15 +373,69 @@ impl CtkServer {
     }
 }
 
+/// Occupancy of the bounded ingest queue, maintained handler-side: the
+/// vendored channel exposes no `len`, so handlers count commands in (at
+/// enqueue, blocked senders included) and the ingest thread counts them
+/// out (at receive). Feeds `GET /stats` and the `Enqueued { depth }`
+/// admission state.
+struct QueueGauge {
+    capacity: usize,
+    depth: AtomicUsize,
+    highwater: AtomicUsize,
+}
+
 /// State shared by the accept loop, every connection handler, and the
 /// ingest thread.
 struct Shared {
     commands: Sender<Command>,
+    queue: QueueGauge,
+    admission: AdmissionPolicy,
     subscribers: SubscriberRegistry,
     draining: AtomicBool,
     stopping: AtomicBool,
     max_poll_events: usize,
     engine: EngineKind,
+}
+
+impl Shared {
+    /// Enqueue a command, blocking while the queue is full. Returns the
+    /// number of commands that were ahead of it, or `None` when the ingest
+    /// thread is gone. Every producer goes through here (or
+    /// [`Shared::try_enqueue`]) so the gauge stays balanced with the ingest
+    /// loop's decrement.
+    fn enqueue(&self, command: Command) -> Option<usize> {
+        let ahead = self.queue.depth.fetch_add(1, Ordering::SeqCst);
+        self.queue.highwater.fetch_max(ahead + 1, Ordering::SeqCst);
+        if self.commands.send(command).is_err() {
+            self.queue.depth.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(ahead)
+    }
+
+    /// Enqueue without blocking: `Err(None)` when the queue is full,
+    /// `Err(Some(..))` rethrowing disconnection as unavailability.
+    fn try_enqueue(&self, command: Command) -> Result<usize, TryEnqueueError> {
+        let ahead = self.queue.depth.fetch_add(1, Ordering::SeqCst);
+        match self.commands.try_send(command) {
+            Ok(()) => {
+                self.queue.highwater.fetch_max(ahead + 1, Ordering::SeqCst);
+                Ok(ahead)
+            }
+            Err(e) => {
+                self.queue.depth.fetch_sub(1, Ordering::SeqCst);
+                match e {
+                    TrySendError::Full(_) => Err(TryEnqueueError::Full),
+                    TrySendError::Disconnected(_) => Err(TryEnqueueError::Gone),
+                }
+            }
+        }
+    }
+}
+
+enum TryEnqueueError {
+    Full,
+    Gone,
 }
 
 /// One backend operation, linearized through the ingest queue. Each carries
@@ -318,6 +496,7 @@ fn ingest_loop(
     let mut publishes = 0u64;
     let mut docs_published = 0u64;
     while let Ok(command) = rx.recv() {
+        shared.queue.depth.fetch_sub(1, Ordering::SeqCst);
         match command {
             Command::Stop => break,
             Command::Register(req, reply) => {
@@ -410,7 +589,7 @@ fn drain(shared: &Shared) {
     // Everything queued before this barrier — publishes included — has been
     // processed and fanned out by the time it acks.
     let (tx, rx) = channel::bounded(1);
-    if shared.commands.send(Command::Barrier(tx)).is_ok() {
+    if shared.enqueue(Command::Barrier(tx)).is_some() {
         let _ = rx.recv();
     }
     shared.subscribers.begin_drain();
@@ -458,9 +637,34 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             }
         };
         let keep_alive = !request.wants_close();
+        if request.method == "POST"
+            && request.path == "/snapshot"
+            && request.query_param("stream").is_some_and(|v| v == "1")
+        {
+            // Streamed responses are framed by EOF, so this is always the
+            // connection's last exchange.
+            let _ = stream_snapshot(&mut writer, shared);
+            return;
+        }
         let response = route(&request, shared);
         if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
             return;
+        }
+    }
+}
+
+/// `POST /snapshot?stream=1`: capture the snapshot and stream its JSON to
+/// the socket with [`SnapshotWriter`] — per-shard sections serialized
+/// concurrently, never materialized as one tree or string. Byte-identical
+/// to the buffered `POST /snapshot` body, so `POST /restore` (and
+/// `Snapshot::from_json`) accept it unchanged.
+fn stream_snapshot<W: Write>(w: &mut W, shared: &Shared) -> io::Result<()> {
+    match ask(shared, Command::Snapshot) {
+        None => unavailable().write_to(w, false),
+        Some(snapshot) => {
+            http::write_stream_head(w, 200)?;
+            SnapshotWriter::new().write(&snapshot, w)?;
+            w.flush()
         }
     }
 }
@@ -469,7 +673,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 /// thread is gone.
 fn ask<T>(shared: &Shared, make: impl FnOnce(Sender<T>) -> Command) -> Option<T> {
     let (tx, rx) = channel::bounded(1);
-    shared.commands.send(make(tx)).ok()?;
+    shared.enqueue(make(tx))?;
     rx.recv().ok()
 }
 
@@ -524,9 +728,12 @@ fn route(request: &Request, shared: &Shared) -> Response {
             }
         },
         ("GET", ["changes"]) => handle_changes(request, shared),
+        // `to_json` (pretty), not a compact `to_string`: the buffered body
+        // is byte-identical to `?stream=1`'s streamed one, so clients can
+        // treat the two interchangeably.
         ("POST", ["snapshot"]) => match ask(shared, Command::Snapshot) {
             None => unavailable(),
-            Some(snapshot) => match serde_json::to_string(&snapshot) {
+            Some(snapshot) => match snapshot.to_json() {
                 Ok(body) => Response::json(200, body),
                 Err(e) => Response::error(500, e),
             },
@@ -569,6 +776,9 @@ fn handle_stats(shared: &Shared) -> Response {
         hot_pages: backend.storage.hot_pages,
         cold_pages: backend.storage.cold_pages,
         page_faults: backend.storage.page_faults,
+        queue_capacity: shared.queue.capacity,
+        queue_depth: shared.queue.depth.load(Ordering::SeqCst),
+        queue_highwater: shared.queue.highwater.load(Ordering::SeqCst),
         subscribers: shared.subscribers.len(),
         events_delivered: delivered,
         events_dropped: dropped,
@@ -606,6 +816,13 @@ pub struct ServerStats {
     pub cold_pages: u64,
     /// Reads that faulted a page back from the spill file, lifetime total.
     pub page_faults: u64,
+    /// Bound of the ingest command queue (the `queue_depth` knob).
+    pub queue_capacity: usize,
+    /// Commands currently enqueued (blocked senders included) — the live
+    /// occupancy behind admission decisions.
+    pub queue_depth: usize,
+    /// Highest `queue_depth` observed since the server started.
+    pub queue_highwater: usize,
     pub subscribers: usize,
     pub events_delivered: u64,
     pub events_dropped: u64,
@@ -695,12 +912,48 @@ fn handle_publish(request: &Request, shared: &Shared) -> Response {
         Err(message) => return Response::error(400, message),
         Ok(publish) => publish,
     };
-    match ask(shared, |tx| Command::Publish(publish, tx)) {
-        None => unavailable(),
-        Some(receipt) => match serde_json::to_string(&receipt) {
-            Ok(body) => Response::json(200, body),
-            Err(e) => Response::error(500, e),
+
+    // Admission is decided at enqueue time: how many commands were ahead,
+    // or — under `Reject` with a full queue — an immediate 429 with no
+    // effects (the publish may be retried verbatim).
+    let (reply_tx, reply_rx) = channel::bounded(1);
+    let command = Command::Publish(publish, reply_tx);
+    let ahead = match shared.admission {
+        AdmissionPolicy::Block => match shared.enqueue(command) {
+            None => return unavailable(),
+            Some(ahead) => ahead,
         },
+        AdmissionPolicy::Reject { retry_after } => match shared.try_enqueue(command) {
+            Ok(ahead) => ahead,
+            Err(TryEnqueueError::Gone) => return unavailable(),
+            Err(TryEnqueueError::Full) => {
+                let admission = Admission::Overloaded { retry_after };
+                let body = object(vec![
+                    ("error", Value::Str("ingest queue is full".to_string())),
+                    ("admission", admission.to_value()),
+                ]);
+                return Response::json(429, body).with_header(
+                    "retry-after",
+                    AdmissionPolicy::retry_after_secs(retry_after).to_string(),
+                );
+            }
+        },
+    };
+    let admission =
+        if ahead == 0 { Admission::Accepted } else { Admission::Enqueued { depth: ahead } };
+    match reply_rx.recv() {
+        Err(_) => unavailable(),
+        Ok(receipt) => {
+            // The receipt object plus how the publish was admitted.
+            let mut value = receipt.to_value();
+            if let Value::Object(entries) = &mut value {
+                entries.push(("admission".to_string(), admission.to_value()));
+            }
+            match serde_json::to_string(&value) {
+                Ok(body) => Response::json(200, body),
+                Err(e) => Response::error(500, e),
+            }
+        }
     }
 }
 

@@ -21,7 +21,7 @@
 //! most lists hold a handful of postings and never seal a block, so the
 //! per-list *fixed* cost decides whether compression wins at all. The
 //! struct is therefore minimal — an exact-fit boxed-slice tail and an
-//! `Option<Box>` of sealed-side tables ([`SealedState`], allocated on the
+//! `Option<Box>` of sealed-side tables (`SealedState`, allocated on the
 //! first seal) — 24 bytes in release builds, *smaller* than a plain
 //! `Vec`-backed list's 32. The sealing policy (codec and pager) lives in
 //! the caller's [`StoreContext`], not in every list.

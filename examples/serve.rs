@@ -5,7 +5,9 @@
 //! cargo run --release --example serve -- \
 //!     [--host 127.0.0.1] [--port 8722] [--engine mrio] [--lambda 1e-3] \
 //!     [--shards N] [--mode query|doc] [--pruning off|on|auto] \
-//!     [--batch N] [--window N] [--queue-depth N] [--subscriber-buffer N]
+//!     [--batch N] [--window N] [--adaptive [target_ms]] \
+//!     [--queue-depth N] [--admission block|reject[:retry_secs]] \
+//!     [--subscriber-buffer N]
 //! ```
 //!
 //! Every monitor knob is the same registry string the bench harness uses
@@ -14,8 +16,8 @@
 //! "Running the daemon" section for a curl transcript against this binary.
 
 use continuous_topk::EngineKind;
-use ctk_core::{DocPruning, ShardingMode};
-use ctk_server::{signal, ServerBuilder};
+use ctk_core::{AdaptiveConfig, DocPruning, ShardingMode};
+use ctk_server::{signal, AdmissionPolicy, ServerBuilder};
 use std::time::Duration;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -54,8 +56,36 @@ fn main() {
     if let Some(window) = parsed::<usize>(&args, "--window") {
         builder = builder.pipeline_window(window);
     }
+    if args.iter().any(|a| a == "--adaptive") {
+        let mut adaptive = AdaptiveConfig::default();
+        // The target is optional: `--adaptive` alone takes the default.
+        if let Some(raw) = arg_value(&args, "--adaptive").filter(|v| !v.starts_with("--")) {
+            match raw.parse() {
+                Ok(target) => adaptive = adaptive.target_drain_ms(target),
+                Err(_) => {
+                    eprintln!("serve: bad value {raw:?} for --adaptive");
+                    std::process::exit(2);
+                }
+            }
+        }
+        builder = builder.adaptive_batching(adaptive);
+    }
     if let Some(depth) = parsed::<usize>(&args, "--queue-depth") {
         builder = builder.queue_depth(depth);
+    }
+    if let Some(raw) = arg_value(&args, "--admission") {
+        let policy = match raw.as_str() {
+            "block" => AdmissionPolicy::Block,
+            "reject" => AdmissionPolicy::Reject { retry_after: 1.0 },
+            other => match other.strip_prefix("reject:").and_then(|s| s.parse().ok()) {
+                Some(retry_after) => AdmissionPolicy::Reject { retry_after },
+                None => {
+                    eprintln!("serve: bad value {raw:?} for --admission");
+                    std::process::exit(2);
+                }
+            },
+        };
+        builder = builder.admission(policy);
     }
     if let Some(capacity) = parsed::<usize>(&args, "--subscriber-buffer") {
         builder = builder.subscriber_buffer(capacity);

@@ -10,8 +10,9 @@
 use ctk_baselines::{Rta, SortQuer, Tps};
 use ctk_common::{FxHashMap, QueryId};
 use ctk_core::{
-    ContinuousTopK, DocPruning, Monitor, MonitorBackend, MrioBlock, MrioSeg, MrioSuffix, Naive,
-    PostingsStorage, Rio, ShardedMonitor, ShardingMode, Snapshot, StorageConfig,
+    AdaptiveConfig, ContinuousTopK, DocPruning, IndexConfig, IngestConfig, Monitor, MonitorBackend,
+    MrioBlock, MrioSeg, MrioSuffix, Naive, PostingsStorage, Rio, ShardedMonitor, ShardingMode,
+    Snapshot, StorageConfig,
 };
 
 /// Every engine a monitor can run on: the paper's algorithms, the three
@@ -204,34 +205,48 @@ impl std::str::FromStr for EngineKind {
 /// assert_eq!(monitor.sharding_mode(), ShardingMode::Documents);
 /// assert_eq!(monitor.results(q).unwrap().len(), 1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonitorBuilder {
     kind: EngineKind,
     lambda: f64,
     shards: usize,
     sharding: ShardingMode,
-    batch_size: usize,
-    pipeline_window: usize,
-    compaction_threshold: f64,
-    doc_pruning: DocPruning,
-    storage: StorageConfig,
+    ingest: IngestConfig,
+    index: IndexConfig,
 }
 
 impl MonitorBuilder {
-    /// A builder for `kind` with λ = 0, one shard, whole-publish batches,
-    /// compaction disabled and plain postings storage.
+    /// A builder for `kind` with λ = 0, one shard, and the default
+    /// [`IngestConfig`] (whole-publish batches, fixed chunking) and
+    /// [`IndexConfig`] (plain postings storage, compaction disabled).
     pub fn new(kind: EngineKind) -> Self {
         MonitorBuilder {
             kind,
             lambda: 0.0,
             shards: 1,
             sharding: ShardingMode::Queries,
-            batch_size: 0,
-            pipeline_window: 1,
-            compaction_threshold: 0.0,
-            doc_pruning: DocPruning::Auto,
-            storage: StorageConfig::plain(),
+            ingest: IngestConfig::default(),
+            index: IndexConfig::default(),
         }
+    }
+
+    /// Replace the whole ingestion profile at once (see [`IngestConfig`]).
+    /// The flat knobs ([`MonitorBuilder::batch_size`],
+    /// [`MonitorBuilder::pipeline_window`],
+    /// [`MonitorBuilder::adaptive_batching`]) write through to the same
+    /// value, so both styles compose.
+    pub fn ingest(mut self, ingest: IngestConfig) -> Self {
+        self.ingest = ingest;
+        self
+    }
+
+    /// Replace the whole index profile at once (see [`IndexConfig`]).
+    /// The flat knobs ([`MonitorBuilder::postings_storage`],
+    /// [`MonitorBuilder::page_budget`], [`MonitorBuilder::compact_at`],
+    /// [`MonitorBuilder::doc_pruning`]) write through to the same value.
+    pub fn index(mut self, index: IndexConfig) -> Self {
+        self.index = index;
+        self
     }
 
     /// The decay parameter λ (per time unit).
@@ -266,7 +281,7 @@ impl MonitorBuilder {
     /// split into chunks of this many documents and pipelined. 0 (the
     /// default) sends each publish as one batch.
     pub fn batch_size(mut self, batch_size: usize) -> Self {
-        self.batch_size = batch_size;
+        self.ingest.batch_size = batch_size;
         self
     }
 
@@ -274,7 +289,20 @@ impl MonitorBuilder {
     /// (0 = fully synchronous). Default 1: shards score chunk *n+1* while
     /// the merger drains chunk *n*.
     pub fn pipeline_window(mut self, window: usize) -> Self {
-        self.pipeline_window = window;
+        self.ingest.pipeline_window = window;
+        self
+    }
+
+    /// Enable AIMD adaptive ingest chunking on sharded front-ends (see
+    /// [`AdaptiveConfig`]): `publish_batch` grows its chunk size while
+    /// drains come back under the latency target and halves it when they
+    /// don't, instead of using the fixed [`MonitorBuilder::batch_size`].
+    /// Results are bit-identical either way — chunking is
+    /// result-invariant — so this only moves throughput and latency. No
+    /// effect on the single-engine front-end (one shard, query mode),
+    /// which has no drain pipeline to pace.
+    pub fn adaptive_batching(mut self, cfg: AdaptiveConfig) -> Self {
+        self.ingest.adaptive = Some(cfg);
         self
     }
 
@@ -283,7 +311,7 @@ impl MonitorBuilder {
     /// and the affected bound structures rebuilt. `<= 0.0` (the default)
     /// disables the policy.
     pub fn compact_at(mut self, ratio: f64) -> Self {
-        self.compaction_threshold = ratio;
+        self.index.compaction_threshold = ratio;
         self
     }
 
@@ -308,7 +336,7 @@ impl MonitorBuilder {
     /// `zones_skipped` counters show how much walk the bounds refute. No
     /// effect in query mode.
     pub fn doc_pruning(mut self, pruning: DocPruning) -> Self {
-        self.doc_pruning = pruning;
+        self.index.doc_pruning = pruning;
         self
     }
 
@@ -331,7 +359,7 @@ impl MonitorBuilder {
     /// variants, TPS, Naive — and the document-mode shared epoch); RTA and
     /// SortQuer keep their own snapshot structures.
     pub fn postings_storage(mut self, storage: PostingsStorage) -> Self {
-        self.storage.storage = storage;
+        self.index.storage.storage = storage;
         self
     }
 
@@ -340,35 +368,43 @@ impl MonitorBuilder {
     /// [`StorageConfig::DEFAULT_PAGE_BUDGET`]. Ignored by the other
     /// storage backends.
     pub fn page_budget(mut self, bytes: usize) -> Self {
-        self.storage.page_budget_bytes = bytes;
+        self.index.storage.page_budget_bytes = bytes;
         self
+    }
+
+    /// Apply the ingest profile to a sharded front-end.
+    fn configure_ingest(&self, sharded: &mut ShardedMonitor) {
+        sharded.set_ingest_chunking(self.ingest.batch_size, self.ingest.pipeline_window);
+        if let Some(cfg) = self.ingest.adaptive {
+            sharded.set_adaptive_batching(cfg);
+        }
+        if self.index.compaction_threshold > 0.0 {
+            sharded.set_compaction_threshold(self.index.compaction_threshold);
+        }
     }
 
     /// Build the configured backend.
     pub fn build(&self) -> Box<dyn MonitorBackend + Send> {
         match self.sharding {
             ShardingMode::Queries if self.shards == 1 => Box::new(
-                Monitor::new(self.kind.build_engine_with(self.lambda, &self.storage))
-                    .with_compaction(self.compaction_threshold),
+                Monitor::new(self.kind.build_engine_with(self.lambda, &self.index.storage))
+                    .with_compaction(self.index.compaction_threshold),
             ),
             ShardingMode::Queries => {
                 let mut sharded = ShardedMonitor::new(self.shards, || {
-                    self.kind.build_engine_with(self.lambda, &self.storage)
+                    self.kind.build_engine_with(self.lambda, &self.index.storage)
                 });
-                sharded.set_ingest_chunking(self.batch_size, self.pipeline_window);
-                if self.compaction_threshold > 0.0 {
-                    sharded.set_compaction_threshold(self.compaction_threshold);
-                }
+                self.configure_ingest(&mut sharded);
                 Box::new(sharded)
             }
             ShardingMode::Documents => {
-                let mut sharded =
-                    ShardedMonitor::new_doc_parallel_with(self.shards, self.lambda, &self.storage);
-                sharded.set_ingest_chunking(self.batch_size, self.pipeline_window);
-                sharded.set_doc_pruning(self.doc_pruning);
-                if self.compaction_threshold > 0.0 {
-                    sharded.set_compaction_threshold(self.compaction_threshold);
-                }
+                let mut sharded = ShardedMonitor::new_doc_parallel_with(
+                    self.shards,
+                    self.lambda,
+                    &self.index.storage,
+                );
+                sharded.set_doc_pruning(self.index.doc_pruning);
+                self.configure_ingest(&mut sharded);
                 Box::new(sharded)
             }
         }
@@ -453,6 +489,58 @@ mod tests {
                 assert_eq!(m.results(q).unwrap().len(), 1, "{storage} {mode} x{shards}");
                 assert!(m.storage_stats().index_bytes > 0, "{storage} {mode} x{shards}");
             }
+        }
+    }
+
+    #[test]
+    fn grouped_and_flat_knobs_configure_the_same_builder() {
+        let adaptive = AdaptiveConfig::default().chunk_bounds(4, 128).target_drain_ms(2.0);
+        let flat = MonitorBuilder::new(EngineKind::Mrio)
+            .lambda(0.001)
+            .shards(2)
+            .batch_size(64)
+            .pipeline_window(2)
+            .adaptive_batching(adaptive)
+            .compact_at(0.3)
+            .doc_pruning(DocPruning::On)
+            .postings_storage(PostingsStorage::Paged)
+            .page_budget(4096);
+        let grouped = MonitorBuilder::new(EngineKind::Mrio)
+            .lambda(0.001)
+            .shards(2)
+            .ingest(IngestConfig::default().batch_size(64).pipeline_window(2).adaptive(adaptive))
+            .index(
+                IndexConfig::default()
+                    .storage(StorageConfig {
+                        storage: PostingsStorage::Paged,
+                        page_budget_bytes: 4096,
+                        spill_dir: None,
+                    })
+                    .compaction_threshold(0.3)
+                    .doc_pruning(DocPruning::On),
+            );
+        assert_eq!(flat, grouped);
+    }
+
+    #[test]
+    fn adaptive_batching_reaches_both_sharded_front_ends() {
+        use ctk_common::{QuerySpec, TermId};
+        let batch: Vec<_> = (0..20u64)
+            .map(|i| (vec![(TermId((i % 4) as u32), 1.0 / (i + 1) as f32)], i as f64))
+            .collect();
+        let mut oracle = MonitorBuilder::new(EngineKind::Mrio).lambda(0.001).build();
+        let q = oracle.register(QuerySpec::uniform(&[TermId(1), TermId(2)], 3).unwrap());
+        oracle.publish_batch(batch.clone());
+        for mode in ShardingMode::ALL {
+            let mut m = MonitorBuilder::new(EngineKind::Mrio)
+                .lambda(0.001)
+                .shards(2)
+                .sharding(mode)
+                .adaptive_batching(AdaptiveConfig::default().chunk_bounds(1, 4))
+                .build();
+            let q2 = m.register(QuerySpec::uniform(&[TermId(1), TermId(2)], 3).unwrap());
+            m.publish_batch(batch.clone());
+            assert_eq!(m.results(q2), oracle.results(q), "{mode}");
         }
     }
 

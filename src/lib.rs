@@ -113,10 +113,11 @@ pub mod prelude {
         TermId, Timestamp,
     };
     pub use ctk_core::{
-        ContinuousTopK, CumulativeStats, DecayModel, DocPruning, EventStats, EvictionPolicy,
-        Monitor, MonitorBackend, Mrio, MrioBlock, MrioSeg, MrioSuffix, Naive, NamespaceStats,
-        PostingsStorage, PublishReceipt, PublishRequest, QueryOptions, ResultChange,
-        RetentionPolicy, Rio, ShardSnapshot, ShardedMonitor, ShardingMode, Snapshot, SnapshotQuery,
+        AdaptiveConfig, Admission, ContinuousTopK, CumulativeStats, DecayModel, DocPruning,
+        EventStats, EvictionPolicy, IndexConfig, IngestConfig, Monitor, MonitorBackend, Mrio,
+        MrioBlock, MrioSeg, MrioSuffix, Naive, NamespaceStats, PostingsStorage, PublishReceipt,
+        PublishRequest, QueryOptions, ResultChange, RetentionPolicy, Rio, ShardSnapshot,
+        ShardedMonitor, ShardingMode, Snapshot, SnapshotQuery, SnapshotStreamStats, SnapshotWriter,
         StorageConfig, StorageStats, SNAPSHOT_VERSION,
     };
     pub use ctk_stream::{

@@ -380,6 +380,136 @@ fn malformed_requests_get_client_errors_not_hangs() {
 }
 
 #[test]
+fn reject_admission_answers_429_with_retry_after_and_loses_no_accepted_docs() {
+    use ctk_server::AdmissionPolicy;
+    // Queue depth 1 and a reject policy: whenever two publishers race while
+    // the ingest thread is busy, the loser is told to come back later.
+    let server = ServerBuilder::new(EngineKind::Mrio)
+        .lambda(1e-3)
+        .queue_depth(1)
+        .admission(AdmissionPolicy::Reject { retry_after: 0.25 })
+        .bind("127.0.0.1:0")
+        .expect("bind ephemeral loopback port");
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Enough overlapping queries that a large batch takes real work.
+    for q in 0..64 {
+        let term = q % 8 + 1;
+        ok(client.post("/queries", &format!(r#"{{"terms": [[{term}, 1.0]], "k": 4}}"#)), 200);
+    }
+    let docs: Vec<String> = (0..400)
+        .map(|d| format!(r#"{{"terms": [[{}, 0.9]], "arrival": {}.0}}"#, d % 8 + 1, d))
+        .collect();
+    let big_batch = format!(r#"{{"docs": [{}]}}"#, docs.join(", "));
+
+    // Background publishers keep the ingest thread saturated while the
+    // foreground hammers until it draws a 429. Everyone counts what was
+    // actually accepted so we can prove rejected publishes had no effect.
+    let addr = server.addr();
+    let publish_round = move |c: &mut HttpClient, batch: &str| -> (u64, u64) {
+        let (status, body) = c.post("/publish", batch).expect("transport");
+        match status {
+            200 => {
+                let receipt = parse(&body);
+                let state =
+                    receipt.get("admission").unwrap().get("state").unwrap().as_str().unwrap();
+                assert!(state == "accepted" || state == "enqueued", "admitted publishes say so");
+                (1, 0)
+            }
+            429 => {
+                let refusal = parse(&body);
+                assert_eq!(
+                    refusal.get("admission").unwrap().get("state").unwrap().as_str().unwrap(),
+                    "overloaded"
+                );
+                // retry_after 0.25 rounds up to a whole-second header.
+                assert_eq!(c.retry_after(), Some(1.0), "Retry-After is ceil'd seconds");
+                (0, 1)
+            }
+            other => panic!("unexpected publish status {other}: {body}"),
+        }
+    };
+    let publishers: Vec<_> = (0..4)
+        .map(|_| {
+            let batch = big_batch.clone();
+            std::thread::spawn(move || {
+                let mut c = HttpClient::connect(addr).unwrap();
+                c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                (0..30).fold((0u64, 0u64), |(a, r), _| {
+                    let (da, dr) = publish_round(&mut c, &batch);
+                    (a + da, r + dr)
+                })
+            })
+        })
+        .collect();
+
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    for _ in 0..60 {
+        let (da, dr) = publish_round(&mut client, &big_batch);
+        accepted += da;
+        rejected += dr;
+        if dr > 0 {
+            break;
+        }
+    }
+    for publisher in publishers {
+        let (a, r) = publisher.join().unwrap();
+        accepted += a;
+        rejected += r;
+    }
+    assert!(rejected > 0, "queue depth 1 under 5 concurrent publishers must overflow");
+
+    // Recovery: once the burst drains, publishing works again, and the
+    // accepted-doc count proves every 429 was effect-free.
+    let receipt = parse(&ok(client.post("/publish", &big_batch), 200));
+    assert_eq!(receipt.get("doc_ids").unwrap().as_array().unwrap().len(), 400);
+    accepted += 1;
+    server.drain();
+    let stats = parse(&ok(client.get("/stats"), 200));
+    assert_eq!(field_u64(&stats, "docs_published"), accepted * 400);
+    assert_eq!(field_u64(&stats, "queue_capacity"), 1);
+    assert!(field_u64(&stats, "queue_highwater") >= 1, "the gauge saw the queue fill");
+    server.shutdown();
+}
+
+#[test]
+fn streamed_snapshot_is_byte_identical_to_buffered_and_restores_bit_identically() {
+    let (server, mut client) = start(EngineKind::Mrio, 2);
+    let (qa, qb) = register_two(&mut client);
+    ok(client.post("/publish", BATCH), 200);
+    let results_a = parse(&ok(client.get(&format!("/queries/{qa}/results")), 200));
+    let results_b = parse(&ok(client.get(&format!("/queries/{qb}/results")), 200));
+
+    let buffered = ok(client.post("/snapshot", ""), 200);
+
+    // The streamed variant is EOF-framed and closes the connection, so it
+    // gets its own connection — and must produce the exact same bytes.
+    let mut streamer = HttpClient::connect(server.addr()).expect("connect");
+    streamer.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let streamed = ok(streamer.post("/snapshot?stream=1", ""), 200);
+    assert_eq!(streamed, buffered, "streamed and buffered snapshots must be byte-identical");
+    server.shutdown();
+
+    // The streamed bytes restore onto a different shard count with
+    // bit-identical per-query results.
+    let (restarted, mut client) = start(EngineKind::Mrio, 3);
+    let restored = parse(&ok(client.post("/restore", &streamed), 200));
+    let mapping = restored.get("mapping").unwrap().as_array().unwrap().to_vec();
+    for (old, old_results) in [(qa, results_a), (qb, results_b)] {
+        let pair = mapping
+            .iter()
+            .map(|p| p.as_array().unwrap())
+            .find(|p| p[0].as_u64().unwrap() == old)
+            .expect("every captured query is mapped");
+        let new = pair[1].as_u64().unwrap();
+        let after = parse(&ok(client.get(&format!("/queries/{new}/results")), 200));
+        assert_eq!(after.get("results"), old_results.get("results"));
+    }
+    restarted.shutdown();
+}
+
+#[test]
 fn stats_report_storage_counters_for_a_paged_backend() {
     use continuous_topk::prelude::PostingsStorage;
     let server = ServerBuilder::new(EngineKind::Mrio)

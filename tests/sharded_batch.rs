@@ -196,6 +196,146 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Adaptive AIMD chunking must be invisible in results: a monitor whose
+    /// chunk size breathes with drain latency stays bit-identical to a
+    /// fixed-window monitor *and* to the serial `Naive` oracle — in both
+    /// sharding modes, through register/unregister churn and a
+    /// renorm-capable λ — because chunking is result-invariant.
+    ///
+    /// The sampled `target_drain_ms` deliberately includes the two
+    /// degenerate controllers: `0.0` (every drain is "too slow", the chunk
+    /// collapses to `min_chunk`) and `∞` (every drain is "fast", the chunk
+    /// climbs to the max) — so the equivalence is exercised across the
+    /// controller's whole reachable schedule space, not just its fixpoint.
+    #[test]
+    fn adaptive_batching_matches_fixed_window_and_naive(
+        mode in prop::sample::select(vec![ShardingMode::Queries, ShardingMode::Documents]),
+        shards in 2usize..4,
+        fixed_batch in 1usize..9,
+        target_ms in prop::sample::select(vec![0.0f64, 5.0, f64::INFINITY]),
+        min_chunk in 1usize..4,
+        span in 0usize..6,
+        step in 1usize..32,
+        initial in prop::collection::vec(
+            (prop::collection::vec((0u32..40, 0.1f32..2.0), 1..4), 1usize..4),
+            4..12,
+        ),
+        rounds in prop::collection::vec(
+            (
+                // This round's documents.
+                prop::collection::vec(prop::collection::vec((0u32..40, 0.1f32..2.0), 1..6), 1..12),
+                // Churn: a candidate registration, applied when gate > 0...
+                (prop::collection::vec((0u32..40, 0.1f32..2.0), 1..4), 1usize..4),
+                0usize..3,
+                // ...and an unregister slot (== len means "skip").
+                0usize..64,
+            ),
+            2..6,
+        ),
+        lambda in prop::sample::select(vec![0.0, 0.8]),
+    ) {
+        let cfg = AdaptiveConfig::default()
+            .target_drain_ms(target_ms)
+            .chunk_bounds(min_chunk, min_chunk + span)
+            .increase_step(step);
+        let build = |adaptive: bool| {
+            let mut m = match mode {
+                ShardingMode::Queries => ShardedMonitor::new(shards, move || Naive::new(lambda)),
+                ShardingMode::Documents => ShardedMonitor::new_doc_parallel(shards, lambda),
+            };
+            if adaptive {
+                m.set_adaptive_batching(cfg);
+            } else {
+                m.set_ingest_chunking(fixed_batch, 1);
+            }
+            m
+        };
+        let mut adaptive = build(true);
+        let mut fixed = build(false);
+        let mut single = Naive::new(lambda);
+        let mut live: Vec<QueryId> = Vec::new();
+
+        for (terms, k) in &initial {
+            if let Some(spec) = make_spec(terms, *k) {
+                let qid = adaptive.register(spec.clone());
+                prop_assert_eq!(qid, fixed.register(spec.clone()));
+                prop_assert_eq!(qid, single.register(spec));
+                live.push(qid);
+            }
+        }
+        prop_assume!(!live.is_empty());
+
+        // Arrivals advance 2.0 per document so the λ = 0.8 cases can cross
+        // the renormalization headroom mid-stream.
+        let mut last_arrival = 0.0f64;
+        let mut next_doc = 0u64;
+        for (doc_batches, (reg_terms, reg_k), reg_gate, unreg_slot) in &rounds {
+            let slot = unreg_slot % (live.len() + 1);
+            if slot < live.len() {
+                let qid = live.remove(slot);
+                prop_assert!(adaptive.unregister(qid));
+                prop_assert!(fixed.unregister(qid));
+                prop_assert!(single.unregister(qid));
+            }
+            if *reg_gate > 0 {
+                if let Some(spec) = make_spec(reg_terms, *reg_k) {
+                    let qid = adaptive.register(spec.clone());
+                    prop_assert_eq!(qid, fixed.register(spec.clone()));
+                    prop_assert_eq!(qid, single.register(spec));
+                    live.push(qid);
+                }
+            }
+
+            let batch: Vec<(Vec<(TermId, f32)>, f64)> = doc_batches
+                .iter()
+                .map(|pairs| {
+                    last_arrival += 2.0;
+                    (
+                        pairs.iter().map(|&(t, w)| (TermId(t), w)).collect::<Vec<_>>(),
+                        last_arrival,
+                    )
+                })
+                .collect();
+            let base = next_doc;
+            next_doc += batch.len() as u64;
+            for (i, (pairs, at)) in batch.iter().enumerate() {
+                single.process(&Document::new(DocId(base + i as u64), pairs.clone(), *at));
+            }
+            let receipt_a = adaptive.publish_batch(batch.clone());
+            let receipt_f = fixed.publish_batch(batch);
+
+            // Same documents admitted; same changes. The emission *order*
+            // of changes legitimately varies with chunk boundaries, so
+            // compare as sets via a canonical sort. (Per-document work
+            // stats may differ too: document mode freezes pruning bounds
+            // per chunk, so a different chunking walks differently — but
+            // never to different results.)
+            prop_assert_eq!(&receipt_a.doc_ids, &receipt_f.doc_ids);
+            let canon = |mut changes: Vec<ResultChange>| {
+                changes.sort_by(|a, b| {
+                    (a.query, a.inserted.doc).cmp(&(b.query, b.inserted.doc))
+                });
+                changes
+            };
+            prop_assert_eq!(canon(receipt_a.changes), canon(receipt_f.changes));
+
+            // The controller never leaves its configured bounds.
+            let chunk = adaptive.adaptive_chunk().expect("controller installed");
+            prop_assert!((min_chunk..=min_chunk + span).contains(&chunk));
+            prop_assert_eq!(fixed.adaptive_chunk(), None);
+        }
+
+        for qid in &live {
+            let want = single.results(*qid);
+            prop_assert_eq!(adaptive.results(*qid), want.clone(), "adaptive vs oracle: {:?}", qid);
+            prop_assert_eq!(fixed.results(*qid), want, "fixed vs oracle: {:?}", qid);
+        }
+    }
+}
+
 /// One namespace's sampled retention setup for the lifecycle proptest.
 #[derive(Debug, Clone)]
 struct NsSetup {

@@ -34,6 +34,20 @@ pub mod channel {
                 Flavor::Bounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
             }
         }
+
+        /// Send a message without blocking. On a full bounded channel the
+        /// message comes straight back as [`TrySendError::Full`]; an
+        /// unbounded channel is never full, so there only disconnection
+        /// fails.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Flavor::Unbounded(tx) => tx.send(msg).map_err(|e| TrySendError::Disconnected(e.0)),
+                Flavor::Bounded(tx) => tx.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
+        }
     }
 
     /// The receiving half of a channel.
@@ -78,6 +92,41 @@ pub mod channel {
         }
     }
 
+    /// Outcome of a failed [`Sender::try_send`]: the message comes back so
+    /// the caller can retry or report it.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// All receivers have disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recover the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// True when the failure was a full channel (backpressure), not a
+        /// disconnection.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    // Like the real crate: Debug without requiring `T: Debug`.
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
     /// The channel is empty and all senders have disconnected.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -119,5 +168,29 @@ mod tests {
         std::thread::spawn(move || tx.send(7).unwrap());
         assert_eq!(rx.recv(), Ok(7));
         assert!(rx.recv().is_err(), "sender dropped");
+    }
+
+    #[test]
+    fn try_send_reports_full_then_recovers() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        let err = tx.try_send(2).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 2, "the rejected message comes back");
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+    }
+
+    #[test]
+    fn try_send_on_unbounded_never_reports_full() {
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..1000 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(rx.recv(), Ok(0));
     }
 }
