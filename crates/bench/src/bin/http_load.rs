@@ -6,7 +6,8 @@
 //!     [--addr 127.0.0.1:8722] [--queries 200] [--docs 2000] [--batch 64] \
 //!     [--engine mrio] [--lambda 1e-3] [--shards 1] [--mode query|doc] \
 //!     [--pruning off|on|auto] [--adaptive [target_ms]] [--queue-depth N] \
-//!     [--admission block|reject[:retry_secs]] [--drain] [--out http_load]
+//!     [--admission block|reject[:retry_secs]] [--drain] [--out http_load] \
+//!     [--acked-log PATH]
 //! ```
 //!
 //! Without `--addr` the harness self-hosts a server on an ephemeral
@@ -25,6 +26,11 @@
 //! (`rejects`) and was retried after honoring `Retry-After` (`retries`).
 //! Against a blocking-admission daemon both stay 0; against a rejecting
 //! one they measure how hard the publisher actually pushed.
+//!
+//! `--acked-log PATH` appends one line per *acked* publish — the receipt's
+//! `doc_ids`, flushed before the next batch goes out. Crash-recovery CI
+//! kills the daemon mid-run and uses this file as the ground truth for
+//! which documents the server acknowledged and therefore must not lose.
 
 use continuous_topk::EngineKind;
 use ctk_bench::write_json_report;
@@ -141,6 +147,13 @@ fn main() {
     let lambda: f64 = parsed(&args, "--lambda").unwrap_or(1e-3);
     let out = arg_value(&args, "--out").unwrap_or_else(|| "http_load".to_string());
     let drain = args.iter().any(|a| a == "--drain");
+    let mut acked_log = arg_value(&args, "--acked-log").map(|path| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| die(format!("cannot open acked log {path}: {e}")))
+    });
 
     // Self-host unless pointed at a running daemon.
     let (server, addr) = match parsed::<SocketAddr>(&args, "--addr") {
@@ -239,8 +252,20 @@ fn main() {
             let sent = Instant::now();
             match client.post("/publish", &body) {
                 Err(e) => die(format!("publish: transport error: {e}")),
-                Ok((200, _)) => {
+                Ok((200, body)) => {
                     latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                    // Record the ack *now*, flushed, so a daemon crash after
+                    // this point cannot erase the evidence that it acked.
+                    if let Some(log) = acked_log.as_mut() {
+                        let ids = json(&body, "publish receipt")
+                            .get("doc_ids")
+                            .map(|v| serde_json::to_string(v).expect("doc_ids serialize"))
+                            .unwrap_or_else(|| die("publish receipt has no doc_ids"));
+                        use std::io::Write;
+                        writeln!(log, "{ids}")
+                            .and_then(|()| log.flush())
+                            .unwrap_or_else(|e| die(format!("acked log write: {e}")));
+                    }
                     break;
                 }
                 Ok((429, _)) => {

@@ -1,18 +1,21 @@
 //! # ctk-common
 //!
 //! Shared primitive types for the `continuous-topk` workspace: identifier
-//! newtypes, sparse document/query vectors, a total-order `f64` wrapper and a
-//! fast non-cryptographic hasher used on hot paths.
+//! newtypes, sparse document/query vectors, a total-order `f64` wrapper, a
+//! fast non-cryptographic hasher used on hot paths, and a CRC-32 for the
+//! durability layer's on-disk records.
 //!
 //! Every other crate in the workspace depends on this one; it depends only on
 //! `serde` (for snapshot persistence of the core types).
 
+pub mod crc;
 pub mod float;
 pub mod hash;
 pub mod ids;
 pub mod namespace;
 pub mod types;
 
+pub use crc::{crc32, Crc32};
 pub use float::OrdF64;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{DocId, QueryId, TermId};

@@ -212,6 +212,12 @@ impl PublishRequest {
         self.docs.first().map(|(_, at)| *at)
     }
 
+    /// The documents as `(pairs, arrival)` slices — what the journal layer
+    /// serializes so a replayed publish rebuilds this exact request.
+    pub fn docs(&self) -> &[(Vec<(TermId, f32)>, Timestamp)] {
+        &self.docs
+    }
+
     /// The raw batch shape consumed by [`MonitorBackend::publish_batch`].
     pub fn into_batch(self) -> Vec<(Vec<(TermId, f32)>, Timestamp)> {
         self.docs

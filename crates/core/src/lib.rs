@@ -22,6 +22,7 @@ pub mod lifecycle;
 pub mod monitor;
 pub mod mrio;
 pub mod naive;
+pub mod replay;
 pub mod rio;
 pub mod score;
 pub mod sharded;
@@ -44,6 +45,7 @@ pub use monitor::{
 };
 pub use mrio::{Mrio, MrioBlock, MrioSeg, MrioSuffix};
 pub use naive::Naive;
+pub use replay::{ReplayCommand, Replayer};
 pub use rio::Rio;
 pub use score::DecayModel;
 pub use sharded::{AdaptiveBatcher, BatchOutcome, ShardedMonitor, DOC_PRUNING_AUTO_MIN_QUERIES};

@@ -1,0 +1,77 @@
+//! `ctk-serve`: the installable monitor daemon. A thin flag-parsing shell
+//! over [`ServerBuilder`] — the same knobs as the workspace's `serve`
+//! example plus the durability ones, because this binary is what the
+//! crash-recovery tests and the CI smoke scenario actually SIGKILL.
+//!
+//! ```text
+//! ctk-serve [--host 127.0.0.1] [--port 8722] [--engine mrio]
+//!           [--lambda 1e-3] [--shards N] [--queue-depth N]
+//!           [--journal-dir DIR] [--fsync always|never|interval:<ms>]
+//!           [--journal-max-bytes N]
+//! ```
+//!
+//! Prints `ctk-serve: listening on http://ADDR` on stdout (flushed) once the
+//! listener is bound — with `--port 0` that line is how a harness learns the
+//! ephemeral port. Runs until SIGTERM/SIGINT, then drains and exits.
+
+use continuous_topk::EngineKind;
+use ctk_server::{signal, FsyncPolicy, ServerBuilder};
+use std::io::Write;
+use std::time::Duration;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let raw = arg_value(args, flag)?;
+    match raw.parse() {
+        Ok(value) => Some(value),
+        Err(_) => {
+            eprintln!("ctk-serve: bad value {raw:?} for {flag}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let host = arg_value(&args, "--host").unwrap_or_else(|| "127.0.0.1".to_string());
+    let port: u16 = parsed(&args, "--port").unwrap_or(8722);
+    let engine: EngineKind = parsed(&args, "--engine").unwrap_or(EngineKind::Mrio);
+
+    let mut builder = ServerBuilder::new(engine)
+        .lambda(parsed(&args, "--lambda").unwrap_or(1e-3))
+        .shards(parsed(&args, "--shards").unwrap_or(1));
+    if let Some(depth) = parsed::<usize>(&args, "--queue-depth") {
+        builder = builder.queue_depth(depth);
+    }
+    if let Some(dir) = arg_value(&args, "--journal-dir") {
+        builder = builder.journal_dir(dir);
+    }
+    if let Some(policy) = parsed::<FsyncPolicy>(&args, "--fsync") {
+        builder = builder.fsync(policy);
+    }
+    if let Some(bytes) = parsed::<u64>(&args, "--journal-max-bytes") {
+        builder = builder.journal_max_bytes(bytes);
+    }
+
+    signal::install();
+    let server = match builder.bind((host.as_str(), port)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ctk-serve: cannot start on {host}:{port}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Flushed immediately: harnesses block on this line to learn the port.
+    println!("ctk-serve: listening on http://{}", server.addr());
+    let _ = std::io::stdout().flush();
+
+    while !signal::requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("ctk-serve: termination signal received; draining");
+    server.shutdown();
+    eprintln!("ctk-serve: drained and stopped");
+}

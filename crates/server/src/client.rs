@@ -9,7 +9,8 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// One keep-alive connection to a server.
 pub struct HttpClient {
@@ -23,6 +24,47 @@ impl HttpClient {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(HttpClient { reader: BufReader::new(stream), last_retry_after: None })
+    }
+
+    /// Connect with a bound on how long the TCP handshake may take — what a
+    /// harness wants against a daemon that might be SIGSTOPped, dropping
+    /// SYNs, or behind a dead route where plain `connect` can hang for the
+    /// kernel's own timeout (minutes).
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient { reader: BufReader::new(stream), last_retry_after: None })
+    }
+
+    /// Keep trying [`HttpClient::connect_timeout`] until it succeeds or
+    /// `deadline` has elapsed, sleeping between attempts with capped
+    /// exponential backoff (10 ms doubling to at most 500 ms). This is the
+    /// restart-side counterpart of crash recovery: a monitor coming back up
+    /// refuses connections first and answers `503 warming` next, and a
+    /// client that wants "reconnect when it's back" should poll patiently
+    /// rather than hot-loop. Returns the last connection error if the
+    /// deadline passes.
+    pub fn connect_with_retry(addr: SocketAddr, deadline: Duration) -> io::Result<HttpClient> {
+        let start = Instant::now();
+        let mut backoff = Duration::from_millis(10);
+        loop {
+            let remaining = match deadline.checked_sub(start.elapsed()) {
+                None | Some(Duration::ZERO) => {
+                    return HttpClient::connect_timeout(addr, Duration::from_millis(1));
+                }
+                Some(remaining) => remaining,
+            };
+            match HttpClient::connect_timeout(addr, remaining.min(Duration::from_secs(1))) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if start.elapsed() + backoff >= deadline {
+                        return Err(e);
+                    }
+                    thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(500));
+                }
+            }
+        }
     }
 
     /// The `Retry-After` value (seconds) of the most recent response, if it

@@ -19,10 +19,11 @@
 //! | `GET /namespaces/{ns}/retention` | read a namespace's policy (404 for unknown namespaces) |
 //! | `POST /forget` | bulk-remove a namespace: `{"namespace": n, "dry_run": true}` previews, `"confirm": true` removes |
 //! | `GET /stats` | engine, λ, shards, query/publish counters, expiry/eviction totals, per-namespace counts, storage counters (`index_bytes`, `hot_pages`, `cold_pages`, `page_faults`), ingest-queue occupancy (`queue_depth`, `queue_capacity`, `queue_highwater`), fan-out totals |
-//! | `POST /snapshot` | capture the full monitor state as a versioned JSON snapshot; `?stream=1` streams the same bytes section-by-section (EOF-framed, connection closes) without materializing the JSON tree |
-//! | `POST /restore` | replace the live monitor from a snapshot → id mapping |
+//! | `POST /snapshot` | capture the full monitor state as a versioned JSON snapshot; `?stream=1` streams the same bytes section-by-section (EOF-framed, connection closes) without materializing the JSON tree; with a journal configured this is a **checkpoint** — the snapshot lands in `checkpoint.json` and the journal truncates |
+//! | `POST /restore` | replace the live monitor from a snapshot → id mapping (rejects snapshot versions newer than this build reads; checkpointed when a journal is active) |
 //! | `POST /admin/drain` | refuse further publishes (503), flush in-flight ones, wake pollers |
-//! | `GET /healthz` | liveness + draining flag |
+//! | `GET /healthz` | liveness + `draining`/`warming` flags (always `200` while the process is up) |
+//! | `GET /readyz` | readiness: `200` once journal replay finished and the server is not draining, else `503` with the blocking state |
 //!
 //! Architecture in one paragraph: a single **ingest thread** owns the
 //! backend; connection handlers enqueue commands onto a *bounded* channel
@@ -39,11 +40,16 @@
 
 pub mod client;
 pub mod http;
+pub mod journal;
 pub mod server;
 pub mod signal;
 pub mod subscribers;
 pub mod wire;
 
 pub use client::HttpClient;
+pub use journal::{
+    decode_records, encode_record, FailpointWriter, FsyncPolicy, Journal, JournalConfig, Recovery,
+    TailState,
+};
 pub use server::{AdmissionPolicy, CtkServer, ServeConfig, ServerBuilder, ServerStats};
 pub use subscribers::{ChangeEvent, PollOutcome, SubscriberRegistry};

@@ -25,8 +25,20 @@
 //! working — a drained server is exactly the right moment to snapshot.
 //! [`CtkServer::shutdown`] drains, stops the ingest thread, unblocks the
 //! accept loop and joins both.
+//!
+//! # Durability
+//!
+//! With [`ServerBuilder::journal_dir`] set, every mutating command is
+//! appended to a write-ahead [`Journal`] *before* it is acked (registers
+//! journal right after the id is assigned, rolling back on a failed
+//! append). On startup the ingest thread restores the latest checkpoint,
+//! replays the journal tail, re-checkpoints so the on-disk state speaks
+//! the new process's id space, and only then reports ready — `GET /readyz`
+//! answers `503 warming` until replay finishes, while `GET /healthz` stays
+//! pure liveness.
 
 use crate::http::{self, Request, Response};
+use crate::journal::{FsyncPolicy, Journal, JournalConfig, Recovery};
 use crate::subscribers::SubscriberRegistry;
 use crate::wire;
 use continuous_topk::{EngineKind, MonitorBuilder};
@@ -34,12 +46,13 @@ use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use ctk_common::{Namespace, QueryId, ScoredDoc};
 use ctk_core::{
     AdaptiveConfig, Admission, DocPruning, IndexConfig, IngestConfig, NamespaceStats,
-    PostingsStorage, PublishReceipt, PublishRequest, QueryOptions, RetentionPolicy, ShardingMode,
-    Snapshot, SnapshotWriter, StorageStats,
+    PostingsStorage, PublishReceipt, PublishRequest, QueryOptions, ReplayCommand, Replayer,
+    RetentionPolicy, ShardingMode, Snapshot, SnapshotWriter, StorageStats,
 };
 use serde::{Number, Serialize, Value};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -97,6 +110,14 @@ pub struct ServeConfig {
     pub max_poll_events: usize,
     /// Full-queue behavior on the publish path.
     pub admission: AdmissionPolicy,
+    /// Directory for the write-ahead publish journal; `None` (the default)
+    /// runs without durability, exactly as before.
+    pub journal_dir: Option<PathBuf>,
+    /// When journal appends reach the disk (ignored without
+    /// [`ServeConfig::journal_dir`]).
+    pub fsync: FsyncPolicy,
+    /// Journal segment rotation threshold in bytes.
+    pub journal_max_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +127,9 @@ impl Default for ServeConfig {
             subscriber_buffer: 1024,
             max_poll_events: 512,
             admission: AdmissionPolicy::Block,
+            journal_dir: None,
+            fsync: FsyncPolicy::Always,
+            journal_max_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -134,6 +158,24 @@ impl ServeConfig {
     /// Set the full-queue publish behavior.
     pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
         self.admission = policy;
+        self
+    }
+
+    /// Enable the write-ahead journal in `dir`.
+    pub fn journal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the journal fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Set the journal segment rotation threshold.
+    pub fn journal_max_bytes(mut self, bytes: u64) -> Self {
+        self.journal_max_bytes = bytes;
         self
     }
 }
@@ -279,6 +321,26 @@ impl ServerBuilder {
         self
     }
 
+    /// Enable the write-ahead publish journal in `dir`: every mutating
+    /// command becomes durable (per [`ServerBuilder::fsync`]) before it is
+    /// acked, and a restart replays the tail past the latest checkpoint.
+    pub fn journal_dir(mut self, dir: impl Into<PathBuf>) -> ServerBuilder {
+        self.serve = self.serve.journal_dir(dir);
+        self
+    }
+
+    /// Journal fsync policy (see [`FsyncPolicy`]; default `always`).
+    pub fn fsync(mut self, policy: FsyncPolicy) -> ServerBuilder {
+        self.serve = self.serve.fsync(policy);
+        self
+    }
+
+    /// Journal segment rotation threshold in bytes (default 64 MiB).
+    pub fn journal_max_bytes(mut self, bytes: u64) -> ServerBuilder {
+        self.serve = self.serve.journal_max_bytes(bytes);
+        self
+    }
+
     /// Replace the whole server-side profile at once (see [`ServeConfig`]).
     pub fn serve(mut self, serve: ServeConfig) -> ServerBuilder {
         self.serve = serve;
@@ -287,9 +349,27 @@ impl ServerBuilder {
 
     /// Bind a listener, spawn the ingest and accept threads, and return the
     /// running server. Bind to port 0 for an ephemeral port (tests).
+    ///
+    /// With a journal configured, the journal directory is opened and
+    /// validated *here* — an unreadable checkpoint, a snapshot from a newer
+    /// build, or mid-journal corruption fail the bind with a descriptive
+    /// error (a torn final record does not; it is truncated). The
+    /// restore-and-replay work itself happens on the ingest thread after
+    /// `bind` returns: the server answers `503 warming` (and `GET /readyz`
+    /// stays 503) until replay finishes.
     pub fn bind(self, addr: impl ToSocketAddrs) -> io::Result<CtkServer> {
         assert!(self.serve.queue_depth >= 1, "the ingest queue needs at least one slot");
         assert!(self.serve.max_poll_events >= 1, "a poll must deliver at least one event");
+        let journal = match &self.serve.journal_dir {
+            None => None,
+            Some(dir) => {
+                let config = JournalConfig::new(dir)
+                    .fsync(self.serve.fsync)
+                    .max_segment_bytes(self.serve.journal_max_bytes);
+                Some(Journal::open(config)?)
+            }
+        };
+        let warming = journal.as_ref().is_some_and(|(_, recovery)| !recovery.is_empty());
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let backend = self.monitor.build();
@@ -305,6 +385,7 @@ impl ServerBuilder {
             subscribers: SubscriberRegistry::new(self.serve.subscriber_buffer),
             draining: AtomicBool::new(false),
             stopping: AtomicBool::new(false),
+            warming: AtomicBool::new(warming),
             max_poll_events: self.serve.max_poll_events,
             engine: self.engine,
         });
@@ -314,7 +395,7 @@ impl ServerBuilder {
             let builder = self.monitor.clone();
             thread::Builder::new()
                 .name("ctk-ingest".to_string())
-                .spawn(move || ingest_loop(rx, backend, builder, &shared))?
+                .spawn(move || ingest_loop(rx, backend, builder, journal, &shared))?
         };
         let accept = {
             let shared = Arc::clone(&shared);
@@ -345,6 +426,12 @@ impl CtkServer {
     /// True once [`CtkServer::drain`] has run (or `POST /admin/drain`).
     pub fn is_draining(&self) -> bool {
         self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// True while the ingest thread is still restoring the journal's
+    /// checkpoint and replaying its tail (`GET /readyz` answers 503).
+    pub fn is_warming(&self) -> bool {
+        self.shared.warming.load(Ordering::SeqCst)
     }
 
     /// Gracefully drain: refuse new publishes with 503, finish the ones
@@ -393,6 +480,10 @@ struct Shared {
     subscribers: SubscriberRegistry,
     draining: AtomicBool,
     stopping: AtomicBool,
+    /// True from bind until the ingest thread has restored the journal's
+    /// checkpoint and replayed its tail; every route except `/healthz` and
+    /// `/readyz` answers 503 while set.
+    warming: AtomicBool,
     max_poll_events: usize,
     engine: EngineKind,
 }
@@ -440,17 +531,21 @@ enum TryEnqueueError {
 
 /// One backend operation, linearized through the ingest queue. Each carries
 /// a one-shot reply channel; a handler whose reply channel dies (ingest
-/// thread already stopped) reports 503.
+/// thread already stopped) reports 503. Mutating commands reply with a
+/// `Result`: `Err` means the journal refused the write (→ 500), and the
+/// command was **not** applied.
 enum Command {
-    Register(wire::RegisterRequest, Sender<QueryId>),
-    Unregister(QueryId, Sender<bool>),
-    Publish(PublishRequest, Sender<PublishReceipt>),
+    Register(wire::RegisterRequest, Sender<Result<QueryId, String>>),
+    Unregister(QueryId, Sender<Result<bool, String>>),
+    Publish(PublishRequest, Sender<Result<PublishReceipt, String>>),
     Results(QueryId, Sender<Option<Vec<ScoredDoc>>>),
     Stats(Sender<BackendStats>),
-    Snapshot(Sender<Snapshot>),
-    Restore(Box<Snapshot>, Sender<RestoreOutcome>),
+    /// Capture a snapshot; with a journal active this is a checkpoint (the
+    /// snapshot lands in `checkpoint.json` and the journal truncates).
+    Snapshot(Sender<Result<Snapshot, String>>),
+    Restore(Box<Snapshot>, Sender<Result<RestoreOutcome, String>>),
     /// Install a namespace's retention policy (interning the name).
-    SetRetention(String, RetentionPolicy, Sender<()>),
+    SetRetention(String, RetentionPolicy, Sender<Result<(), String>>),
     /// Read a namespace's policy; outer `None` = unknown namespace, inner
     /// `None` = known but no policy installed.
     GetRetention(String, Sender<Option<Option<RetentionPolicy>>>),
@@ -459,7 +554,7 @@ enum Command {
     Forget {
         namespace: String,
         dry_run: bool,
-        reply: Sender<Option<usize>>,
+        reply: Sender<Result<Option<usize>, String>>,
     },
     /// Replies once everything queued before it has been processed.
     Barrier(Sender<()>),
@@ -478,6 +573,13 @@ struct BackendStats {
     evicted: u64,
     namespaces: Vec<NamespaceStats>,
     storage: StorageStats,
+    /// Journal bytes appended since the last checkpoint (0 without a
+    /// journal).
+    journal_bytes: u64,
+    /// Sequence number the latest checkpoint covers (0 = none).
+    last_checkpoint: u64,
+    /// Journal records replayed at startup.
+    replayed_records: u64,
 }
 
 /// The ingest thread's answer to a restore: the new backend's query count
@@ -487,30 +589,123 @@ struct RestoreOutcome {
     mapping: Vec<(QueryId, QueryId)>,
 }
 
+/// Append `command` to the journal, if one is active. `Err` means the
+/// command must not be applied (the caller replies 500 and the backend is
+/// untouched).
+fn journal_append(journal: &mut Option<Journal>, command: &ReplayCommand) -> Result<(), String> {
+    match journal.as_mut() {
+        None => Ok(()),
+        Some(j) => j
+            .append(command)
+            .map(|_| ())
+            .map_err(|e| format!("journal append failed ({} refused): {e}", command.op())),
+    }
+}
+
+/// Restore the checkpoint and replay the journal tail into a fresh backend,
+/// then re-checkpoint. The final checkpoint is not cosmetic: journal records
+/// written *after* it will name query ids from **this** process's id space,
+/// so the on-disk state must be re-anchored in that space before the first
+/// new append — otherwise a second crash could replay new records against
+/// the old checkpoint's ids.
+fn recover(
+    backend: &mut Box<dyn ctk_core::MonitorBackend + Send>,
+    builder: &MonitorBuilder,
+    journal: &mut Journal,
+    recovery: Recovery,
+) -> io::Result<u64> {
+    let mut replayer = match recovery.snapshot {
+        None => Replayer::new(),
+        Some(snapshot) => {
+            let (restored, mapping) = builder.restore(&snapshot);
+            *backend = restored;
+            Replayer::with_mapping(mapping)
+        }
+    };
+    let replayed = recovery.commands.len() as u64;
+    for command in recovery.commands {
+        replayer.apply(backend.as_mut(), command);
+    }
+    journal.checkpoint(&backend.snapshot())?;
+    Ok(replayed)
+}
+
 fn ingest_loop(
     rx: Receiver<Command>,
     mut backend: Box<dyn ctk_core::MonitorBackend + Send>,
     builder: MonitorBuilder,
+    journal: Option<(Journal, Recovery)>,
     shared: &Shared,
 ) {
+    let mut replayed_records = 0u64;
+    let mut journal = match journal {
+        None => None,
+        Some((mut journal, recovery)) => {
+            if !recovery.is_empty() {
+                match recover(&mut backend, &builder, &mut journal, recovery) {
+                    Ok(replayed) => replayed_records = replayed,
+                    Err(e) => {
+                        // Serving without a coherent checkpoint would let a
+                        // later crash replay against the wrong id space;
+                        // refuse to run instead.
+                        eprintln!("ctk-serve: journal recovery cannot checkpoint: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            Some(journal)
+        }
+    };
+    shared.warming.store(false, Ordering::SeqCst);
+
     let mut publishes = 0u64;
     let mut docs_published = 0u64;
     while let Ok(command) = rx.recv() {
         shared.queue.depth.fetch_sub(1, Ordering::SeqCst);
         match command {
-            Command::Stop => break,
+            Command::Stop => {
+                if let Some(j) = journal.as_mut() {
+                    let _ = j.sync();
+                }
+                break;
+            }
             Command::Register(req, reply) => {
+                let name = req.namespace.clone().unwrap_or_default();
                 let namespace = match req.namespace.as_deref() {
                     None => Namespace::DEFAULT,
                     Some(name) => backend.intern_namespace(name),
                 };
                 let opts = QueryOptions { namespace, max_age: req.max_age };
-                let _ = reply.send(backend.register_with(req.spec, opts));
+                // Register is the one apply-before-append command: the
+                // journal record needs the assigned id. A failed append
+                // rolls the registration back before the error is acked.
+                let spec = req.spec.clone();
+                let qid = backend.register_with(req.spec, opts);
+                let record = ReplayCommand::Register {
+                    assigned: qid,
+                    spec,
+                    namespace: name,
+                    max_age: req.max_age,
+                };
+                let _ = reply.send(match journal_append(&mut journal, &record) {
+                    Ok(()) => Ok(qid),
+                    Err(e) => {
+                        backend.unregister(qid);
+                        Err(e)
+                    }
+                });
             }
             Command::Unregister(qid, reply) => {
-                let _ = reply.send(backend.unregister(qid));
+                let _ = reply.send(
+                    journal_append(&mut journal, &ReplayCommand::Unregister { qid })
+                        .map(|()| backend.unregister(qid)),
+                );
             }
             Command::Publish(request, reply) => {
+                if let Err(e) = journal_append(&mut journal, &ReplayCommand::publish(&request)) {
+                    let _ = reply.send(Err(e));
+                    continue;
+                }
                 publishes += 1;
                 docs_published += request.len() as u64;
                 let receipt = backend.publish_request(request);
@@ -518,7 +713,7 @@ fn ingest_loop(
                 // receipt, every subscriber buffer already holds the
                 // changes.
                 shared.subscribers.fanout(&receipt);
-                let _ = reply.send(receipt);
+                let _ = reply.send(Ok(receipt));
             }
             Command::Results(qid, reply) => {
                 let _ = reply.send(backend.results(qid));
@@ -536,10 +731,24 @@ fn ingest_loop(
                     evicted,
                     namespaces: backend.namespace_stats(),
                     storage: backend.storage_stats(),
+                    journal_bytes: journal.as_ref().map_or(0, Journal::bytes),
+                    last_checkpoint: journal.as_ref().map_or(0, Journal::last_checkpoint),
+                    replayed_records,
                 });
             }
             Command::Snapshot(reply) => {
-                let _ = reply.send(backend.snapshot());
+                let snapshot = backend.snapshot();
+                let outcome = match journal.as_mut() {
+                    None => Ok(snapshot),
+                    // The snapshot doubles as a checkpoint: once it is on
+                    // disk the journal truncates, so a crash now replays
+                    // from this snapshot instead of the whole tail.
+                    Some(j) => j
+                        .checkpoint(&snapshot)
+                        .map(|_| snapshot)
+                        .map_err(|e| format!("journal checkpoint failed: {e}")),
+                };
+                let _ = reply.send(outcome);
             }
             Command::Restore(snapshot, reply) => {
                 let (restored, mapping) = builder.restore(&snapshot);
@@ -551,17 +760,39 @@ fn ingest_loop(
                 // must never see (or miss) a post-restore change because its
                 // filter still spoke the pre-restore id space.
                 shared.subscribers.remap_filters(&mapping);
-                let _ = reply.send(RestoreOutcome { queries: backend.num_queries(), mapping });
+                // A restore replaces the whole monitor, so the journal's
+                // history no longer describes the live state: checkpoint the
+                // restored snapshot rather than journaling the restore.
+                let outcome = match journal.as_mut() {
+                    None => Ok(()),
+                    Some(j) => j
+                        .checkpoint(&backend.snapshot())
+                        .map(|_| ())
+                        .map_err(|e| format!("journal checkpoint failed: {e}")),
+                };
+                let _ = reply.send(
+                    outcome.map(|()| RestoreOutcome { queries: backend.num_queries(), mapping }),
+                );
             }
             Command::SetRetention(name, policy, reply) => {
-                let ns = backend.intern_namespace(&name);
-                backend.set_retention(ns, policy);
-                let _ = reply.send(());
+                let record = ReplayCommand::SetRetention { namespace: name.clone(), policy };
+                let _ = reply.send(journal_append(&mut journal, &record).map(|()| {
+                    let ns = backend.intern_namespace(&name);
+                    backend.set_retention(ns, policy);
+                }));
             }
             Command::GetRetention(name, reply) => {
                 let _ = reply.send(backend.find_namespace(&name).map(|ns| backend.retention(ns)));
             }
             Command::Forget { namespace, dry_run, reply } => {
+                // Dry runs mutate nothing and stay out of the journal.
+                if !dry_run {
+                    let record = ReplayCommand::Forget { namespace: namespace.clone() };
+                    if let Err(e) = journal_append(&mut journal, &record) {
+                        let _ = reply.send(Err(e));
+                        continue;
+                    }
+                }
                 let outcome = backend.find_namespace(&namespace).map(|ns| {
                     if dry_run {
                         backend
@@ -573,9 +804,14 @@ fn ingest_loop(
                         backend.forget_namespace(ns)
                     }
                 });
-                let _ = reply.send(outcome);
+                let _ = reply.send(Ok(outcome));
             }
             Command::Barrier(reply) => {
+                // A drain barrier is the last thing before a planned stop or
+                // snapshot; make lazily-synced journals durable here too.
+                if let Some(j) = journal.as_mut() {
+                    let _ = j.sync();
+                }
                 let _ = reply.send(());
             }
         }
@@ -659,9 +895,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 /// to the buffered `POST /snapshot` body, so `POST /restore` (and
 /// `Snapshot::from_json`) accept it unchanged.
 fn stream_snapshot<W: Write>(w: &mut W, shared: &Shared) -> io::Result<()> {
+    // This path bypasses `route`, so it repeats the warming gate.
+    if shared.warming.load(Ordering::SeqCst) {
+        return warming().write_to(w, false);
+    }
     match ask(shared, Command::Snapshot) {
         None => unavailable().write_to(w, false),
-        Some(snapshot) => {
+        Some(Err(e)) => Response::error(500, e).write_to(w, false),
+        Some(Ok(snapshot)) => {
             http::write_stream_head(w, 200)?;
             SnapshotWriter::new().write(&snapshot, w)?;
             w.flush()
@@ -681,24 +922,55 @@ fn unavailable() -> Response {
     Response::error(503, "server is shutting down")
 }
 
+fn warming() -> Response {
+    Response::error(503, "warming: journal replay in progress")
+}
+
 fn route(request: &Request, shared: &Shared) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    // Liveness and readiness stay reachable while the journal is replaying;
+    // everything else waits for recovery to finish.
+    if shared.warming.load(Ordering::SeqCst)
+        && !matches!(segments.as_slice(), ["healthz"] | ["readyz"])
+    {
+        return warming();
+    }
     match (request.method.as_str(), segments.as_slice()) {
+        // Pure liveness: 200 for as long as the process can answer at all,
+        // replaying or draining included — restarting a warming server
+        // because it is "unhealthy" would only make recovery start over.
         ("GET", ["healthz"]) => Response::json(
             200,
             object(vec![
                 ("ok", Value::Bool(true)),
                 ("draining", Value::Bool(shared.draining.load(Ordering::SeqCst))),
+                ("warming", Value::Bool(shared.warming.load(Ordering::SeqCst))),
             ]),
         ),
+        // Readiness: route traffic here only once replay is done and the
+        // server is not draining away.
+        ("GET", ["readyz"]) => {
+            let warming = shared.warming.load(Ordering::SeqCst);
+            let draining = shared.draining.load(Ordering::SeqCst);
+            let ready = !warming && !draining;
+            Response::json(
+                if ready { 200 } else { 503 },
+                object(vec![
+                    ("ready", Value::Bool(ready)),
+                    ("warming", Value::Bool(warming)),
+                    ("draining", Value::Bool(draining)),
+                ]),
+            )
+        }
         ("GET", ["stats"]) => handle_stats(shared),
         ("POST", ["queries"]) => handle_register(request, shared),
         ("DELETE", ["queries", id]) => match parse_id(id) {
             Err(response) => response,
             Ok(qid) => match ask(shared, |tx| Command::Unregister(QueryId(qid), tx)) {
                 None => unavailable(),
-                Some(true) => Response::json(200, object(vec![("removed", Value::Bool(true))])),
-                Some(false) => Response::error(404, format!("unknown query {qid}")),
+                Some(Err(e)) => Response::error(500, e),
+                Some(Ok(true)) => Response::json(200, object(vec![("removed", Value::Bool(true))])),
+                Some(Ok(false)) => Response::error(404, format!("unknown query {qid}")),
             },
         },
         ("GET", ["queries", id, "results"]) => match parse_id(id) {
@@ -733,7 +1005,8 @@ fn route(request: &Request, shared: &Shared) -> Response {
         // treat the two interchangeably.
         ("POST", ["snapshot"]) => match ask(shared, Command::Snapshot) {
             None => unavailable(),
-            Some(snapshot) => match snapshot.to_json() {
+            Some(Err(e)) => Response::error(500, e),
+            Some(Ok(snapshot)) => match snapshot.to_json() {
                 Ok(body) => Response::json(200, body),
                 Err(e) => Response::error(500, e),
             },
@@ -748,8 +1021,8 @@ fn route(request: &Request, shared: &Shared) -> Response {
         }
         (
             _,
-            ["healthz" | "stats" | "queries" | "publish" | "subscriptions" | "changes" | "snapshot"
-            | "restore" | "namespaces" | "forget" | "admin", ..],
+            ["healthz" | "readyz" | "stats" | "queries" | "publish" | "subscriptions" | "changes"
+            | "snapshot" | "restore" | "namespaces" | "forget" | "admin", ..],
         ) => Response::error(405, format!("{} is not supported here", request.method)),
         _ => Response::error(404, format!("no route for {}", request.path)),
     }
@@ -783,6 +1056,10 @@ fn handle_stats(shared: &Shared) -> Response {
         events_delivered: delivered,
         events_dropped: dropped,
         draining: shared.draining.load(Ordering::SeqCst),
+        warming: shared.warming.load(Ordering::SeqCst),
+        journal_bytes: backend.journal_bytes,
+        last_checkpoint: backend.last_checkpoint,
+        replayed_records: backend.replayed_records,
     };
     match serde_json::to_string(&stats) {
         Ok(body) => Response::json(200, body),
@@ -827,6 +1104,15 @@ pub struct ServerStats {
     pub events_delivered: u64,
     pub events_dropped: u64,
     pub draining: bool,
+    /// True while startup journal replay is still running.
+    pub warming: bool,
+    /// Journal bytes appended since the last checkpoint (0 without a
+    /// journal).
+    pub journal_bytes: u64,
+    /// Sequence number the latest checkpoint covers (0 = none yet).
+    pub last_checkpoint: u64,
+    /// Journal records replayed at startup, after the checkpoint.
+    pub replayed_records: u64,
 }
 
 fn handle_register(request: &Request, shared: &Shared) -> Response {
@@ -837,7 +1123,8 @@ fn handle_register(request: &Request, shared: &Shared) -> Response {
     let namespace = req.namespace.clone().unwrap_or_default();
     match ask(shared, |tx| Command::Register(req, tx)) {
         None => unavailable(),
-        Some(qid) => Response::json(
+        Some(Err(e)) => Response::error(500, e),
+        Some(Ok(qid)) => Response::json(
             200,
             object(vec![
                 ("query", Value::Num(Number::U64(qid.0.into()))),
@@ -854,7 +1141,8 @@ fn handle_set_retention(ns: &str, request: &Request, shared: &Shared) -> Respons
     };
     match ask(shared, |tx| Command::SetRetention(ns.to_string(), policy, tx)) {
         None => unavailable(),
-        Some(()) => Response::json(200, retention_body(ns, Some(policy))),
+        Some(Err(e)) => Response::error(500, e),
+        Some(Ok(())) => Response::json(200, retention_body(ns, Some(policy))),
     }
 }
 
@@ -892,8 +1180,9 @@ fn handle_forget(request: &Request, shared: &Shared) -> Response {
     let namespace = req.namespace.clone();
     match ask(shared, |tx| Command::Forget { namespace: req.namespace, dry_run, reply: tx }) {
         None => unavailable(),
-        Some(None) => Response::error(404, format!("unknown namespace {namespace:?}")),
-        Some(Some(count)) => Response::json(
+        Some(Err(e)) => Response::error(500, e),
+        Some(Ok(None)) => Response::error(404, format!("unknown namespace {namespace:?}")),
+        Some(Ok(Some(count))) => Response::json(
             200,
             object(vec![
                 ("namespace", Value::Str(namespace)),
@@ -943,7 +1232,8 @@ fn handle_publish(request: &Request, shared: &Shared) -> Response {
         if ahead == 0 { Admission::Accepted } else { Admission::Enqueued { depth: ahead } };
     match reply_rx.recv() {
         Err(_) => unavailable(),
-        Ok(receipt) => {
+        Ok(Err(e)) => Response::error(500, e),
+        Ok(Ok(receipt)) => {
             // The receipt object plus how the publish was admitted.
             let mut value = receipt.to_value();
             if let Value::Object(entries) = &mut value {
@@ -1013,7 +1303,8 @@ fn handle_restore(request: &Request, shared: &Shared) -> Response {
     };
     match ask(shared, |tx| Command::Restore(Box::new(snapshot), tx)) {
         None => unavailable(),
-        Some(outcome) => {
+        Some(Err(e)) => Response::error(500, e),
+        Some(Ok(outcome)) => {
             let mapping = outcome
                 .mapping
                 .into_iter()

@@ -1,0 +1,180 @@
+//! In-process durability API tests: the journal knobs on `ServerBuilder`,
+//! the `/readyz` split, journal fields in `/stats`, and — the guard this
+//! file exists for — rejection of checkpoints and snapshots written by a
+//! *newer* build than this one, with errors a human can act on.
+
+use continuous_topk::EngineKind;
+use ctk_server::{FsyncPolicy, HttpClient, ServerBuilder};
+use serde::Value;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("ctk-durapi-{tag}-{}-{n}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn builder() -> ServerBuilder {
+    ServerBuilder::new(EngineKind::Mrio).lambda(1e-3)
+}
+
+fn ok(outcome: std::io::Result<(u16, String)>, expect: u16) -> String {
+    let (status, body) = outcome.expect("request io");
+    assert_eq!(status, expect, "unexpected status, body: {body}");
+    body
+}
+
+fn parse(body: &str) -> Value {
+    serde_json::from_str(body).expect("valid JSON body")
+}
+
+fn field_u64(value: &Value, name: &str) -> u64 {
+    value.get(name).and_then(|v| v.as_u64().ok()).unwrap_or_else(|| panic!("no {name}"))
+}
+
+#[test]
+fn journal_state_survives_a_graceful_restart() {
+    let dir = temp_dir("graceful");
+    let server = builder()
+        .journal_dir(&dir)
+        .fsync(FsyncPolicy::Never) // graceful shutdown syncs lazily-fsynced journals
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    assert!(!server.is_warming());
+    ok(client.get("/readyz"), 200);
+
+    let qid = field_u64(
+        &parse(&ok(client.post("/queries", r#"{"terms": [[1, 1.0]], "k": 3}"#), 200)),
+        "query",
+    );
+    ok(client.post("/publish", r#"{"terms": [[1, 0.8]], "arrival": 1.0}"#), 200);
+    let stats = parse(&ok(client.get("/stats"), 200));
+    assert!(field_u64(&stats, "journal_bytes") > 0, "appends must show in /stats");
+    assert_eq!(field_u64(&stats, "last_checkpoint"), 0, "no checkpoint yet");
+    server.shutdown();
+
+    let server = builder().journal_dir(&dir).bind("127.0.0.1:0").unwrap();
+    // Poll readiness rather than assuming: replay runs on the ingest thread.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let mut client = loop {
+        assert!(std::time::Instant::now() < deadline, "server never became ready");
+        let mut client =
+            HttpClient::connect_with_retry(server.addr(), std::time::Duration::from_secs(5))
+                .unwrap();
+        if let Ok((200, _)) = client.get("/readyz") {
+            break client;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    let stats = parse(&ok(client.get("/stats"), 200));
+    assert_eq!(field_u64(&stats, "replayed_records"), 2, "register + publish");
+    assert!(field_u64(&stats, "last_checkpoint") > 0, "recovery re-checkpoints");
+    let results = parse(&ok(client.get(&format!("/queries/{qid}/results")), 200));
+    let results = results.get("results").unwrap();
+    assert!(matches!(results, Value::Array(items) if !items.is_empty()));
+    server.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_checkpoints_and_restore_reanchors_the_journal() {
+    let dir = temp_dir("checkpointing");
+    let server = builder().journal_dir(&dir).bind("127.0.0.1:0").unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    ok(client.post("/queries", r#"{"terms": [[1, 1.0]], "k": 3}"#), 200);
+    ok(client.post("/publish", r#"{"terms": [[1, 0.8]], "arrival": 1.0}"#), 200);
+
+    // `POST /snapshot` is the checkpoint: journal truncates, watermark set.
+    let snapshot_body = ok(client.post("/snapshot", ""), 200);
+    let stats = parse(&ok(client.get("/stats"), 200));
+    assert_eq!(field_u64(&stats, "journal_bytes"), 0);
+    assert_eq!(field_u64(&stats, "last_checkpoint"), 2);
+    assert!(dir.join("checkpoint.json").exists());
+
+    // `POST /restore` replaces the monitor wholesale; with a journal active
+    // the restored state is checkpointed so it is durable immediately.
+    ok(client.post("/publish", r#"{"terms": [[1, 0.4]], "arrival": 2.0}"#), 200);
+    ok(client.post("/restore", &snapshot_body), 200);
+    let stats = parse(&ok(client.get("/stats"), 200));
+    assert_eq!(field_u64(&stats, "journal_bytes"), 0, "restore checkpoints");
+    assert_eq!(field_u64(&stats, "queries"), 1);
+    server.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn readyz_reports_draining_as_not_ready() {
+    let server = builder().bind("127.0.0.1:0").unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    ok(client.get("/readyz"), 200);
+    ok(client.post("/admin/drain", ""), 202);
+    // Drained: alive (liveness 200) but no longer ready (readiness 503) —
+    // the split that lets an orchestrator stop routing without restarting.
+    let ready = parse(&ok(client.get("/readyz"), 503));
+    assert!(!ready.get("ready").unwrap().as_bool().unwrap());
+    assert!(ready.get("draining").unwrap().as_bool().unwrap());
+    ok(client.get("/healthz"), 200);
+    server.shutdown();
+}
+
+#[test]
+fn restore_rejects_snapshots_from_a_newer_build() {
+    let server = builder().bind("127.0.0.1:0").unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let snapshot = ok(client.post("/snapshot", ""), 200);
+    let future = snapshot.replacen(
+        &format!("\"version\": {}", ctk_core::SNAPSHOT_VERSION),
+        "\"version\": 99",
+        1,
+    );
+    assert_ne!(snapshot, future, "fixture must actually bump the version");
+    let body = ok(client.post("/restore", &future), 400);
+    assert!(
+        body.contains("unsupported snapshot version 99"),
+        "the error must name the offending version: {body}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn bind_rejects_a_checkpoint_from_a_newer_build() {
+    // First, a valid checkpoint on disk...
+    let dir = temp_dir("future");
+    let server = builder().journal_dir(&dir).bind("127.0.0.1:0").unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    ok(client.post("/queries", r#"{"terms": [[1, 1.0]], "k": 3}"#), 200);
+    ok(client.post("/snapshot", ""), 200);
+    server.shutdown();
+
+    // ...then pretend a newer build wrote it. (Checkpoints are compact
+    // JSON, unlike the pretty `/snapshot` body above.)
+    let path = dir.join("checkpoint.json");
+    let checkpoint = fs::read_to_string(&path).unwrap();
+    let future = checkpoint.replacen(
+        &format!("\"version\":{}", ctk_core::SNAPSHOT_VERSION),
+        "\"version\":99",
+        1,
+    );
+    assert_ne!(checkpoint, future);
+    fs::write(&path, future).unwrap();
+
+    // Startup replay must refuse loudly at bind — not serve an empty
+    // monitor over data it cannot read.
+    let err = match builder().journal_dir(&dir).bind("127.0.0.1:0") {
+        Ok(server) => {
+            server.shutdown();
+            panic!("bind must refuse a checkpoint from a newer build");
+        }
+        Err(err) => err,
+    };
+    assert!(
+        err.to_string().contains("unsupported snapshot version 99"),
+        "bind error must explain the version mismatch: {err}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -7,7 +7,9 @@
 //!     [--shards N] [--mode query|doc] [--pruning off|on|auto] \
 //!     [--batch N] [--window N] [--adaptive [target_ms]] \
 //!     [--queue-depth N] [--admission block|reject[:retry_secs]] \
-//!     [--subscriber-buffer N]
+//!     [--subscriber-buffer N] \
+//!     [--journal-dir DIR] [--fsync always|never|interval:MS] \
+//!     [--journal-max-bytes N]
 //! ```
 //!
 //! Every monitor knob is the same registry string the bench harness uses
@@ -17,7 +19,7 @@
 
 use continuous_topk::EngineKind;
 use ctk_core::{AdaptiveConfig, DocPruning, ShardingMode};
-use ctk_server::{signal, AdmissionPolicy, ServerBuilder};
+use ctk_server::{signal, AdmissionPolicy, FsyncPolicy, ServerBuilder};
 use std::time::Duration;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -89,6 +91,18 @@ fn main() {
     }
     if let Some(capacity) = parsed::<usize>(&args, "--subscriber-buffer") {
         builder = builder.subscriber_buffer(capacity);
+    }
+    // Durability: with a journal dir every mutating command is written (and
+    // under `--fsync always`, synced) before its HTTP ack; a restart on the
+    // same dir replays the tail. Without one the daemon is memory-only.
+    if let Some(dir) = arg_value(&args, "--journal-dir") {
+        builder = builder.journal_dir(dir);
+    }
+    if let Some(fsync) = parsed::<FsyncPolicy>(&args, "--fsync") {
+        builder = builder.fsync(fsync);
+    }
+    if let Some(max_bytes) = parsed::<u64>(&args, "--journal-max-bytes") {
+        builder = builder.journal_max_bytes(max_bytes);
     }
 
     signal::install();
