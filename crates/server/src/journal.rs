@@ -29,7 +29,7 @@
 //! snapshot already covers, which makes replay idempotent across the
 //! crash window between writing a checkpoint and truncating the segments.
 //!
-//! # Torn tails
+//! # Torn tails and failed appends
 //!
 //! A crash mid-append leaves a torn final record: a short header, a
 //! truncated payload, or a checksum mismatch. Recovery tolerates exactly
@@ -39,13 +39,21 @@
 //! fails recovery with a descriptive error rather than silently dropping
 //! acknowledged writes.
 //!
+//! A *failed* append (ENOSPC mid-write, a refused fsync) is rolled back
+//! while the process lives: the segment is truncated to the pre-append
+//! offset so the refused record leaves no bytes behind for later appends
+//! to bury. If that rollback itself fails, the journal is **poisoned** —
+//! every further mutating command is refused until a restart — because
+//! acking writes behind unrolled garbage would silently drop them at the
+//! next recovery.
+//!
 //! # Checkpoints
 //!
 //! [`Journal::checkpoint`] writes the snapshot to `checkpoint.tmp`, fsyncs,
-//! renames it over `checkpoint.json`, then deletes every segment and starts
-//! a fresh one. Recovery loads the checkpoint (rejecting snapshot versions
-//! newer than this build supports), then replays only records with
-//! `seq > last_seq`.
+//! renames it over `checkpoint.json`, then starts a fresh segment and
+//! deletes the now-redundant old ones. Recovery loads the checkpoint
+//! (rejecting snapshot versions newer than this build supports), then
+//! replays only records with `seq > last_seq`.
 
 use ctk_common::Crc32;
 use ctk_core::{ReplayCommand, Snapshot};
@@ -331,6 +339,12 @@ pub struct Journal {
     last_checkpoint: u64,
     last_sync: Instant,
     dirty: bool,
+    /// Set when a failed append could not be rolled back: the segment may
+    /// hold garbage bytes, so every further mutating call is refused (the
+    /// message says why) until the process restarts and recovery truncates
+    /// the file. Continuing to ack writes behind unrolled garbage would
+    /// silently drop them on the next restart.
+    poisoned: Option<String>,
 }
 
 impl Journal {
@@ -441,6 +455,7 @@ impl Journal {
             last_checkpoint: checkpoint_seq,
             last_sync: Instant::now(),
             dirty: false,
+            poisoned: None,
         };
         let recovery = Recovery { snapshot, checkpoint_seq, commands, truncated_bytes };
         Ok((journal, recovery))
@@ -449,8 +464,12 @@ impl Journal {
     /// Append one command and make it as durable as the fsync policy
     /// promises. Returns the record's sequence number. The ingest thread
     /// calls this *before* acking the command; an error here means the
-    /// command must be refused, not applied.
+    /// command must be refused, not applied — and the segment holds no
+    /// trace of it (a partial write is truncated back out, so the refused
+    /// record can neither corrupt the tail nor collide with the seq of the
+    /// next accepted append).
     pub fn append(&mut self, command: &ReplayCommand) -> io::Result<u64> {
+        self.check_poisoned()?;
         let payload = serde_json::to_string(command)
             .map_err(|e| invalid(format!("journal command does not serialize: {e}")))?;
         let record = encode_record(self.next_seq, payload.as_bytes());
@@ -459,7 +478,21 @@ impl Journal {
         {
             self.rotate()?;
         }
-        self.file.write_all(&record)?;
+        if let Err(e) = self.write_record(&record) {
+            self.rollback_append(&e);
+            return Err(e);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.segment_bytes += record.len() as u64;
+        self.live_bytes += record.len() as u64;
+        Ok(seq)
+    }
+
+    /// The failable half of an append: the write plus the policy-driven
+    /// sync, as one unit so the caller can roll both back together.
+    fn write_record(&mut self, record: &[u8]) -> io::Result<()> {
+        self.file.write_all(record)?;
         self.dirty = true;
         match self.fsync {
             FsyncPolicy::Always => {
@@ -476,11 +509,38 @@ impl Journal {
             }
             FsyncPolicy::Never => {}
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.segment_bytes += record.len() as u64;
-        self.live_bytes += record.len() as u64;
-        Ok(seq)
+        Ok(())
+    }
+
+    /// Undo a failed append: truncate the segment back to the pre-append
+    /// offset and sync the truncation, so a partial write (ENOSPC mid
+    /// `write_all`) leaves no garbage for later appends to bury, and a
+    /// fully-written record whose fsync failed cannot survive to collide
+    /// with the seq the next accepted append will reuse. If the rollback
+    /// itself fails the file's tail is unknowable — poison the journal so
+    /// every further mutating command is refused until a restart, whose
+    /// recovery truncates at the first bad checksum.
+    fn rollback_append(&mut self, cause: &io::Error) {
+        match self.file.set_len(self.segment_bytes).and_then(|()| self.file.sync_data()) {
+            Ok(()) => {
+                self.dirty = false;
+                self.last_sync = Instant::now();
+            }
+            Err(e) => {
+                self.poisoned =
+                    Some(format!("append failed ({cause}) and rollback truncation failed ({e})"));
+            }
+        }
+    }
+
+    /// `Err` while the journal is poisoned (see [`Journal::rollback_append`]).
+    fn check_poisoned(&self) -> io::Result<()> {
+        match &self.poisoned {
+            None => Ok(()),
+            Some(why) => Err(io::Error::other(format!(
+                "journal is poisoned and refuses writes until restart: {why}"
+            ))),
+        }
     }
 
     /// Seal the current segment and start a new one named by the next seq.
@@ -500,6 +560,7 @@ impl Journal {
     /// the checkpoint covers. On return, recovery needs only the checkpoint
     /// plus whatever is appended after this call.
     pub fn checkpoint(&mut self, snapshot: &Snapshot) -> io::Result<u64> {
+        self.check_poisoned()?;
         let covered = self.next_seq - 1;
         let doc = Value::Object(vec![
             ("format".to_string(), Value::Num(Number::U64(JOURNAL_FORMAT as u64))),
@@ -521,22 +582,35 @@ impl Journal {
             let _ = dir.sync_all();
         }
 
-        // Past the commit point, the segments are redundant (their records
-        // are all <= covered). A crash while deleting them is why recovery
-        // filters replay by seq.
-        for entry in fs::read_dir(&self.dir)?.filter_map(|e| e.ok()) {
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if name.starts_with(SEGMENT_PREFIX) && name.ends_with(SEGMENT_SUFFIX) {
-                let _ = fs::remove_file(entry.path());
-            }
-        }
-        let path = self.dir.join(segment_name(self.next_seq));
-        self.file = OpenOptions::new().create(true).append(true).open(path)?;
+        // The fresh segment must be open *before* anything is deleted: if
+        // this open fails, `self.file` still points at a live (linked) old
+        // segment and appends keep landing somewhere recovery can see —
+        // the new checkpoint plus old segments is exactly the crash window
+        // the seq filter in `open` already handles.
+        let fresh_path = self.dir.join(segment_name(self.next_seq));
+        self.file = OpenOptions::new().create(true).append(true).open(&fresh_path)?;
         self.segment_bytes = 0;
         self.live_bytes = 0;
         self.last_checkpoint = covered;
         self.dirty = false;
+
+        // Past the commit point, the old segments are redundant (their
+        // records are all <= covered), so deleting them is best-effort
+        // cleanup: anything left behind is skipped by seq and removed as
+        // stale on the next recovery.
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.filter_map(|e| e.ok()) {
+                let path = entry.path();
+                if path == fresh_path {
+                    continue;
+                }
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with(SEGMENT_PREFIX) && name.ends_with(SEGMENT_SUFFIX) {
+                    let _ = fs::remove_file(path);
+                }
+            }
+        }
         Ok(covered)
     }
 
@@ -757,6 +831,79 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("corrupt journal segment"), "{err}");
 
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_append_rolls_back_partial_bytes() {
+        let dir = temp_dir("rollback");
+        let cfg = JournalConfig::new(&dir).fsync(FsyncPolicy::Never);
+        let (mut journal, _) = Journal::open(cfg.clone()).unwrap();
+        journal.append(&publish(1, 1.0)).unwrap();
+        journal.sync().unwrap();
+
+        // Simulate an append dying mid-write: garbage lands in the segment
+        // through the journal's own handle, then the rollback runs exactly
+        // as `append` runs it on the error path.
+        let newest = newest_segment(&dir);
+        let clean_len = fs::metadata(&newest).unwrap().len();
+        journal.file.write_all(b"partial record garbage").unwrap();
+        assert!(fs::metadata(&newest).unwrap().len() > clean_len);
+        journal.rollback_append(&io::Error::other("injected: disk full"));
+        assert_eq!(fs::metadata(&newest).unwrap().len(), clean_len, "garbage truncated out");
+        assert!(journal.poisoned.is_none(), "a successful rollback does not poison");
+
+        // The journal keeps working: the next append takes the seq the
+        // refused record would have used, and recovery sees a clean
+        // two-record history with nothing torn.
+        assert_eq!(journal.append(&publish(2, 2.0)).unwrap(), 2);
+        journal.sync().unwrap();
+        drop(journal);
+        let (_journal, recovery) = Journal::open(cfg).unwrap();
+        assert_eq!(recovery.truncated_bytes, 0);
+        assert_eq!(recovery.commands, vec![publish(1, 1.0), publish(2, 2.0)]);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_journal_refuses_every_mutation() {
+        let dir = temp_dir("poison");
+        let (mut journal, _) =
+            Journal::open(JournalConfig::new(&dir).fsync(FsyncPolicy::Never)).unwrap();
+        journal.append(&publish(1, 1.0)).unwrap();
+        journal.poisoned = Some("injected rollback failure".to_string());
+        let err = journal.append(&publish(2, 2.0)).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        let snapshot = ctk_core::Monitor::new(ctk_core::Naive::new(0.01)).snapshot();
+        let err = journal.checkpoint(&snapshot).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_keeps_the_fresh_segment_linked() {
+        // Two checkpoints in a row: the second's fresh segment has the same
+        // name as the first's (no appends between), so the delete pass must
+        // not remove the file the journal just opened — appends after it
+        // have to land in a *linked* file that recovery can read.
+        let dir = temp_dir("ckpt-fresh");
+        let cfg = JournalConfig::new(&dir).fsync(FsyncPolicy::Never);
+        let (mut journal, _) = Journal::open(cfg.clone()).unwrap();
+        journal.append(&publish(1, 1.0)).unwrap();
+        let snapshot = ctk_core::Monitor::new(ctk_core::Naive::new(0.01)).snapshot();
+        journal.checkpoint(&snapshot).unwrap();
+        journal.checkpoint(&snapshot).unwrap();
+        journal.append(&publish(2, 2.0)).unwrap();
+        journal.sync().unwrap();
+        let segments = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().ends_with(SEGMENT_SUFFIX))
+            .count();
+        assert_eq!(segments, 1, "one live segment after back-to-back checkpoints");
+        drop(journal);
+        let (_journal, recovery) = Journal::open(cfg).unwrap();
+        assert_eq!(recovery.commands, vec![publish(2, 2.0)]);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -696,10 +696,15 @@ fn ingest_loop(
                 });
             }
             Command::Unregister(qid, reply) => {
-                let _ = reply.send(
+                // A 404 mutates nothing, so it stays out of the journal —
+                // only an unregister that will actually remove a query is
+                // appended (and acked) as a record.
+                let _ = reply.send(if backend.namespace_of(qid).is_none() {
+                    Ok(false)
+                } else {
                     journal_append(&mut journal, &ReplayCommand::Unregister { qid })
-                        .map(|()| backend.unregister(qid)),
-                );
+                        .map(|()| backend.unregister(qid))
+                });
             }
             Command::Publish(request, reply) => {
                 if let Err(e) = journal_append(&mut journal, &ReplayCommand::publish(&request)) {
@@ -785,26 +790,25 @@ fn ingest_loop(
                 let _ = reply.send(backend.find_namespace(&name).map(|ns| backend.retention(ns)));
             }
             Command::Forget { namespace, dry_run, reply } => {
-                // Dry runs mutate nothing and stay out of the journal.
-                if !dry_run {
-                    let record = ReplayCommand::Forget { namespace: namespace.clone() };
-                    if let Err(e) = journal_append(&mut journal, &record) {
-                        let _ = reply.send(Err(e));
-                        continue;
-                    }
-                }
-                let outcome = backend.find_namespace(&namespace).map(|ns| {
-                    if dry_run {
+                // Dry runs and 404s mutate nothing and stay out of the
+                // journal; only a forget that will actually remove queries
+                // is appended before it is applied and acked.
+                let outcome = match backend.find_namespace(&namespace) {
+                    None => Ok(None),
+                    Some(_) if dry_run => Ok(Some(
                         backend
                             .namespace_stats()
                             .into_iter()
                             .find(|s| s.namespace == namespace)
-                            .map_or(0, |s| s.live as usize)
-                    } else {
-                        backend.forget_namespace(ns)
+                            .map_or(0, |s| s.live as usize),
+                    )),
+                    Some(ns) => {
+                        let record = ReplayCommand::Forget { namespace: namespace.clone() };
+                        journal_append(&mut journal, &record)
+                            .map(|()| Some(backend.forget_namespace(ns)))
                     }
-                });
-                let _ = reply.send(Ok(outcome));
+                };
+                let _ = reply.send(outcome);
             }
             Command::Barrier(reply) => {
                 // A drain barrier is the last thing before a planned stop or
